@@ -1,0 +1,58 @@
+"""Bench ABLATIONS: design-choice studies for DESIGN.md sections 5/6."""
+
+from repro.experiments.ablations import (
+    report_ga_budget,
+    report_jitter,
+    report_pdn_damping,
+    run_ga_budget_ablation,
+    run_jitter_ablation,
+    run_pdn_damping_ablation,
+)
+from repro.experiments.setup import bulldozer_testbed
+from repro.isa.opcodes import default_table
+
+
+def test_ablation_smt_jitter(benchmark, save_report):
+    platform = bulldozer_testbed()
+    result = benchmark.pedantic(
+        lambda: run_jitter_ablation(platform, default_table()),
+        rounds=1, iterations=1,
+    )
+    save_report("ablation_smt_jitter", report_jitter(result))
+
+    # Without the phase walk the SMT pair holds lockstep and the 8T loss
+    # (mostly) disappears; a realistic walk decoheres the resonance.
+    realistic = result.droops_8t[2]
+    assert realistic < result.lockstep_8t
+    assert realistic < result.droop_4t
+
+
+def test_ablation_ga_budget(benchmark, save_report):
+    platform = bulldozer_testbed()
+    result = benchmark.pedantic(
+        lambda: run_ga_budget_ablation(platform, default_table()),
+        rounds=1, iterations=1,
+    )
+    save_report("ablation_ga_budget", report_ga_budget(result))
+
+    budgets = sorted(result.droops)
+    droops = [result.droops[g] for g in budgets]
+    # More budget never hurts (elitism + memoised fitness).
+    assert droops == sorted(droops)
+
+
+def test_ablation_pdn_damping(benchmark, save_report):
+    result = benchmark.pedantic(
+        lambda: run_pdn_damping_ablation(default_table()),
+        rounds=1, iterations=1,
+    )
+    save_report("ablation_pdn_damping", report_pdn_damping(result))
+
+    # More damping -> lower peak impedance -> smaller resonant droops,
+    # with A-Res and SM-Res tracking together.
+    peaks = [row[1] for row in result.rows]
+    a_res = [row[2] for row in result.rows]
+    sm_res = [row[3] for row in result.rows]
+    assert peaks == sorted(peaks, reverse=True)
+    assert a_res == sorted(a_res, reverse=True)
+    assert sm_res == sorted(sm_res, reverse=True)

@@ -1,0 +1,21 @@
+"""Bench FIG10: droop-event histograms for zeusmp, SM1, and A-Res."""
+
+from repro.experiments.fig10_histograms import report, run_fig10
+from repro.experiments.setup import bulldozer_testbed
+from repro.isa.opcodes import default_table
+
+
+def test_fig10_histograms(benchmark, save_report):
+    platform = bulldozer_testbed()
+    result = benchmark.pedantic(
+        lambda: run_fig10(platform, default_table(), samples=2_000_000),
+        rounds=1, iterations=1,
+    )
+    save_report("fig10_histograms", report(result))
+
+    # zeusmp: least variation; SM1: nominal mass + tail; A-Res: mass near
+    # the worst droop.
+    assert result.spread("zeusmp") < result.spread("SM1")
+    assert result.spread("zeusmp") < result.spread("A-Res")
+    assert result.modal_offset("A-Res") > result.modal_offset("SM1")
+    assert result.modal_offset("A-Res") > 2 * result.modal_offset("zeusmp")

@@ -1,0 +1,19 @@
+"""Bench FIG3: regenerate the PDN resonance figure (frequency + time domain)."""
+
+from repro.experiments.fig3_resonances import report, run_fig3
+from repro.experiments.setup import bulldozer_testbed
+
+
+def test_fig3_resonances(benchmark, save_report):
+    platform = bulldozer_testbed()
+    result = benchmark.pedantic(
+        lambda: run_fig3(platform), rounds=1, iterations=1
+    )
+    save_report("fig3_resonances", report(result))
+
+    labels = [r.label for r in result.sweep.resonances]
+    assert labels == ["third", "second", "first"]
+    first = result.sweep.first_droop
+    assert 50e6 <= first.frequency_hz <= 200e6
+    assert result.droop_of("first") > result.droop_of("second")
+    assert result.droop_of("first") > result.droop_of("third")

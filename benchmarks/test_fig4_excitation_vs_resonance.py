@@ -1,0 +1,16 @@
+"""Bench FIG4: first-droop excitation vs. first-droop resonance."""
+
+from repro.experiments.fig4_excitation_vs_resonance import report, run_fig4
+from repro.experiments.setup import bulldozer_testbed
+from repro.isa.opcodes import default_table
+
+
+def test_fig4_excitation_vs_resonance(benchmark, save_report):
+    platform = bulldozer_testbed()
+    result = benchmark.pedantic(
+        lambda: run_fig4(platform, default_table()), rounds=1, iterations=1
+    )
+    save_report("fig4_excitation_vs_resonance", report(result))
+
+    # The resonant pattern builds in amplitude beyond the single event.
+    assert result.amplification > 1.2

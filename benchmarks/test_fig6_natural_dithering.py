@@ -1,0 +1,20 @@
+"""Bench FIG6: natural dithering scope shot (100 ms, 16 ms OS ticks)."""
+
+from repro.core.resonance import probe_program
+from repro.experiments.fig6_natural_dithering import report, run_fig6
+from repro.experiments.setup import bulldozer_testbed
+from repro.isa.opcodes import default_table
+
+
+def test_fig6_natural_dithering(benchmark, save_report):
+    platform = bulldozer_testbed()
+    program = probe_program(default_table(), hp_count=32, lp_nops=95)
+    result = benchmark.pedantic(
+        lambda: run_fig6(platform, program, duration_s=0.1, seed=6),
+        rounds=1, iterations=1,
+    )
+    save_report("fig6_natural_dithering", report(result))
+
+    assert len(result.ticks) == 7  # ~16 ms cadence over 100 ms
+    assert result.envelope_variation > 0
+    assert result.best_natural_droop_v <= result.aligned_droop_v

@@ -1,0 +1,36 @@
+"""Bench FIG9: the headline droop comparison grid.
+
+All SPEC/PARSEC models, all six stressmarks, 1T/2T/4T/8T, droops relative
+to 4T SM1 — the full figure.
+"""
+
+from repro.experiments.fig9_droop_comparison import report, run_fig9
+from repro.experiments.setup import bulldozer_testbed
+from repro.isa.opcodes import default_table
+
+
+def test_fig9_droop_comparison(benchmark, save_report):
+    platform = bulldozer_testbed()
+    result = benchmark.pedantic(
+        lambda: run_fig9(platform, default_table(),
+                         workload_duration_cycles=120_000),
+        rounds=1, iterations=1,
+    )
+    save_report("fig9_droop_comparison", report(result))
+
+    # Headline shapes (paper Section V.A).
+    assert result.relative("A-Res", 4) > result.relative("SM1", 4)
+    assert result.relative("SM-Res", 4) > result.relative("SM1", 4)
+    bench_best = max(
+        result.relative(name, 4)
+        for name, suite in result.suites.items()
+        if suite in ("spec", "parsec")
+    )
+    assert result.relative("SM1", 4) > bench_best
+    for name in ("SM1", "SM-Res", "A-Res"):
+        assert result.droops[name][8] < result.droops[name][4]
+    assert result.droops["A-Res-8T"][8] > result.droops["A-Res"][8]
+    assert result.droops["A-Res-8T"][4] < result.droops["A-Res"][4]
+    assert result.relative("zeusmp", 4) == max(
+        result.relative(n, 4) for n, s in result.suites.items() if s == "spec"
+    )

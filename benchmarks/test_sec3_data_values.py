@@ -1,0 +1,21 @@
+"""Bench SEC3-DATA: operand data values change the droop by ~10 %."""
+
+from repro.experiments.sec3_data_values import report, run_sec3_data_values
+from repro.experiments.setup import bulldozer_testbed
+from repro.isa.data_patterns import DataPattern
+from repro.isa.opcodes import default_table
+
+
+def test_sec3_data_values(benchmark, save_report):
+    platform = bulldozer_testbed()
+    result = benchmark.pedantic(
+        lambda: run_sec3_data_values(platform, default_table()),
+        rounds=1, iterations=1,
+    )
+    save_report("sec3_data_values", report(result))
+
+    droops = result.droops
+    assert droops[DataPattern.MAX_TOGGLE] > droops[DataPattern.RANDOM]
+    assert droops[DataPattern.RANDOM] > droops[DataPattern.ZEROS]
+    # "on the order of 10%"
+    assert 0.04 < result.swing < 0.20

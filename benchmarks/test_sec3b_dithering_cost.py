@@ -1,0 +1,16 @@
+"""Bench SEC3B: dithering sweep cost (the paper's 3.3 ms / 18.35 min / 67 ms)."""
+
+import pytest
+
+from repro.experiments.sec3b_dithering_cost import report, run_sec3b
+
+
+def test_sec3b_dithering_cost(benchmark, save_report):
+    result = benchmark.pedantic(run_sec3b, rounds=1, iterations=1)
+    save_report("sec3b_dithering_cost", report(result))
+
+    assert result.exact_4core_s == pytest.approx(3.3e-3, rel=0.01)
+    assert result.exact_8core_s / 60 == pytest.approx(18.35, rel=0.01)
+    assert result.approx_8core_delta3_s == pytest.approx(67e-3, rel=0.05)
+    assert result.small_instance_full_coverage
+    assert result.aligned_is_worst

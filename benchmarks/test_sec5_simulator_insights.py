@@ -1,0 +1,26 @@
+"""Bench SEC5-SIM: droop-only (simulator) analysis vs hardware failure view."""
+
+from repro.experiments.sec5_simulator_insights import (
+    report,
+    run_sec5_simulator_insights,
+)
+from repro.experiments.setup import bulldozer_testbed
+from repro.isa.opcodes import default_table
+
+
+def test_sec5_simulator_insights(benchmark, save_report):
+    platform = bulldozer_testbed()
+    result = benchmark.pedantic(
+        lambda: run_sec5_simulator_insights(platform, default_table()),
+        rounds=1, iterations=1,
+    )
+    save_report("sec5_simulator_insights", report(result))
+
+    # Droop ranking and failure ranking must diverge (the paper's point 1):
+    # SM2 climbs the failure ranking past its droop rank.
+    assert "SM2" in result.rank_inversions
+    # The OS perturbs the droop over a range a fixed-alignment simulation
+    # cannot see (points 2 and 3).
+    lo, hi = result.natural_droop_range
+    assert hi > lo
+    assert not (lo <= result.fixed_alignment_droop <= hi) or (hi - lo) > 0.005

@@ -1,0 +1,21 @@
+"""Bench SEC5A5: the NOP→ADD loop analysis on A-Res."""
+
+import pytest
+
+from repro.experiments.sec5a5_nop_analysis import report, run_sec5a5
+from repro.experiments.setup import bulldozer_testbed
+from repro.isa.opcodes import default_table
+
+
+def test_sec5a5_nop_analysis(benchmark, save_report):
+    platform = bulldozer_testbed()
+    result = benchmark.pedantic(
+        lambda: run_sec5a5(platform, default_table()), rounds=1, iterations=1
+    )
+    save_report("sec5a5_nop_analysis", report(result))
+
+    # Paper: the ADD-substituted A-Res generated a smaller droop and its
+    # pattern frequency shifted below the resonance.
+    assert result.droop_loss_v > 0.005
+    assert result.frequency_shift_hz < -1e6
+    assert result.nop_fundamental_hz == pytest.approx(100e6, rel=0.05)

@@ -1,0 +1,22 @@
+"""Bench TAB1: voltage at failure relative to A-Res (4T, 12.5 mV steps)."""
+
+from repro.experiments.setup import bulldozer_testbed
+from repro.experiments.table1_failure import TABLE1_ORDER, report, run_table1
+from repro.isa.opcodes import default_table
+
+
+def test_table1_voltage_at_failure(benchmark, save_report):
+    platform = bulldozer_testbed()
+    result = benchmark.pedantic(
+        lambda: run_table1(platform, default_table()), rounds=1, iterations=1
+    )
+    save_report("table1_failure", report(result))
+
+    vf = result.failure_voltages
+    # Paper ordering: A-Res > SM-Res > SM1 > A-Ex > SM2 > benchmarks.
+    ordered = [vf[name] for name in TABLE1_ORDER]
+    assert ordered == sorted(ordered, reverse=True)
+    assert vf["A-Res"] == max(vf.values())
+    # SM2's sensitive paths beat the benchmarks despite a benchmark-class
+    # droop (the Section V.A.4 insight).
+    assert vf["SM2"] > vf["zeusmp"]

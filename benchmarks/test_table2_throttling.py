@@ -1,0 +1,36 @@
+"""Bench TAB2: FPU throttling impact, including the real AUDIT re-run.
+
+Runs the full closed loop against the throttled platform to generate
+A-Res-Th (the paper's "AUDIT finds another path" result), rather than the
+canned approximation used by the fast tests.
+"""
+
+from repro.experiments.setup import bulldozer_testbed
+from repro.experiments.table2_throttling import report, run_table2
+from repro.isa.opcodes import default_table
+
+
+def test_table2_fpu_throttling(benchmark, save_report):
+    free = bulldozer_testbed()
+    throttled = bulldozer_testbed(fp_throttle=1)
+    result = benchmark.pedantic(
+        lambda: run_table2(free, throttled, default_table(), audit_rerun=True),
+        rounds=1, iterations=1,
+    )
+    save_report("table2_throttling", report(result))
+
+    for name in ("SM1", "A-Res", "SM-Res"):
+        assert (result.row(name, throttled=True).droop_v
+                < result.row(name, throttled=False).droop_v)
+
+    def retained(name):
+        return (result.row(name, throttled=True).droop_v
+                / result.row(name, throttled=False).droop_v)
+
+    # Least effective for SM1 (its integer stress path survives).
+    assert retained("SM1") > retained("A-Res")
+    assert retained("SM1") > retained("SM-Res")
+    # AUDIT works around the throttle but cannot fully recover.
+    th = result.row("A-Res-Th", throttled=True)
+    assert th.droop_v > result.row("SM-Res", throttled=True).droop_v
+    assert th.droop_v < result.row("A-Res", throttled=False).droop_v

@@ -1,0 +1,22 @@
+"""Bench TAB3: AUDIT adapts to the Phenom II — full GA re-run included."""
+
+from repro.experiments.setup import phenom_testbed
+from repro.experiments.table3_phenom import report, run_table3
+from repro.isa.opcodes import default_table
+
+
+def test_table3_phenom(benchmark, save_report):
+    platform = phenom_testbed()
+    result = benchmark.pedantic(
+        lambda: run_table3(platform, default_table(), audit_rerun=True),
+        rounds=1, iterations=1,
+    )
+    save_report("table3_phenom", report(result))
+
+    assert result.sm1_rejected  # FMA4 code cannot run
+    # AUDIT's regenerated stressmark is comparable to or better than SM2.
+    assert result.relative_droop("A-Res") >= 1.0
+    assert result.failure_voltages["A-Res"] >= result.failure_voltages["SM2"]
+    # AUDIT found the new part's (lower) resonance.
+    assert result.resonance_hz is not None
+    assert result.resonance_hz < 100e6

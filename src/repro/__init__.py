@@ -1,0 +1,29 @@
+"""AUDIT reproduction: automated di/dt stressmark generation.
+
+A full software reproduction of "AUDIT: Stress Testing the Automatic Way"
+(Kim, John, Pant, Manne, Schulte, Bircher, Sibi Govindan - MICRO 2012):
+closed-loop genetic-algorithm generation of voltage-droop stressmarks for
+multi-core processors, evaluated on a software testbed (multi-module
+pipeline model + RLC power-distribution network) that stands in for the
+paper's AMD Bulldozer / Phenom II boards.
+
+Quick tour::
+
+    from repro.core import AuditRunner, AuditConfig
+    from repro.experiments import bulldozer_testbed
+
+    platform = bulldozer_testbed()          # chip model + PDN + scope path
+    result = AuditRunner(platform).run()    # resonance sweep + GA loop
+    print(result.max_droop_v)
+
+Sub-packages: :mod:`repro.isa` (instruction substrate), :mod:`repro.uarch`
+(machine model), :mod:`repro.pdn` (power-delivery network), :mod:`repro.power`
+(energy->current), :mod:`repro.measure` (scope + failure model),
+:mod:`repro.osmodel` (OS interference), :mod:`repro.core` (AUDIT itself),
+:mod:`repro.workloads` (stressmarks + synthetic benchmark suites),
+:mod:`repro.analysis` and :mod:`repro.experiments` (paper figures/tables).
+"""
+
+__version__ = "1.0.0"
+
+__all__ = ["__version__"]

@@ -1,0 +1,71 @@
+"""Fixed-width report rendering for experiment tables.
+
+Every benchmark harness prints the same rows/series the paper reports;
+these helpers keep the formatting consistent and dependency-free.
+"""
+
+from __future__ import annotations
+
+from repro.errors import ReproError
+
+
+def format_table(headers: list[str], rows: list[list], *, title: str | None = None) -> str:
+    """Render a fixed-width text table.
+
+    Cells are stringified; floats get 3 significant decimals.  Raises if a
+    row's arity does not match the header.
+    """
+    if not headers:
+        raise ReproError("table needs at least one column")
+
+    def render(cell) -> str:
+        if isinstance(cell, float):
+            return f"{cell:.3f}"
+        return str(cell)
+
+    str_rows = []
+    for row in rows:
+        if len(row) != len(headers):
+            raise ReproError(
+                f"row has {len(row)} cells, header has {len(headers)}"
+            )
+        str_rows.append([render(c) for c in row])
+
+    widths = [len(h) for h in headers]
+    for row in str_rows:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+
+    def line(cells):
+        return "  ".join(c.ljust(w) for c, w in zip(cells, widths)).rstrip()
+
+    parts = []
+    if title:
+        parts.append(title)
+        parts.append("=" * len(title))
+    parts.append(line(headers))
+    parts.append(line(["-" * w for w in widths]))
+    parts.extend(line(r) for r in str_rows)
+    return "\n".join(parts)
+
+
+def relative(value: float, baseline: float) -> float:
+    """Value normalised to a baseline (the paper's 'relative to 4T SM1')."""
+    if baseline == 0:
+        raise ReproError("cannot normalise to a zero baseline")
+    return value / baseline
+
+
+def millivolts(value_v: float) -> float:
+    """Volts → millivolts (for delta columns like Table I's 'VF - 62 mV')."""
+    return value_v * 1e3
+
+
+def vf_delta_label(vf: float, reference_vf: float) -> str:
+    """Render a failure voltage as the paper does: 'VF' or 'VF - N mV'."""
+    delta_mv = (reference_vf - vf) * 1e3
+    if abs(delta_mv) < 0.5:
+        return "VF"
+    if delta_mv < 0:
+        return f"VF + {-delta_mv:.0f} mV"
+    return f"VF - {delta_mv:.0f} mV"

@@ -1,0 +1,64 @@
+"""Frequency-domain analysis of voltage/current waveforms.
+
+Used by the loop analysis of paper Section V.A.5 (the NOP→ADD substitution
+"shifted the frequency of the di/dt pattern lower than the ideal resonant
+frequency") and by the Fig. 3/4 reproductions.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import MeasurementError
+
+
+@dataclass(frozen=True)
+class Spectrum:
+    """One-sided amplitude spectrum of a uniformly sampled waveform."""
+
+    frequencies_hz: np.ndarray
+    amplitudes: np.ndarray
+
+    def amplitude_at(self, frequency_hz: float) -> float:
+        """Amplitude of the bin nearest *frequency_hz*."""
+        idx = int(np.argmin(np.abs(self.frequencies_hz - frequency_hz)))
+        return float(self.amplitudes[idx])
+
+    def dominant_frequency(self, *, f_min_hz: float = 0.0) -> float:
+        """Frequency of the strongest component at or above *f_min_hz*."""
+        mask = self.frequencies_hz >= f_min_hz
+        if not mask.any():
+            raise MeasurementError("no spectral bins above f_min")
+        amps = np.where(mask, self.amplitudes, -np.inf)
+        return float(self.frequencies_hz[int(np.argmax(amps))])
+
+
+def amplitude_spectrum(samples: np.ndarray, dt: float) -> Spectrum:
+    """One-sided amplitude spectrum with the DC term removed.
+
+    Amplitudes are normalised so a pure sinusoid of amplitude A yields A in
+    its bin.
+    """
+    samples = np.asarray(samples, dtype=np.float64)
+    if samples.size < 4:
+        raise MeasurementError("need at least 4 samples for a spectrum")
+    if dt <= 0:
+        raise MeasurementError("dt must be positive")
+    centred = samples - samples.mean()
+    spectrum = np.fft.rfft(centred)
+    freqs = np.fft.rfftfreq(len(centred), d=dt)
+    amplitudes = 2.0 * np.abs(spectrum) / len(centred)
+    amplitudes[0] = 0.0
+    return Spectrum(frequencies_hz=freqs, amplitudes=amplitudes)
+
+
+def activity_fundamental_hz(
+    samples: np.ndarray,
+    dt: float,
+    *,
+    f_min_hz: float = 1e6,
+) -> float:
+    """The fundamental repetition frequency of a periodic activity trace."""
+    return amplitude_spectrum(samples, dt).dominant_frequency(f_min_hz=f_min_hz)

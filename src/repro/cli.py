@@ -1,0 +1,289 @@
+"""Command-line interface: run AUDIT and regenerate paper experiments.
+
+Usage (also available as ``python -m repro``)::
+
+    python -m repro sweep --chip bulldozer
+    python -m repro audit --threads 4 --mode resonant --asm-out a_res.asm
+    python -m repro experiment table1
+    python -m repro list
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.analysis.report import format_table
+from repro.core.audit import AuditConfig, AuditRunner, StressmarkMode
+from repro.core.ga import GaConfig
+from repro.core.resonance import find_resonance
+from repro.errors import ReproError
+from repro.experiments.setup import bulldozer_testbed, phenom_testbed
+from repro.isa.encoder import encode_program
+from repro.isa.opcodes import default_table
+
+
+def _platform(chip: str, throttle: int | None = None):
+    if chip == "bulldozer":
+        return bulldozer_testbed(fp_throttle=throttle)
+    if chip == "phenom":
+        if throttle is not None:
+            raise ReproError("--throttle is only modelled on the bulldozer chip")
+        return phenom_testbed()
+    raise ReproError(f"unknown chip {chip!r} (expected bulldozer or phenom)")
+
+
+# ----------------------------------------------------------------------
+# Experiment registry
+# ----------------------------------------------------------------------
+def _run_fig3():
+    from repro.experiments import fig3_resonances as mod
+
+    return mod.report(mod.run_fig3(bulldozer_testbed()))
+
+
+def _run_fig4():
+    from repro.experiments import fig4_excitation_vs_resonance as mod
+
+    return mod.report(mod.run_fig4(bulldozer_testbed(), default_table()))
+
+
+def _run_fig6():
+    from repro.core.resonance import probe_program
+    from repro.experiments import fig6_natural_dithering as mod
+
+    program = probe_program(default_table(), hp_count=32, lp_nops=95)
+    return mod.report(mod.run_fig6(bulldozer_testbed(), program))
+
+
+def _run_fig9():
+    from repro.experiments import fig9_droop_comparison as mod
+
+    return mod.report(mod.run_fig9(bulldozer_testbed(), default_table()))
+
+
+def _run_fig10():
+    from repro.experiments import fig10_histograms as mod
+
+    return mod.report(mod.run_fig10(bulldozer_testbed(), default_table(),
+                                    samples=1_000_000))
+
+
+def _run_table1():
+    from repro.experiments import table1_failure as mod
+
+    return mod.report(mod.run_table1(bulldozer_testbed(), default_table()))
+
+
+def _run_table2():
+    from repro.experiments import table2_throttling as mod
+
+    return mod.report(mod.run_table2(
+        bulldozer_testbed(), bulldozer_testbed(fp_throttle=1), default_table()
+    ))
+
+
+def _run_table3():
+    from repro.experiments import table3_phenom as mod
+
+    return mod.report(mod.run_table3(phenom_testbed(), default_table()))
+
+
+def _run_sec3b():
+    from repro.experiments import sec3b_dithering_cost as mod
+
+    return mod.report(mod.run_sec3b())
+
+
+def _run_sec3c():
+    from repro.experiments import sec3c_hierarchical as mod
+
+    return mod.report(mod.run_sec3c(bulldozer_testbed(), default_table()))
+
+
+def _run_sec3_data():
+    from repro.experiments import sec3_data_values as mod
+
+    return mod.report(mod.run_sec3_data_values(bulldozer_testbed(),
+                                               default_table()))
+
+
+def _run_sec5a1():
+    from repro.experiments import sec5a1_barrier as mod
+
+    return mod.report(mod.run_sec5a1(bulldozer_testbed(), default_table()))
+
+
+def _run_sec5a5():
+    from repro.experiments import sec5a5_nop_analysis as mod
+
+    return mod.report(mod.run_sec5a5(bulldozer_testbed(), default_table()))
+
+
+def _run_sec5_sim():
+    from repro.experiments import sec5_simulator_insights as mod
+
+    return mod.report(mod.run_sec5_simulator_insights(bulldozer_testbed(),
+                                                      default_table()))
+
+
+EXPERIMENTS = {
+    "fig3": ("PDN resonances, frequency + time domain", _run_fig3),
+    "fig4": ("excitation vs resonance", _run_fig4),
+    "fig6": ("natural dithering scope shot", _run_fig6),
+    "fig9": ("droop comparison grid (slow)", _run_fig9),
+    "fig10": ("Vdd histograms", _run_fig10),
+    "table1": ("voltage at failure", _run_table1),
+    "table2": ("FPU throttling impact", _run_table2),
+    "table3": ("Phenom II processor swap", _run_table3),
+    "sec3b": ("dithering sweep cost", _run_sec3b),
+    "sec3c": ("hierarchical vs flat GA (slow)", _run_sec3c),
+    "sec3-data": ("operand data values vs droop", _run_sec3_data),
+    "sec5a1": ("barrier release skew", _run_sec5a1),
+    "sec5a5": ("NOP vs ADD loop analysis", _run_sec5a5),
+    "sec5-sim": ("simulator vs hardware insights", _run_sec5_sim),
+}
+
+
+# ----------------------------------------------------------------------
+# Commands
+# ----------------------------------------------------------------------
+def cmd_sweep(args) -> int:
+    platform = _platform(args.chip)
+    sweep = find_resonance(platform, default_table(), threads=1,
+                           period_candidates=list(range(8, 133, 4)))
+    rows = [
+        [p.period_cycles if p.period_cycles is not None else "-",
+         f"{p.droop_v * 1e3:.1f} mV"]
+        for p in sweep.points
+    ]
+    print(format_table(["loop period (cycles)", "max droop"], rows,
+                       title=f"resonance sweep on {args.chip}"))
+    print(f"\nresonance: {sweep.resonance_hz / 1e6:.1f} MHz "
+          f"({sweep.best_period_cycles} cycles)")
+    return 0
+
+
+def cmd_audit(args) -> int:
+    platform = _platform(args.chip, args.throttle)
+    mode = StressmarkMode(args.mode)
+    config = AuditConfig(
+        threads=args.threads,
+        mode=mode,
+        ga=GaConfig(population_size=args.population,
+                    generations=args.generations, seed=args.seed),
+    )
+    runner = AuditRunner(platform, config=config)
+    result = runner.run()
+    print(f"resonance: {result.resonance.resonance_hz / 1e6:.1f} MHz")
+    print(f"GA evaluations: {result.ga_result.evaluations}")
+    print(f"{result.name} droop at {args.threads}T: "
+          f"{result.max_droop_v * 1e3:.1f} mV")
+    asm = encode_program(result.program(), name=result.name.lower().replace("-", "_"))
+    if args.asm_out:
+        with open(args.asm_out, "w") as handle:
+            handle.write(asm)
+        print(f"stressmark written to {args.asm_out}")
+    else:
+        print("\n" + asm)
+    return 0
+
+
+def cmd_netlist(args) -> int:
+    from repro.pdn.netlist import export_netlist
+    from repro.workloads.stressmarks import a_res_canned, stressmark_program
+
+    platform = _platform(args.chip)
+    pool = default_table().supported_on(platform.chip.extensions)
+    program = stressmark_program(a_res_canned(pool))
+    measurement = platform.measure_program(program, args.threads)
+    load = measurement.current.tile(args.periods)
+    deck = export_netlist(
+        platform.pdn, load,
+        title=f"A-Res {args.threads}T current profile on {args.chip}",
+    )
+    with open(args.out, "w") as handle:
+        handle.write(deck)
+    print(f"HSPICE deck ({len(load)} samples, "
+          f"{load.duration_s * 1e9:.0f} ns) written to {args.out}")
+    return 0
+
+
+def cmd_experiment(args) -> int:
+    try:
+        _description, runner = EXPERIMENTS[args.name]
+    except KeyError:
+        print(f"unknown experiment {args.name!r}; see 'list'", file=sys.stderr)
+        return 2
+    print(runner())
+    return 0
+
+
+def cmd_list(_args) -> int:
+    rows = [[name, description] for name, (description, _fn) in EXPERIMENTS.items()]
+    print(format_table(["experiment", "description"], rows,
+                       title="available experiments"))
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="AUDIT reproduction: di/dt stressmark generation",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sweep = sub.add_parser("sweep", help="run the resonance-frequency sweep")
+    sweep.add_argument("--chip", default="bulldozer",
+                       choices=("bulldozer", "phenom"))
+    sweep.set_defaults(fn=cmd_sweep)
+
+    audit = sub.add_parser("audit", help="run the full AUDIT closed loop")
+    audit.add_argument("--chip", default="bulldozer",
+                       choices=("bulldozer", "phenom"))
+    audit.add_argument("--threads", type=int, default=4)
+    audit.add_argument("--mode", default="resonant",
+                       choices=("resonant", "excitation"))
+    audit.add_argument("--throttle", type=int, default=None,
+                       help="enable the FPU throttle at this issue limit")
+    audit.add_argument("--population", type=int, default=16)
+    audit.add_argument("--generations", type=int, default=10)
+    audit.add_argument("--seed", type=int, default=1)
+    audit.add_argument("--asm-out", default=None,
+                       help="write the winning stressmark as NASM to a file")
+    audit.set_defaults(fn=cmd_audit)
+
+    netlist = sub.add_parser(
+        "netlist",
+        help="export an HSPICE deck of the A-Res current profile",
+    )
+    netlist.add_argument("--chip", default="bulldozer",
+                         choices=("bulldozer", "phenom"))
+    netlist.add_argument("--threads", type=int, default=4)
+    netlist.add_argument("--periods", type=int, default=40,
+                         help="loop periods of current to include")
+    netlist.add_argument("--out", default="a_res_pdn.sp")
+    netlist.set_defaults(fn=cmd_netlist)
+
+    experiment = sub.add_parser("experiment",
+                                help="regenerate one paper table/figure")
+    experiment.add_argument("name")
+    experiment.set_defaults(fn=cmd_experiment)
+
+    listing = sub.add_parser("list", help="list available experiments")
+    listing.set_defaults(fn=cmd_list)
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    try:
+        return args.fn(args)
+    except ReproError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 1
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

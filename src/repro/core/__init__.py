@@ -1,0 +1,62 @@
+"""AUDIT core: the paper's contribution — closed-loop stressmark generation.
+
+* :class:`~repro.core.platform.MeasurementPlatform` — the "Measure HW" box.
+* :class:`~repro.core.audit.AuditRunner` — the full Fig. 5 loop.
+* :mod:`~repro.core.dithering` — exact/approximate thread alignment.
+* :mod:`~repro.core.resonance` — automatic resonance detection.
+"""
+
+from repro.core.audit import AuditConfig, AuditResult, AuditRunner, StressmarkMode
+from repro.core.codegen import genome_to_kernel, genome_to_program
+from repro.core.cost import DroopPerPowerCost, MaxDroopCost, SensitivePathCost
+from repro.core.dithering import (
+    DitherSchedule,
+    alignment_sweep_cycles,
+    alignment_sweep_seconds,
+    dither_schedules,
+    droop_for_alignment,
+    encode_dithered_program,
+    visited_alignments,
+    worst_case_alignment,
+)
+from repro.core.ga import GaConfig, GaResult, GenerationStats, GeneticAlgorithm
+from repro.core.genome import GenomeSpace, StressmarkGenome
+from repro.core.platform import Measurement, MeasurementPlatform
+from repro.core.resonance import (
+    ResonancePoint,
+    ResonanceSweepResult,
+    find_resonance,
+    probe_program,
+)
+
+__all__ = [
+    "AuditConfig",
+    "AuditResult",
+    "AuditRunner",
+    "DitherSchedule",
+    "DroopPerPowerCost",
+    "GaConfig",
+    "GaResult",
+    "GenerationStats",
+    "GeneticAlgorithm",
+    "GenomeSpace",
+    "MaxDroopCost",
+    "Measurement",
+    "MeasurementPlatform",
+    "ResonancePoint",
+    "ResonanceSweepResult",
+    "SensitivePathCost",
+    "StressmarkGenome",
+    "StressmarkMode",
+    "alignment_sweep_cycles",
+    "alignment_sweep_seconds",
+    "dither_schedules",
+    "droop_for_alignment",
+    "encode_dithered_program",
+    "find_resonance",
+    "genome_to_kernel",
+    "genome_to_program",
+    "probe_program",
+    "visited_alignments",
+    "worst_case_alignment",
+]

@@ -1,0 +1,214 @@
+"""AUDIT: the full closed-loop stressmark generation framework.
+
+Ties together everything in paper Fig. 5: opcode pool filtering (adapting to
+the plugged-in processor), the resonance sweep, hierarchical sub-block code
+generation, the GA, the measurement platform, and the dithering-equivalent
+worst-case alignment — producing first-droop **resonance** stressmarks
+(A-Res) or first-droop **excitation** stressmarks (A-Ex) without manual
+intervention.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from enum import Enum
+
+from repro.errors import SearchError
+from repro.isa.kernels import LoopKernel, ThreadProgram
+from repro.isa.opcodes import OpcodeTable, default_table
+from repro.core.codegen import DEFAULT_ITERATIONS, genome_to_kernel, genome_to_program
+from repro.core.cost import MaxDroopCost
+from repro.core.ga import GaConfig, GaResult, GeneticAlgorithm
+from repro.core.genome import GenomeSpace, StressmarkGenome
+from repro.core.platform import Measurement, MeasurementPlatform
+from repro.core.resonance import ResonanceSweepResult, find_resonance
+
+
+class StressmarkMode(str, Enum):
+    """What kind of first-droop stressmark to synthesise."""
+
+    RESONANT = "resonant"
+    """Periodic HP/LP loop at the PDN resonance (A-Res)."""
+
+    EXCITATION = "excitation"
+    """Long-LP loop producing isolated low→high events (A-Ex)."""
+
+
+@dataclass(frozen=True)
+class AuditConfig:
+    """AUDIT run parameters.
+
+    ``subblock_cycles`` is K and ``replications`` is S from the paper's
+    hierarchical generation; the evolved sub-block has
+    ``K × decode_width`` instruction slots.  Setting ``replications=1`` and
+    scaling ``subblock_cycles`` up gives the flat (non-hierarchical)
+    baseline used in the Section III.C comparison.
+    """
+
+    threads: int = 4
+    mode: StressmarkMode = StressmarkMode.RESONANT
+    subblock_cycles: int = 6
+    replications: int = 3
+    ga: GaConfig = field(default_factory=GaConfig)
+    resonance_hp_count: int = 8
+    lp_sweep_step: int = 8
+
+    def __post_init__(self) -> None:
+        if self.threads < 1:
+            raise SearchError("threads must be >= 1")
+        if self.subblock_cycles < 1:
+            raise SearchError("subblock_cycles must be >= 1")
+        if self.replications < 1:
+            raise SearchError("replications must be >= 1")
+
+
+@dataclass(frozen=True)
+class AuditResult:
+    """Everything an AUDIT run produces."""
+
+    name: str
+    kernel: LoopKernel
+    genome: StressmarkGenome
+    space: GenomeSpace
+    measurement: Measurement
+    resonance: ResonanceSweepResult
+    ga_result: GaResult
+    threads: int
+
+    @property
+    def max_droop_v(self) -> float:
+        return self.measurement.max_droop_v
+
+    def program(self, iterations: int = DEFAULT_ITERATIONS) -> ThreadProgram:
+        """A runnable program of the winning stressmark."""
+        return ThreadProgram(self.kernel, iterations)
+
+
+class AuditRunner:
+    """Drives the full AUDIT loop against one measurement platform."""
+
+    def __init__(
+        self,
+        platform: MeasurementPlatform,
+        *,
+        table: OpcodeTable | None = None,
+        cost=None,
+        config: AuditConfig | None = None,
+    ):
+        self.platform = platform
+        full_table = table or default_table()
+        # Adapt the opcode pool to the processor actually plugged in
+        # (Section V.C: SM1's FMA4 ops do not run on the Phenom II).
+        self.table = full_table.supported_on(platform.chip.extensions)
+        self.cost = cost or MaxDroopCost()
+        self.config = config or AuditConfig()
+
+    # ------------------------------------------------------------------
+    def build_space(self, resonance: ResonanceSweepResult) -> GenomeSpace:
+        """Genome space sized from the machine and the detected resonance."""
+        cfg = self.config
+        slots = cfg.subblock_cycles * self.platform.chip.module.decode_width
+        period = resonance.best_period_cycles
+        if cfg.mode is StressmarkMode.RESONANT:
+            # LP range bracketing the resonant loop length generously: the
+            # GA tunes the exact length to put the period on the peak.
+            lp_min = 0
+            lp_max = max(resonance.best_lp_nops * 2,
+                         4 * period * self.platform.chip.module.decode_width // 4)
+        else:
+            # Excitation: long quiet stretch so each HP burst is isolated.
+            lp_min = period * 8
+            lp_max = period * 24
+        return GenomeSpace(
+            table=self.table,
+            slots=slots,
+            replications=cfg.replications,
+            lp_nops_min=lp_min,
+            lp_nops_max=lp_max,
+        )
+
+    def default_seeds(self, space: GenomeSpace,
+                      resonance: ResonanceSweepResult) -> list[StressmarkGenome]:
+        """Convergence-rate seeds (paper Fig. 5's 'Initial Seed Entries').
+
+        Three expert-shaped genomes: a saturated high-power block, the same
+        diluted with NOPs, and an FP+integer mix — the structures manual
+        stressmarks use.  The GA is free to discard them.
+        """
+        pipelined = [s for s in self.table
+                     if s.issue_interval <= 2 and s.energy_pj > 0]
+        if not pipelined:
+            return []
+        hot = max(pipelined, key=lambda s: s.energy_pj).mnemonic
+        int_ops = [s for s in pipelined
+                   if not s.is_fp and s.operand_class is not None]
+        alt = max(int_ops, key=lambda s: s.energy_pj).mnemonic if int_ops else hot
+        lp = int(min(max(resonance.best_lp_nops, space.lp_nops_min),
+                     space.lp_nops_max))
+        has_nop = "nop" in self.table
+        seeds = [StressmarkGenome(subblock=(hot,) * space.slots, lp_nops=lp)]
+        if has_nop:
+            seeds.append(StressmarkGenome(
+                subblock=tuple(hot if i % 2 == 0 else "nop"
+                               for i in range(space.slots)),
+                lp_nops=lp,
+            ))
+        seeds.append(StressmarkGenome(
+            subblock=tuple(hot if i % 2 == 0 else alt
+                           for i in range(space.slots)),
+            lp_nops=lp,
+        ))
+        return seeds
+
+    def _fitness(self, space: GenomeSpace):
+        threads = self.config.threads
+
+        def fitness(genome: StressmarkGenome) -> float:
+            program = genome_to_program(genome, space)
+            measurement = self.platform.measure_program(program, threads)
+            return self.cost.evaluate(measurement)
+
+        return fitness
+
+    # ------------------------------------------------------------------
+    def run(
+        self,
+        *,
+        name: str | None = None,
+        seeds: list[StressmarkGenome] | None = None,
+    ) -> AuditResult:
+        """Execute the complete AUDIT flow and return the best stressmark."""
+        cfg = self.config
+        resonance = find_resonance(
+            self.platform,
+            self.table,
+            threads=1,
+            period_candidates=list(range(8, 133, cfg.lp_sweep_step)),
+        )
+        space = self.build_space(resonance)
+        ga = GeneticAlgorithm(
+            random_fn=space.random_genome,
+            mutate_fn=lambda g, rng, rate: space.mutate(g, rng, rate=rate),
+            crossover_fn=space.crossover,
+            fitness_fn=self._fitness(space),
+            config=cfg.ga,
+        )
+        if seeds is None:
+            seeds = self.default_seeds(space, resonance)
+        ga_result = ga.run(seeds=seeds)
+        label = name or (
+            "A-Res" if cfg.mode is StressmarkMode.RESONANT else "A-Ex"
+        )
+        kernel = genome_to_kernel(ga_result.best_genome, space, name=label)
+        program = ThreadProgram(kernel, DEFAULT_ITERATIONS)
+        measurement = self.platform.measure_program(program, cfg.threads)
+        return AuditResult(
+            name=label,
+            kernel=kernel,
+            genome=ga_result.best_genome,
+            space=space,
+            measurement=measurement,
+            resonance=resonance,
+            ga_result=ga_result,
+            threads=cfg.threads,
+        )

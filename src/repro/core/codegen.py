@@ -1,0 +1,61 @@
+"""Code generation: genome → loop kernel → thread program.
+
+The CodeGen box of paper Fig. 5: expands a genome's sub-block mnemonics into
+concrete instructions (round-robin operand allocation, max-toggle data
+values), replicates the sub-block S times for the HP region, and appends the
+NOP LP region.
+"""
+
+from __future__ import annotations
+
+from repro.errors import SearchError
+from repro.isa.data_patterns import DataPattern
+from repro.isa.instruction import make_instruction
+from repro.isa.kernels import LoopKernel, ThreadProgram, build_kernel
+from repro.isa.opcodes import IClass
+from repro.isa.registers import RegisterAllocator
+from repro.core.genome import GenomeSpace, StressmarkGenome
+
+#: Default loop-trip count for generated programs (M is large; the platform
+#: only simulates to steady state anyway).
+DEFAULT_ITERATIONS = 4096
+
+
+def genome_to_kernel(
+    genome: StressmarkGenome,
+    space: GenomeSpace,
+    *,
+    name: str = "audit",
+    data: DataPattern = DataPattern.MAX_TOGGLE,
+) -> LoopKernel:
+    """Expand *genome* into a concrete loop kernel."""
+    space.validate(genome)
+    allocator = RegisterAllocator()
+    subblock = []
+    for mnemonic in genome.subblock:
+        spec = space.table.get(mnemonic)
+        if spec.iclass is IClass.NOP:
+            subblock.append(make_instruction(spec, allocator, data=data))
+        else:
+            subblock.append(make_instruction(spec, allocator, data=data))
+    nop_spec = space.table.nop
+    return build_kernel(
+        tuple(subblock),
+        replications=space.replications,
+        lp_nops=genome.lp_nops,
+        nop_spec=nop_spec,
+        name=name,
+    )
+
+
+def genome_to_program(
+    genome: StressmarkGenome,
+    space: GenomeSpace,
+    *,
+    name: str = "audit",
+    iterations: int = DEFAULT_ITERATIONS,
+) -> ThreadProgram:
+    """Expand *genome* into a runnable thread program."""
+    if iterations < 1:
+        raise SearchError("iterations must be >= 1")
+    return ThreadProgram(genome_to_kernel(genome, space, name=name), iterations)

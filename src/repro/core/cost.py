@@ -1,0 +1,73 @@
+"""Cost functions for AUDIT's GA.
+
+Paper Section III (footnote 1): "The cost function provided to AUDIT can
+vary.  Although we focus on maximizing voltage droops in this paper, other,
+more complex cost functions such as maximizing the droop while minimizing
+the average power or maximizing the droop while exercising sensitive paths
+in the microarchitecture are also feasible and easy to implement."
+
+All three are implemented here.  A cost function maps a platform
+:class:`~repro.core.platform.Measurement` to a scalar where **higher is
+better** (the GA maximises).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import SearchError
+from repro.core.platform import Measurement
+
+
+class MaxDroopCost:
+    """The paper's primary cost: the measured maximum voltage droop."""
+
+    def evaluate(self, measurement: Measurement) -> float:
+        return measurement.max_droop_v
+
+    def __repr__(self) -> str:
+        return "MaxDroopCost()"
+
+
+@dataclass(frozen=True)
+class DroopPerPowerCost:
+    """Maximise droop while minimising average power.
+
+    ``cost = droop - power_weight * mean_power`` — finds stressmarks that
+    stress the PDN without simply being power viruses.
+    """
+
+    power_weight_v_per_w: float = 1e-4
+
+    def __post_init__(self) -> None:
+        if self.power_weight_v_per_w < 0:
+            raise SearchError("power_weight must be non-negative")
+
+    def evaluate(self, measurement: Measurement) -> float:
+        return (
+            measurement.max_droop_v
+            - self.power_weight_v_per_w * measurement.mean_power_w
+        )
+
+
+@dataclass(frozen=True)
+class SensitivePathCost:
+    """Maximise droop while rewarding sensitive-path coverage.
+
+    ``cost = droop + sensitivity_weight * (max_sensitivity - 1)`` — steers
+    the GA toward instructions whose circuit paths fail at higher voltages
+    (the SM2 lesson of paper Section V.A.4).
+    """
+
+    sensitivity_weight_v: float = 0.5
+
+    def __post_init__(self) -> None:
+        if self.sensitivity_weight_v < 0:
+            raise SearchError("sensitivity_weight must be non-negative")
+
+    def evaluate(self, measurement: Measurement) -> float:
+        peak_sensitivity = float(measurement.sensitivity.max()) if len(
+            measurement.sensitivity
+        ) else 0.0
+        bonus = max(0.0, peak_sensitivity - 1.0)
+        return measurement.max_droop_v + self.sensitivity_weight_v * bonus

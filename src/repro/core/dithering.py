@@ -1,0 +1,253 @@
+"""The dithering algorithm: guaranteed worst-case thread alignment.
+
+Paper Section III.B.  A periodic stressmark of period L+H cycles running on
+C cores has a (L+H)^(C-1)-point alignment space (core 0 is the reference).
+Relying on the OS to stumble into the worst alignment (natural dithering)
+is not dependable, so AUDIT sweeps the space deterministically: core c pads
+one cycle of NOPs every M*(L+H)^(c-1) cycles, walking every alignment for at
+least M cycles each; the exact sweep costs M*(L+H)^(C-1) cycles.
+
+For many cores that is prohibitive (the paper's example: 18.35 minutes for
+8 cores), so the **approximate** variant quantises alignment to a mismatch
+tolerance of δ cycles: core c pads (δ+1) cycles every M*k^(c-1) cycles with
+k=(L+H)/(δ+1), shrinking the sweep to M*k^(C-1) cycles (67 ms in the same
+example).
+
+This module provides the cost model, the padding schedules, and sweep
+evaluation over measured periodic voltage responses.  For identical
+periodic waveforms the fully aligned point is provably the worst case
+(min-of-sum >= sum-of-mins, with equality at alignment), which the
+exhaustive sweep test verifies — and which lets the measurement platform
+use the aligned configuration as the dithering result directly.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import SearchError
+
+
+def _validated(cores: int, period_cycles: int, m_cycles: int, delta: int) -> int:
+    if cores < 1:
+        raise SearchError("cores must be >= 1")
+    if period_cycles < 1:
+        raise SearchError("period must be >= 1 cycle")
+    if m_cycles < 1:
+        raise SearchError("M (resonance build/sustain cycles) must be >= 1")
+    if delta < 0:
+        raise SearchError("delta must be >= 0")
+    if delta > 0 and period_cycles % (delta + 1) != 0:
+        raise SearchError(
+            "the approximate algorithm requires (L+H) to be a multiple of "
+            f"(delta+1); got period {period_cycles} with delta {delta}"
+        )
+    return period_cycles // (delta + 1)
+
+
+def alignment_sweep_cycles(
+    *,
+    cores: int,
+    period_cycles: int,
+    m_cycles: int,
+    delta: int = 0,
+) -> int:
+    """Cycles to traverse the whole alignment space.
+
+    ``delta=0`` is the exact algorithm: M*(L+H)^(C-1).  ``delta>0`` is the
+    approximate one: M*((L+H)/(δ+1))^(C-1).
+    """
+    k = _validated(cores, period_cycles, m_cycles, delta)
+    return m_cycles * k ** (cores - 1)
+
+
+def alignment_sweep_seconds(
+    *,
+    cores: int,
+    period_cycles: int,
+    m_cycles: int,
+    frequency_hz: float,
+    delta: int = 0,
+) -> float:
+    """Wall-clock time of the alignment sweep at *frequency_hz*."""
+    if frequency_hz <= 0:
+        raise SearchError("frequency must be positive")
+    cycles = alignment_sweep_cycles(
+        cores=cores, period_cycles=period_cycles, m_cycles=m_cycles, delta=delta
+    )
+    return cycles / frequency_hz
+
+
+@dataclass(frozen=True)
+class DitherSchedule:
+    """NOP-padding schedule for one core.
+
+    Core *core_index* inserts ``pad_cycles`` cycles of NOPs every
+    ``interval_cycles`` cycles; core 0 never pads (the reference).
+    """
+
+    core_index: int
+    pad_cycles: int
+    interval_cycles: int
+
+    def phase_at(self, cycle: int, period_cycles: int) -> int:
+        """This core's accumulated misalignment at absolute *cycle*."""
+        if self.interval_cycles == 0:
+            return 0
+        pads = cycle // self.interval_cycles
+        return (pads * self.pad_cycles) % period_cycles
+
+
+def dither_schedules(
+    *,
+    cores: int,
+    period_cycles: int,
+    m_cycles: int,
+    delta: int = 0,
+) -> list[DitherSchedule]:
+    """Padding schedules for all cores (paper Section III.B procedure).
+
+    Core 0: no padding.  Core c >= 1: (δ+1) cycles of NOP padding every
+    M*k^(c-1) cycles, k = (L+H)/(δ+1).
+    """
+    k = _validated(cores, period_cycles, m_cycles, delta)
+    schedules = [DitherSchedule(core_index=0, pad_cycles=0, interval_cycles=0)]
+    for c in range(1, cores):
+        schedules.append(
+            DitherSchedule(
+                core_index=c,
+                pad_cycles=delta + 1,
+                interval_cycles=m_cycles * k ** (c - 1),
+            )
+        )
+    return schedules
+
+
+def visited_alignments(
+    schedules: list[DitherSchedule],
+    *,
+    period_cycles: int,
+    total_cycles: int,
+    sample_every: int,
+) -> set[tuple[int, ...]]:
+    """Alignment vectors the schedule passes through (for verification).
+
+    Samples the accumulated phases every *sample_every* cycles over
+    *total_cycles* and returns the set of visited (x_1 … x_{C-1}) vectors.
+    """
+    if sample_every < 1:
+        raise SearchError("sample_every must be >= 1")
+    seen: set[tuple[int, ...]] = set()
+    for cycle in range(0, total_cycles, sample_every):
+        seen.add(
+            tuple(
+                s.phase_at(cycle, period_cycles)
+                for s in schedules
+                if s.core_index > 0
+            )
+        )
+    return seen
+
+
+def encode_dithered_program(
+    program,
+    schedule: DitherSchedule,
+    *,
+    name: str = "dithered",
+    outer_iterations: int = 64,
+    decode_width: int = 4,
+) -> str:
+    """Emit NASM for one core of the dithering run.
+
+    The inner loop executes the stressmark for ``M`` iterations (the
+    schedule's interval worth of work); after each inner run the core pads
+    ``pad_cycles`` cycles of NOPs, advancing its alignment by one step —
+    the literal Section III.B procedure.  Core 0 (``pad_cycles == 0``)
+    reduces to the plain stressmark loop.
+
+    The outer counter lives in memory (``[rsp - 128]``) because every
+    scratch register is owned by the kernel or the inner loop counter.
+    """
+    from repro.isa.encoder import encode_program
+    from repro.isa.kernels import ThreadProgram
+
+    if schedule.pad_cycles == 0:
+        return encode_program(program, name=name)
+    if outer_iterations < 1:
+        raise SearchError("outer_iterations must be >= 1")
+
+    body_len = len(program.kernel.body) + 1  # + loop close
+    inner_iterations = max(1, schedule.interval_cycles // max(1, body_len))
+    inner = ThreadProgram(program.kernel, inner_iterations)
+    base = encode_program(inner, name=name)
+
+    # Wrap the emitted inner loop in the padding outer loop.
+    lines = base.splitlines()
+    loop_start = next(i for i, l in enumerate(lines)
+                      if l.strip().startswith("mov rcx,"))
+    end = next(i for i, l in enumerate(lines) if l.strip() == "; exit(0)")
+    head, inner_body, tail = lines[:loop_start], lines[loop_start:end], lines[end:]
+
+    padded = head[:]
+    padded.append(f"    mov qword [rsp - 128], {outer_iterations}")
+    padded.append(f"{name}_outer:")
+    padded.extend(inner_body)
+    padded.append(f"    ; --- dither padding: {schedule.pad_cycles} cycle(s) ---")
+    padded.extend("    nop" for _ in range(schedule.pad_cycles * decode_width))
+    padded.append("    dec qword [rsp - 128]")
+    padded.append(f"    jnz {name}_outer")
+    padded.extend(tail)
+    return "\n".join(padded) + ("\n" if not padded[-1].endswith("\n") else "")
+
+
+def droop_for_alignment(
+    response_v: np.ndarray,
+    offsets: tuple[int, ...] | list[int],
+    *,
+    vdd: float,
+) -> float:
+    """Droop (positive volts) of C identical periodic voltage responses.
+
+    *response_v* is the steady-state voltage waveform one core's periodic
+    activity produces (one period, in volts); the supply deviation of C
+    superposed cores at circular offsets ``(0, x_1, …, x_{C-1})`` adds
+    linearly, so the combined waveform is the sum of rolls.
+    """
+    response = np.asarray(response_v, dtype=np.float64)
+    deviation = response - vdd
+    total = deviation.copy()
+    for offset in offsets:
+        total += np.roll(deviation, offset)
+    return float(max(0.0, -(total.min())))
+
+
+def worst_case_alignment(
+    response_v: np.ndarray,
+    *,
+    cores: int,
+    vdd: float,
+    delta: int = 0,
+) -> tuple[tuple[int, ...], float]:
+    """Exhaustively sweep the (quantised) alignment space for the worst droop.
+
+    This is the software analogue of physically running the dithering
+    sweep and keeping the scope's worst capture.  Exponential in core
+    count — use only for small cores/periods (exactly the regime where the
+    paper uses the exact algorithm).
+    """
+    response = np.asarray(response_v, dtype=np.float64)
+    period = len(response)
+    _validated(cores, period, 1, delta)
+    step = delta + 1
+    grid = range(0, period, step)
+    worst_offsets: tuple[int, ...] = tuple([0] * (cores - 1))
+    worst_droop = -1.0
+    for offsets in itertools.product(grid, repeat=cores - 1):
+        droop = droop_for_alignment(response, offsets, vdd=vdd)
+        if droop > worst_droop:
+            worst_droop = droop
+            worst_offsets = offsets
+    return worst_offsets, worst_droop

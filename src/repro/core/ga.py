@@ -1,0 +1,174 @@
+"""Generic genetic-algorithm engine.
+
+The GA of paper Fig. 5: a population of candidates is evaluated by a cost
+function (measured droop), and survivors are refined by tournament
+selection, uniform crossover, and mutation until the exit condition — a
+generation budget or droop stagnation ("the maximum voltage droop produced
+by AUDIT does not increase for several generations") — is met.
+
+The engine is genome-agnostic: callers provide ``random_fn``/``mutate_fn``/
+``crossover_fn`` plus a fitness function (higher is better).  Fitness values
+are memoised by genome, so re-evaluating survivors costs nothing — on the
+paper's testbed every evaluation is a multi-second hardware measurement, and
+here it is a pipeline + PDN simulation, so the cache matters in both worlds.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Generic, Hashable, TypeVar
+
+import numpy as np
+
+from repro.errors import SearchError
+
+G = TypeVar("G", bound=Hashable)
+
+
+@dataclass(frozen=True)
+class GaConfig:
+    """GA hyper-parameters and exit conditions."""
+
+    population_size: int = 24
+    generations: int = 40
+    tournament_size: int = 3
+    crossover_rate: float = 0.9
+    mutation_rate: float = 0.08
+    elite_count: int = 2
+    stagnation_patience: int = 12
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.population_size < 2:
+            raise SearchError("population_size must be >= 2")
+        if self.generations < 1:
+            raise SearchError("generations must be >= 1")
+        if not 2 <= self.tournament_size <= self.population_size:
+            raise SearchError("tournament_size must be in [2, population_size]")
+        if not 0.0 <= self.crossover_rate <= 1.0:
+            raise SearchError("crossover_rate must be in [0, 1]")
+        if not 0.0 <= self.mutation_rate <= 1.0:
+            raise SearchError("mutation_rate must be in [0, 1]")
+        if not 0 <= self.elite_count < self.population_size:
+            raise SearchError("elite_count must be in [0, population_size)")
+        if self.stagnation_patience < 1:
+            raise SearchError("stagnation_patience must be >= 1")
+
+
+@dataclass(frozen=True)
+class GenerationStats:
+    """Progress record for one generation."""
+
+    generation: int
+    best_fitness: float
+    mean_fitness: float
+    evaluations_so_far: int
+
+
+@dataclass(frozen=True)
+class GaResult(Generic[G]):
+    """Outcome of one GA run."""
+
+    best_genome: G
+    best_fitness: float
+    history: tuple[GenerationStats, ...]
+    evaluations: int
+    stopped_early: bool
+
+
+class GeneticAlgorithm(Generic[G]):
+    """Tournament-selection GA with elitism and fitness memoisation."""
+
+    def __init__(
+        self,
+        *,
+        random_fn: Callable[[np.random.Generator], G],
+        mutate_fn: Callable[[G, np.random.Generator, float], G],
+        crossover_fn: Callable[[G, G, np.random.Generator], G],
+        fitness_fn: Callable[[G], float],
+        config: GaConfig,
+    ):
+        self._random_fn = random_fn
+        self._mutate_fn = mutate_fn
+        self._crossover_fn = crossover_fn
+        self._fitness_fn = fitness_fn
+        self.config = config
+        self._cache: dict[G, float] = {}
+        self._evaluations = 0
+
+    # ------------------------------------------------------------------
+    def _fitness(self, genome: G) -> float:
+        value = self._cache.get(genome)
+        if value is None:
+            value = float(self._fitness_fn(genome))
+            self._cache[genome] = value
+            self._evaluations += 1
+        return value
+
+    def _tournament(self, population: list[G], rng: np.random.Generator) -> G:
+        indices = rng.integers(0, len(population), size=self.config.tournament_size)
+        best = max((population[int(i)] for i in indices), key=self._fitness)
+        return best
+
+    # ------------------------------------------------------------------
+    def run(self, *, seeds: list[G] | None = None) -> GaResult[G]:
+        """Run to the generation budget or until droop stagnates.
+
+        ``seeds`` pre-populate the initial generation (paper Fig. 5's
+        "Initial Seed Entries" — existing benchmarks or stressmarks that
+        speed up convergence).
+        """
+        cfg = self.config
+        rng = np.random.default_rng(cfg.seed)
+        population: list[G] = list(seeds or [])[: cfg.population_size]
+        while len(population) < cfg.population_size:
+            population.append(self._random_fn(rng))
+
+        history: list[GenerationStats] = []
+        best_genome = max(population, key=self._fitness)
+        best_fitness = self._fitness(best_genome)
+        stale = 0
+        stopped_early = False
+
+        for generation in range(cfg.generations):
+            scores = [self._fitness(g) for g in population]
+            gen_best = max(scores)
+            if gen_best > best_fitness + 1e-12:
+                best_fitness = gen_best
+                best_genome = population[int(np.argmax(scores))]
+                stale = 0
+            else:
+                stale += 1
+            history.append(
+                GenerationStats(
+                    generation=generation,
+                    best_fitness=best_fitness,
+                    mean_fitness=float(np.mean(scores)),
+                    evaluations_so_far=self._evaluations,
+                )
+            )
+            if stale >= cfg.stagnation_patience:
+                stopped_early = True
+                break
+
+            # Breed the next generation.
+            elites = sorted(population, key=self._fitness, reverse=True)
+            next_population: list[G] = elites[: cfg.elite_count]
+            while len(next_population) < cfg.population_size:
+                parent_a = self._tournament(population, rng)
+                if rng.random() < cfg.crossover_rate:
+                    parent_b = self._tournament(population, rng)
+                    child = self._crossover_fn(parent_a, parent_b, rng)
+                else:
+                    child = parent_a
+                child = self._mutate_fn(child, rng, cfg.mutation_rate)
+                next_population.append(child)
+            population = next_population
+
+        return GaResult(
+            best_genome=best_genome,
+            best_fitness=best_fitness,
+            history=tuple(history),
+            evaluations=self._evaluations,
+            stopped_early=stopped_early,
+        )

@@ -1,0 +1,133 @@
+"""Stressmark genome: what AUDIT's GA actually searches.
+
+Following the paper's hierarchical generation (Section III.C), a candidate
+stressmark is:
+
+* a **sub-block** of instruction slots (K cycles × machine issue width),
+  each slot holding one mnemonic from the opcode pool (NOP included — the
+  GA is free to sprinkle NOPs into the high-power region, and on the
+  evaluated machine that is precisely what wins, Section V.A.5);
+* a replication count S (fixed per search, not evolved): the HP region is
+  the sub-block repeated S times;
+* the **LP-region length** in NOPs, evolved so the loop period lands on the
+  PDN resonance.
+
+Genomes are immutable and hashable so fitness results can be memoised.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import SearchError
+from repro.isa.opcodes import OpcodeTable
+
+
+@dataclass(frozen=True)
+class StressmarkGenome:
+    """One candidate stressmark (sub-block mnemonics + LP length)."""
+
+    subblock: tuple[str, ...]
+    lp_nops: int
+
+    def __post_init__(self) -> None:
+        if not self.subblock:
+            raise SearchError("genome needs at least one sub-block slot")
+        if self.lp_nops < 0:
+            raise SearchError("lp_nops must be non-negative")
+
+
+@dataclass(frozen=True)
+class GenomeSpace:
+    """The search space: opcode pool, sub-block shape, LP bounds.
+
+    ``slots`` is K × issue-width; ``replications`` is S.  The genetic
+    operators (random / mutate / crossover) all live here so the GA engine
+    can stay genome-agnostic.
+    """
+
+    table: OpcodeTable
+    slots: int
+    replications: int
+    lp_nops_min: int
+    lp_nops_max: int
+
+    def __post_init__(self) -> None:
+        if self.slots < 1:
+            raise SearchError("slots must be >= 1")
+        if self.replications < 1:
+            raise SearchError("replications must be >= 1")
+        if not 0 <= self.lp_nops_min <= self.lp_nops_max:
+            raise SearchError("need 0 <= lp_nops_min <= lp_nops_max")
+        if len(self.table) == 0:
+            raise SearchError("opcode pool is empty")
+
+    @property
+    def pool(self) -> tuple[str, ...]:
+        return self.table.mnemonics
+
+    def validate(self, genome: StressmarkGenome) -> None:
+        """Raise unless *genome* belongs to this space."""
+        if len(genome.subblock) != self.slots:
+            raise SearchError(
+                f"genome has {len(genome.subblock)} slots, space wants {self.slots}"
+            )
+        unknown = set(genome.subblock) - set(self.pool)
+        if unknown:
+            raise SearchError(f"genome uses opcodes outside the pool: {sorted(unknown)}")
+        if not self.lp_nops_min <= genome.lp_nops <= self.lp_nops_max:
+            raise SearchError("genome lp_nops outside the space bounds")
+
+    # ------------------------------------------------------------------
+    # Genetic operators
+    # ------------------------------------------------------------------
+    def random_genome(self, rng: np.random.Generator) -> StressmarkGenome:
+        """A uniformly random genome (the GA's initial population)."""
+        subblock = tuple(
+            self.pool[int(i)]
+            for i in rng.integers(0, len(self.pool), size=self.slots)
+        )
+        lp = int(rng.integers(self.lp_nops_min, self.lp_nops_max + 1))
+        return StressmarkGenome(subblock=subblock, lp_nops=lp)
+
+    def mutate(
+        self,
+        genome: StressmarkGenome,
+        rng: np.random.Generator,
+        *,
+        rate: float = 0.08,
+    ) -> StressmarkGenome:
+        """Per-slot mutation plus a random walk on the LP length."""
+        if not 0.0 <= rate <= 1.0:
+            raise SearchError("mutation rate must be in [0, 1]")
+        slots = list(genome.subblock)
+        for i in range(len(slots)):
+            if rng.random() < rate:
+                slots[i] = self.pool[int(rng.integers(0, len(self.pool)))]
+        lp = genome.lp_nops
+        if rng.random() < rate * 4:
+            span = max(1, (self.lp_nops_max - self.lp_nops_min) // 8)
+            lp = int(np.clip(
+                lp + rng.integers(-span, span + 1),
+                self.lp_nops_min,
+                self.lp_nops_max,
+            ))
+        return StressmarkGenome(subblock=tuple(slots), lp_nops=lp)
+
+    def crossover(
+        self,
+        a: StressmarkGenome,
+        b: StressmarkGenome,
+        rng: np.random.Generator,
+    ) -> StressmarkGenome:
+        """Uniform crossover of slots; LP length from a random parent."""
+        self.validate(a)
+        self.validate(b)
+        mask = rng.random(self.slots) < 0.5
+        slots = tuple(
+            a.subblock[i] if mask[i] else b.subblock[i] for i in range(self.slots)
+        )
+        lp = a.lp_nops if rng.random() < 0.5 else b.lp_nops
+        return StressmarkGenome(subblock=slots, lp_nops=lp)

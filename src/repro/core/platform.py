@@ -1,0 +1,398 @@
+"""The measurement platform: AUDIT's closed-loop "Measure HW" box.
+
+This is the only place where AUDIT touches the machine (paper Fig. 5): a
+candidate stressmark goes in, a voltage measurement comes out.  On the
+paper's testbed that box is a processor board plus an oscilloscope; here it
+is the chip model (:mod:`repro.uarch`) feeding the PDN solver
+(:mod:`repro.pdn`).  Swapping this class for one that runs NASM output on
+real silicon would reproduce the paper's hardware path unchanged — nothing
+above this layer knows which backend it is talking to.
+
+Measurement strategy
+--------------------
+
+Stressmark loops reach a steady periodic state; the platform extracts the
+verified per-period activity profile from the module simulator and evaluates
+the PDN's *exact periodic steady state* — the droop after the resonance has
+fully built up (M iterations in the paper's notation).  Thread/module phase
+offsets are applied by rolling the periodic profiles, which is what makes
+dithering sweeps and GA fitness cheap.  Runs that never become periodic
+(e.g. heterogeneous threads fighting over the shared FPU) fall back to a
+long time-domain transient.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import ConfigurationError, MeasurementError
+from repro.isa.kernels import ThreadProgram
+from repro.osmodel.affinity import spread_placement
+from repro.pdn.elements import PdnParameters
+from repro.pdn.network import PdnNetwork
+from repro.pdn.transient import TransientSolver, VoltageTrace
+from repro.power.trace import CurrentTrace
+from repro.uarch.chip import ChipSimulator
+from repro.uarch.config import ChipConfig
+
+#: Iterations simulated per module run: enough for any kernel that will
+#: stabilise to do so and leave >= 3 repetitions for verification.
+DEFAULT_WARMUP_ITERATIONS = 48
+
+#: Cycles of idle machine prepended on the transient fallback path.
+IDLE_PAD_CYCLES = 512
+
+#: Periods of steady activity tiled on the transient fallback path.
+FALLBACK_TILE_CYCLES = 20_000
+
+
+@dataclass(frozen=True)
+class Measurement:
+    """One platform measurement of a running program or workload."""
+
+    voltage: VoltageTrace
+    sensitivity: np.ndarray
+    current: CurrentTrace
+    period_cycles: int | None
+    supply_v: float
+    iteration_cycles: float | None = None
+    """Average cycles per loop iteration (may be fractional); the loop's
+    fundamental repetition rate.  ``period_cycles`` is the exactly-repeating
+    activity window, which can span several iterations."""
+
+    @property
+    def max_droop_v(self) -> float:
+        return self.voltage.max_droop_v
+
+    @property
+    def max_overshoot_v(self) -> float:
+        return self.voltage.max_overshoot_v
+
+    @property
+    def mean_current_a(self) -> float:
+        return self.current.mean_a
+
+    @property
+    def mean_power_w(self) -> float:
+        return self.mean_current_a * self.supply_v
+
+    @property
+    def steady_frequency_hz(self) -> float | None:
+        """Fundamental (per-iteration) frequency of the activity, if periodic."""
+        if self.iteration_cycles is not None:
+            return 1.0 / (self.iteration_cycles * self.current.dt)
+        if self.period_cycles is None:
+            return None
+        return 1.0 / (self.period_cycles * self.current.dt)
+
+
+class MeasurementPlatform:
+    """Closed-loop measurement of programs on a chip + PDN testbed."""
+
+    def __init__(
+        self,
+        chip: ChipConfig,
+        pdn: PdnParameters,
+        *,
+        warmup_iterations: int = DEFAULT_WARMUP_ITERATIONS,
+    ):
+        if abs(pdn.vdd_nominal - chip.vdd) > 1e-9:
+            raise ConfigurationError(
+                "PDN nominal voltage must match the chip supply "
+                f"({pdn.vdd_nominal} != {chip.vdd})"
+            )
+        if warmup_iterations < 8:
+            raise ConfigurationError("warmup_iterations must be >= 8")
+        self.chip = chip
+        self.pdn = pdn
+        self.warmup_iterations = warmup_iterations
+        self.chip_sim = ChipSimulator(chip)
+        self._solvers: dict[float, TransientSolver] = {}
+
+    # ------------------------------------------------------------------
+    # Solvers per supply voltage (failure sweeps reuse module simulations)
+    # ------------------------------------------------------------------
+    def solver_at(self, supply_v: float) -> TransientSolver:
+        solver = self._solvers.get(supply_v)
+        if solver is None:
+            params = PdnParameters(
+                vdd_nominal=supply_v,
+                board=self.pdn.board,
+                package=self.pdn.package,
+                die=self.pdn.die,
+                load_line_ohm=self.pdn.load_line_ohm,
+            )
+            solver = TransientSolver(PdnNetwork(params), self.chip.cycle_time_s)
+            self._solvers[supply_v] = solver
+        return solver
+
+    def _current_from_energy(
+        self, energy_pj: np.ndarray, *, active_threads: int, supply_v: float
+    ) -> np.ndarray:
+        """Per-cycle module current at an arbitrary supply voltage.
+
+        Lower supply means more current for the same switching energy —
+        the feedback that deepens droops as the failure sweep descends.
+        """
+        p = self.chip.power
+        dynamic = (
+            np.asarray(energy_pj, dtype=np.float64)
+            * 1e-12
+            / (supply_v * self.chip.cycle_time_s)
+        )
+        clock = np.full_like(dynamic, active_threads * p.idle_clock_a)
+        gated = active_threads * p.idle_clock_a * (1.0 - p.clock_gating_efficiency)
+        clock[dynamic == 0.0] = gated
+        return active_threads * p.leakage_a + clock + dynamic
+
+    def _idle_module_current(self) -> float:
+        return self.chip_sim.idle_module_current()
+
+    # ------------------------------------------------------------------
+    # Program measurement
+    # ------------------------------------------------------------------
+    def measure_program(
+        self,
+        program: ThreadProgram,
+        threads: int,
+        *,
+        module_phases: list[int] | None = None,
+        supply_v: float | None = None,
+        smt_phase_cycles: int | None = None,
+    ) -> Measurement:
+        """Measure a homogeneous *threads*-way run of *program*.
+
+        Threads are placed by the paper's spread-first policy.
+        ``module_phases`` circularly shifts each module's periodic activity
+        (the dithering alignment vector; default all-aligned, which is the
+        dithering algorithm's guaranteed worst case for identical modules).
+        ``supply_v`` re-measures at a reduced supply for failure sweeps.
+
+        When a module runs **two** SMT threads, the second starts
+        ``smt_phase_cycles`` after the first (default: half the thread's
+        solo loop period).  Dithering aligns *modules*, not SMT siblings —
+        the paper's 8T runs show exactly this: shared-FPU interference
+        "shifts the loop lengths, making it difficult to align the first
+        droop excitation across the threads" (Section V.A.2).  Pass 0 to
+        force lockstep siblings.
+        """
+        supply = self.chip.vdd if supply_v is None else supply_v
+        if supply <= 0:
+            raise ConfigurationError("supply voltage must be positive")
+        counts = spread_placement(self.chip, threads)
+        traces = []
+        for count in counts:
+            if count == 0:
+                traces.append(None)
+            else:
+                programs = self._module_programs(program, count, smt_phase_cycles)
+                traces.append(
+                    self.chip_sim.run_module(
+                        programs, max_iterations=self.warmup_iterations
+                    )
+                )
+        phases = module_phases or [0] * self.chip.module_count
+        if len(phases) != self.chip.module_count:
+            raise MeasurementError("one phase per module required")
+
+        profiles = []
+        for trace in traces:
+            if trace is None:
+                profiles.append(None)
+                continue
+            profiles.append(trace.periodic_profile())
+
+        active = [
+            (trace, profile, counts[i], phases[i])
+            for i, (trace, profile) in enumerate(zip(traces, profiles))
+            if trace is not None
+        ]
+        periods = {p[1][2] for p in active if p[1] is not None}
+        all_periodic = all(p[1] is not None for p in active) and len(periods) == 1
+        iteration_cycles = active[0][0].steady_period(0) if active else None
+        smt = any(count == 2 for count in counts)
+        if all_periodic and not smt:
+            return self._measure_periodic(active, supply, iteration_cycles)
+        if all_periodic and smt:
+            return self._measure_jittered(active, supply, iteration_cycles)
+        return self._measure_transient(active, supply)
+
+    def _module_programs(
+        self,
+        program: ThreadProgram,
+        count: int,
+        smt_phase_cycles: int | None,
+    ) -> tuple[ThreadProgram, ...]:
+        """Programs for one module, applying the natural SMT phase offset."""
+        if count == 1:
+            return (program,)
+        if smt_phase_cycles is None:
+            # The natural misalignment of SMT siblings: half the period the
+            # loop actually runs at when both threads share the module
+            # (probed with a lockstep pair; memoised, so this costs one
+            # extra simulation per distinct kernel).
+            pair = self.chip_sim.run_module(
+                (program, program), max_iterations=self.warmup_iterations
+            )
+            period = pair.steady_period(0)
+            smt_phase_cycles = int(round(period / 2)) if period else 0
+        return (program,) + tuple(
+            program.with_phase(program.phase_cycles + smt_phase_cycles)
+            for _ in range(count - 1)
+        )
+
+    def _measure_periodic(self, active, supply: float,
+                          iteration_cycles: float | None) -> Measurement:
+        period = active[0][1][2]
+        idle_count = self.chip.module_count - len(active)
+        total_current = np.full(period, idle_count * self._idle_module_current())
+        total_sens = np.zeros(period)
+        for _trace, (energy, sens, _p), count, phase in active:
+            current = self._current_from_energy(
+                energy, active_threads=count, supply_v=supply
+            )
+            total_current += np.roll(current, phase)
+            np.maximum(total_sens, np.roll(sens, phase), out=total_sens)
+        trace = CurrentTrace(total_current, self.chip.cycle_time_s)
+        voltage = self.solver_at(supply).steady_state_periodic(trace)
+        return Measurement(
+            voltage=voltage,
+            sensitivity=total_sens,
+            current=trace,
+            period_cycles=period,
+            supply_v=supply,
+            iteration_cycles=iteration_cycles,
+        )
+
+    #: Loop repetitions simulated on the jittered (SMT-interference) path.
+    JITTER_REPETITIONS = 80
+
+    #: Per-repetition phase random-walk step bound (cycles), the modelled
+    #: magnitude of shared-FPU loop-length perturbation.
+    JITTER_STEP_CYCLES = 2
+
+    def _measure_jittered(self, active, supply: float,
+                          iteration_cycles: float | None) -> Measurement:
+        """SMT-pair measurement: loop phase wanders, resonance decoheres.
+
+        Paper Section V.A.2: with two threads per module the shared FPU
+        "shifts the loop lengths, making it difficult ... to oscillate at
+        the resonant frequency".  Each module's periodic profile is tiled
+        with a per-repetition phase random walk (independent per module)
+        and the result is integrated in the time domain — spectral energy
+        spreads off the resonance peak exactly as on hardware.
+        """
+        period = active[0][1][2]
+        reps = self.JITTER_REPETITIONS
+        idle_count = self.chip.module_count - len(active)
+        idle_level = idle_count * self._idle_module_current()
+        length = reps * period
+        total_current = np.full(length, idle_level)
+        total_sens = np.zeros(length)
+        rng = np.random.default_rng(0xD17D7)
+        for index, (_trace, (energy, sens, _p), count, phase) in enumerate(active):
+            current = self._current_from_energy(
+                energy, active_threads=count, supply_v=supply
+            )
+            steps = rng.integers(
+                -self.JITTER_STEP_CYCLES, self.JITTER_STEP_CYCLES + 1, size=reps
+            )
+            offsets = phase + np.cumsum(steps)
+            module_current = np.concatenate(
+                [np.roll(current, int(off)) for off in offsets]
+            )
+            module_sens = np.concatenate(
+                [np.roll(sens, int(off)) for off in offsets]
+            )
+            total_current += module_current
+            np.maximum(total_sens, module_sens, out=total_sens)
+        trace = CurrentTrace(total_current, self.chip.cycle_time_s)
+        voltage = self.solver_at(supply).simulate(
+            trace, baseline_current_a=float(total_current.mean())
+        )
+        return Measurement(
+            voltage=voltage,
+            sensitivity=total_sens,
+            current=trace,
+            period_cycles=period,
+            supply_v=supply,
+            iteration_cycles=iteration_cycles,
+        )
+
+    def _measure_transient(self, active, supply: float) -> Measurement:
+        idle_count = self.chip.module_count - len(active)
+        idle_level = idle_count * self._idle_module_current()
+        length = IDLE_PAD_CYCLES + max(
+            min(FALLBACK_TILE_CYCLES, trace.cycles * 4) for trace, *_ in active
+        )
+        total_current = np.full(length, idle_level)
+        total_sens = np.zeros(length)
+        per_module_idle = self._idle_module_current()
+        for trace, _profile, count, phase in active:
+            current = self._current_from_energy(
+                trace.energy_pj, active_threads=count, supply_v=supply
+            )
+            sens = trace.sensitivity
+            start = IDLE_PAD_CYCLES + phase
+            # Tile the raw run (it may not be periodic) to fill the window.
+            filled = 0
+            while start + filled < length:
+                take = min(len(current), length - start - filled)
+                total_current[start + filled : start + filled + take] += current[:take]
+                window = total_sens[start + filled : start + filled + take]
+                np.maximum(window, sens[:take], out=window)
+                filled += take
+            total_current[:start] += per_module_idle
+        current_trace = CurrentTrace(total_current, self.chip.cycle_time_s)
+        voltage = self.solver_at(supply).simulate(
+            current_trace,
+            baseline_current_a=self.chip.module_count * per_module_idle,
+        )
+        return Measurement(
+            voltage=voltage,
+            sensitivity=total_sens,
+            current=current_trace,
+            period_cycles=None,
+            supply_v=supply,
+        )
+
+    # ------------------------------------------------------------------
+    # Raw-trace measurement (synthetic workloads)
+    # ------------------------------------------------------------------
+    def measure_current(
+        self,
+        current: CurrentTrace,
+        *,
+        sensitivity: np.ndarray | None = None,
+        supply_v: float | None = None,
+        baseline_current_a: float | None = None,
+    ) -> Measurement:
+        """Measure an externally generated chip-current waveform.
+
+        Used by the synthetic benchmark models, whose activity is produced
+        statistically rather than by the pipeline scheduler.
+        """
+        supply = self.chip.vdd if supply_v is None else supply_v
+        if abs(current.dt - self.chip.cycle_time_s) > 1e-18:
+            raise MeasurementError("current trace dt must match the chip clock")
+        baseline = (
+            current.samples[0] if baseline_current_a is None else baseline_current_a
+        )
+        voltage = self.solver_at(supply).simulate(
+            current, baseline_current_a=baseline
+        )
+        sens = (
+            np.ones(len(current)) if sensitivity is None else
+            np.asarray(sensitivity, dtype=np.float64)
+        )
+        if len(sens) != len(current):
+            raise MeasurementError("sensitivity length must match the current trace")
+        return Measurement(
+            voltage=voltage,
+            sensitivity=sens,
+            current=current,
+            period_cycles=None,
+            supply_v=supply,
+        )

@@ -1,0 +1,39 @@
+"""Exception hierarchy for the AUDIT reproduction library.
+
+All errors raised by :mod:`repro` derive from :class:`ReproError`, so callers
+can catch library failures without catching unrelated bugs.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro library."""
+
+
+class ConfigurationError(ReproError):
+    """A component was configured with inconsistent or out-of-range values."""
+
+
+class IsaError(ReproError):
+    """Invalid instruction, operand, or kernel construction."""
+
+
+class SchedulingError(ReproError):
+    """The pipeline scheduler could not place an instruction stream."""
+
+
+class PdnError(ReproError):
+    """Power-distribution-network model construction or simulation failed."""
+
+
+class MeasurementError(ReproError):
+    """An oscilloscope / measurement operation was misused."""
+
+
+class SearchError(ReproError):
+    """A GA / AUDIT search was configured or driven incorrectly."""
+
+
+class WorkloadError(ReproError):
+    """A benchmark or stressmark definition is invalid."""

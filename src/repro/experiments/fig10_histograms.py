@@ -1,0 +1,103 @@
+"""Fig. 10: frequency of droop events — Vdd histograms.
+
+Histograms of sampled supply voltage for zeusmp, SM1, and A-Res (the paper
+uses 8 M scope samples each).  The three characteristic shapes:
+
+* **zeusmp** — least variation, tight around nominal;
+* **SM1** — mass at nominal with a long two-sided tail (occasional
+  resonant regions plus excitation events);
+* **A-Res** — the opposite: the bulk of samples sits near the worst-case
+  droop, because the loop *lives* at the resonance.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.analysis.report import format_table
+from repro.core.platform import MeasurementPlatform
+from repro.isa.opcodes import OpcodeTable
+from repro.measure.droop import DroopHistogram
+from repro.workloads.runner import run_workload
+from repro.workloads.spec import spec_model
+from repro.workloads.stressmarks import a_res_canned, sm1, stressmark_program
+
+
+@dataclass(frozen=True)
+class Fig10Result:
+    histograms: dict  # name -> DroopHistogram
+
+    def spread(self, name: str) -> float:
+        return self.histograms[name].spread_v()
+
+    def modal_offset(self, name: str) -> float:
+        """Nominal minus modal voltage: where the probability mass sits."""
+        hist = self.histograms[name]
+        return hist.vdd_nominal - hist.modal_voltage
+
+
+def _stressmark_long_capture(
+    platform: MeasurementPlatform,
+    kernel,
+    threads: int,
+    total_cycles: int,
+) -> np.ndarray:
+    """A long Vdd capture of a stressmark by tiling its periodic waveform."""
+    measurement = platform.measure_program(stressmark_program(kernel), threads)
+    period_samples = measurement.voltage.samples
+    reps = max(1, total_cycles // len(period_samples))
+    return np.tile(period_samples, reps)
+
+
+def run_fig10(
+    platform: MeasurementPlatform,
+    table: OpcodeTable,
+    *,
+    threads: int = 4,
+    samples: int = 2_000_000,
+    bins: int = 120,
+    seed: int = 10,
+) -> Fig10Result:
+    """Histogram Vdd for zeusmp, SM1, and A-Res over *samples* cycles."""
+    pool = table.supported_on(platform.chip.extensions)
+    vdd = platform.chip.vdd
+
+    zeusmp = run_workload(
+        platform, spec_model("zeusmp"), threads,
+        duration_cycles=samples, rng=np.random.default_rng(seed),
+    )
+    captures = {
+        "zeusmp": zeusmp.voltage.samples,
+        "SM1": _stressmark_long_capture(platform, sm1(pool), threads, samples),
+        "A-Res": _stressmark_long_capture(platform, a_res_canned(pool), threads, samples),
+    }
+
+    # Shared bin range so the three panels are directly comparable (the
+    # paper fixes the x-axis range across all three plots).
+    lo = min(c.min() for c in captures.values()) - 0.002
+    hi = max(c.max() for c in captures.values()) + 0.002
+    histograms = {
+        name: DroopHistogram.from_samples(c, vdd, bins=bins, v_range=(lo, hi))
+        for name, c in captures.items()
+    }
+    return Fig10Result(histograms=histograms)
+
+
+def report(result: Fig10Result) -> str:
+    rows = []
+    for name, hist in result.histograms.items():
+        rows.append([
+            name,
+            f"{hist.total_samples}",
+            f"{result.spread(name) * 1e3:.1f} mV",
+            f"{result.modal_offset(name) * 1e3:.1f} mV",
+            f"{hist.tail_fraction(hist.vdd_nominal - 0.03):.4f}",
+        ])
+    return format_table(
+        ["workload", "samples", "Vdd spread", "mode below nominal",
+         "frac < nominal-30mV"],
+        rows,
+        title="Fig. 10 — frequency of droop events (Vdd histograms)",
+    )

@@ -1,0 +1,149 @@
+"""Fig. 9: maximum droop of SPEC, PARSEC, and stressmarks × 1T/2T/4T/8T.
+
+All droops reported relative to the 4T SM1 stressmark (the paper's
+normalisation), load line disabled, stressmarks dithered to worst-case
+alignment, SPEC/PARSEC undithered (they have no regular loop to shift).
+
+``A-Res-8T`` is the stressmark AUDIT generates when *trained at 8 threads*
+(two per module): it beats the 4T-trained stressmarks at 8T but loses at
+1T–4T (paper Section V.A.2).  The canned variant encodes that training
+outcome: a loop whose two-thread-stretched period lands on the resonance.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.analysis.report import format_table
+from repro.core.platform import MeasurementPlatform
+from repro.isa.instruction import make_independent
+from repro.isa.kernels import LoopKernel, nop_region
+from repro.isa.opcodes import OpcodeTable
+from repro.workloads.parsec import PARSEC_MODELS
+from repro.workloads.runner import run_workload
+from repro.workloads.spec import SPEC_MODELS
+from repro.workloads.stressmarks import (
+    a_ex_canned,
+    a_res_canned,
+    sm1,
+    sm2,
+    sm_res,
+    stressmark_program,
+)
+
+#: Paper thread configurations.
+THREADS = (1, 2, 4, 8)
+
+
+def a_res_8t_canned(table: OpcodeTable, *, period_cycles: int = 32) -> LoopKernel:
+    """The 8T-trained AUDIT stressmark.
+
+    Each thread's solo loop is *half* the resonant period; when two SMT
+    siblings share the module front end and FPU, the loop stretches by ~2x
+    and the combined activity oscillates at the resonance.  Trained for
+    that regime, it underperforms at 1T–4T where its solo period is twice
+    the resonant frequency.
+    """
+    fma = table.get("vfmaddpd") if "vfmaddpd" in table else table.get("mulpd")
+    half = max(2, period_cycles // 2)
+    hp = make_independent(fma, half)  # half-period of solo FP issue
+    lp_nops = max(0, half * 4 - len(hp) - 1)
+    return LoopKernel(hp=hp, lp=nop_region(table.nop, lp_nops), name="A-Res-8T")
+
+
+@dataclass(frozen=True)
+class Fig9Result:
+    """Droops[name][threads] in volts, plus the normalisation base."""
+
+    droops: dict
+    baseline_v: float  # 4T SM1
+    suites: dict  # name -> "spec" | "parsec" | "stressmark"
+
+    def relative(self, name: str, threads: int) -> float:
+        return self.droops[name][threads] / self.baseline_v
+
+
+def run_fig9(
+    platform: MeasurementPlatform,
+    table: OpcodeTable,
+    *,
+    threads: tuple[int, ...] = THREADS,
+    workload_duration_cycles: int = 120_000,
+    seed: int = 9,
+    spec_subset: tuple[str, ...] | None = None,
+    parsec_subset: tuple[str, ...] | None = None,
+) -> Fig9Result:
+    """Measure the full Fig. 9 grid."""
+    pool = table.supported_on(platform.chip.extensions)
+    droops: dict = {}
+    suites: dict = {}
+
+    stressmarks = {
+        "SM1": sm1(pool),
+        "SM2": sm2(pool),
+        "SM-Res": sm_res(pool),
+        "A-Ex": a_ex_canned(pool),
+        "A-Res": a_res_canned(pool),
+        "A-Res-8T": a_res_8t_canned(pool),
+    }
+    for name, kernel in stressmarks.items():
+        program = stressmark_program(kernel)
+        droops[name] = {
+            t: platform.measure_program(program, t).max_droop_v for t in threads
+        }
+        suites[name] = "stressmark"
+
+    for model in SPEC_MODELS:
+        if spec_subset is not None and model.name not in spec_subset:
+            continue
+        droops[model.name] = {
+            t: run_workload(
+                platform, model, t,
+                duration_cycles=workload_duration_cycles,
+                rng=np.random.default_rng(seed),
+            ).max_droop_v
+            for t in threads
+        }
+        suites[model.name] = "spec"
+
+    for model in PARSEC_MODELS:
+        if parsec_subset is not None and model.name not in parsec_subset:
+            continue
+        droops[model.name] = {
+            t: run_workload(
+                platform, model, t,
+                duration_cycles=workload_duration_cycles,
+                rng=np.random.default_rng(seed),
+            ).max_droop_v
+            for t in threads
+        }
+        suites[model.name] = "parsec"
+
+    return Fig9Result(
+        droops=droops,
+        baseline_v=droops["SM1"][4],
+        suites=suites,
+    )
+
+
+def report(result: Fig9Result) -> str:
+    headers = ["workload", "suite"] + [f"{t}T" for t in THREADS if True]
+    rows = []
+    order = sorted(
+        result.droops,
+        key=lambda n: (result.suites[n], -result.droops[n][max(result.droops[n])]),
+    )
+    for name in order:
+        per_thread = result.droops[name]
+        rows.append(
+            [name, result.suites[name]]
+            + [f"{per_thread[t] / result.baseline_v:.2f}"
+               for t in sorted(per_thread)]
+        )
+    return format_table(
+        headers[: 2 + len(next(iter(result.droops.values())))],
+        rows,
+        title="Fig. 9 — max droop relative to 4T SM1",
+    )

@@ -1,0 +1,101 @@
+"""Section III.B: dithering alignment cost and guarantees.
+
+Reproduces the paper's worked example — 4 GHz system, L+H = 24 cycles,
+M = 960 cycles:
+
+* exact alignment of 4 cores: 3.3 ms;
+* exact alignment of 8 cores: 18.35 minutes (prohibitive);
+* approximate alignment of 8 cores with δ = 3: 67 ms.
+
+Also verifies, on a small instance, that the exact schedule really visits
+every alignment vector and that the swept worst case equals the aligned
+configuration for identical periodic waveforms.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.analysis.report import format_table
+from repro.core.dithering import (
+    alignment_sweep_cycles,
+    alignment_sweep_seconds,
+    dither_schedules,
+    visited_alignments,
+    worst_case_alignment,
+)
+
+#: The paper's example parameters.
+EXAMPLE_FREQUENCY_HZ = 4e9
+EXAMPLE_PERIOD = 24
+EXAMPLE_M = 24 * 40  # 960
+
+
+@dataclass(frozen=True)
+class Sec3bResult:
+    exact_4core_s: float
+    exact_8core_s: float
+    approx_8core_delta3_s: float
+    small_instance_full_coverage: bool
+    aligned_is_worst: bool
+
+
+def run_sec3b() -> Sec3bResult:
+    exact_4 = alignment_sweep_seconds(
+        cores=4, period_cycles=EXAMPLE_PERIOD, m_cycles=EXAMPLE_M,
+        frequency_hz=EXAMPLE_FREQUENCY_HZ,
+    )
+    exact_8 = alignment_sweep_seconds(
+        cores=8, period_cycles=EXAMPLE_PERIOD, m_cycles=EXAMPLE_M,
+        frequency_hz=EXAMPLE_FREQUENCY_HZ,
+    )
+    approx_8 = alignment_sweep_seconds(
+        cores=8, period_cycles=EXAMPLE_PERIOD, m_cycles=EXAMPLE_M,
+        frequency_hz=EXAMPLE_FREQUENCY_HZ, delta=3,
+    )
+
+    # Coverage check on a small instance (3 cores, period 6).
+    period, m = 6, 12
+    schedules = dither_schedules(cores=3, period_cycles=period, m_cycles=m)
+    total = alignment_sweep_cycles(cores=3, period_cycles=period, m_cycles=m)
+    seen = visited_alignments(
+        schedules, period_cycles=period, total_cycles=total, sample_every=m
+    )
+    full_coverage = len(seen) == period ** 2
+
+    # Aligned-is-worst check on a synthetic resonant response.
+    t = np.arange(16)
+    response = 1.2 - 0.05 * np.cos(2 * np.pi * t / 16)
+    offsets, worst = worst_case_alignment(response, cores=3, vdd=1.2)
+    aligned_droop = 3 * 0.05
+    aligned_is_worst = offsets == (0, 0) and abs(worst - aligned_droop) < 1e-9
+
+    return Sec3bResult(
+        exact_4core_s=exact_4,
+        exact_8core_s=exact_8,
+        approx_8core_delta3_s=approx_8,
+        small_instance_full_coverage=full_coverage,
+        aligned_is_worst=aligned_is_worst,
+    )
+
+
+def report(result: Sec3bResult) -> str:
+    rows = [
+        ["exact, 4 cores", f"{result.exact_4core_s * 1e3:.1f} ms", "3.3 ms"],
+        ["exact, 8 cores", f"{result.exact_8core_s / 60:.2f} min", "18.35 min"],
+        ["approx (δ=3), 8 cores", f"{result.approx_8core_delta3_s * 1e3:.0f} ms", "67 ms"],
+    ]
+    table = format_table(
+        ["sweep", "measured", "paper"],
+        rows,
+        title="Section III.B — dithering alignment cost (4 GHz, L+H=24, M=960)",
+    )
+    return (
+        table
+        + f"\nfull alignment coverage (3 cores, L+H=6): "
+          f"{result.small_instance_full_coverage}"
+        + f"\naligned configuration is the swept worst case: "
+          f"{result.aligned_is_worst}"
+    )

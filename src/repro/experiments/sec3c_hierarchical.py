@@ -1,0 +1,97 @@
+"""Section III.C: hierarchical (sub-blocked) vs. flat GA generation.
+
+The paper: "we compared the hierarchical AUDIT implementation to that
+proposed in [13] and found sub-blocking provided faster convergence as well
+as better results — 19 % higher droop in less than five hours compared to a
+30-hour run without hierarchical generation."
+
+We reproduce the comparison at equal *evaluation budget*: the hierarchical
+search evolves a K-cycle sub-block replicated S times; the flat search must
+evolve all S*K cycles of the HP region directly — a solution space |pool|^
+(S*K*width) instead of |pool|^(K*width) — and lands on a worse droop.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.analysis.report import format_table
+from repro.core.audit import AuditConfig, AuditRunner, StressmarkMode
+from repro.core.ga import GaConfig
+from repro.core.platform import MeasurementPlatform
+from repro.isa.opcodes import OpcodeTable
+
+
+@dataclass(frozen=True)
+class Sec3cResult:
+    hierarchical_droop_v: float
+    flat_droop_v: float
+    hierarchical_evaluations: int
+    flat_evaluations: int
+
+    @property
+    def improvement(self) -> float:
+        """Hierarchical droop gain over flat at the same budget."""
+        return self.hierarchical_droop_v / self.flat_droop_v - 1.0
+
+
+def run_sec3c(
+    platform: MeasurementPlatform,
+    table: OpcodeTable,
+    *,
+    threads: int = 4,
+    subblock_cycles: int = 6,
+    replications: int = 3,
+    ga: GaConfig | None = None,
+) -> Sec3cResult:
+    ga = ga or GaConfig(population_size=12, generations=8, seed=3,
+                        stagnation_patience=8)
+
+    hierarchical = AuditRunner(
+        platform,
+        table=table,
+        config=AuditConfig(
+            threads=threads,
+            mode=StressmarkMode.RESONANT,
+            subblock_cycles=subblock_cycles,
+            replications=replications,
+            ga=ga,
+        ),
+    ).run(name="A-Res-hier")
+
+    flat = AuditRunner(
+        platform,
+        table=table,
+        config=AuditConfig(
+            threads=threads,
+            mode=StressmarkMode.RESONANT,
+            subblock_cycles=subblock_cycles * replications,  # same HP cycles
+            replications=1,                                   # no sub-blocking
+            ga=ga,
+        ),
+    ).run(name="A-Res-flat")
+
+    return Sec3cResult(
+        hierarchical_droop_v=hierarchical.max_droop_v,
+        flat_droop_v=flat.max_droop_v,
+        hierarchical_evaluations=hierarchical.ga_result.evaluations,
+        flat_evaluations=flat.ga_result.evaluations,
+    )
+
+
+def report(result: Sec3cResult) -> str:
+    rows = [
+        ["hierarchical (S sub-blocks)", f"{result.hierarchical_droop_v * 1e3:.1f} mV",
+         result.hierarchical_evaluations],
+        ["flat (single block)", f"{result.flat_droop_v * 1e3:.1f} mV",
+         result.flat_evaluations],
+    ]
+    table = format_table(
+        ["generation policy", "best droop", "evaluations"],
+        rows,
+        title="Section III.C — hierarchical vs. flat GA (equal budget)",
+    )
+    return table + (
+        f"\nhierarchical improvement: {result.improvement * 100:.1f} % "
+        f"(paper: ~19 % with 6x less time)"
+    )

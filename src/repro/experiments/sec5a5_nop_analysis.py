@@ -1,0 +1,98 @@
+"""Section V.A.5: why A-Res sprinkles NOPs — the NOP→ADD substitution.
+
+The paper replaced the NOPs in A-Res's high-power region with independent
+integer ADDs and measured a *smaller* droop (by 40 mV), with "the frequency
+of the di/dt pattern shifted lower than the ideal resonant frequency,
+indicating that the duration of the loop increased".  NOPs consume fetch
+and decode resources only; ADDs contend for schedulers, physical registers,
+and result buses, stretching the loop off-resonance.
+
+We run the same substitution on the canned A-Res kernel and report both the
+droop delta and the activity-fundamental shift.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.analysis.report import format_table
+from repro.analysis.spectrum import amplitude_spectrum
+from repro.core.platform import MeasurementPlatform
+from repro.isa.instruction import make_independent
+from repro.isa.kernels import LoopKernel
+from repro.isa.opcodes import OpcodeTable
+from repro.workloads.stressmarks import a_res_canned, stressmark_program
+
+
+def substitute_hp_nops_with_adds(kernel: LoopKernel, table: OpcodeTable) -> LoopKernel:
+    """Replace every NOP in the HP region with an independent integer ADD."""
+    n_nops = sum(1 for inst in kernel.hp if inst.is_nop)
+    adds = iter(make_independent(table.get("add"), max(1, n_nops)))
+    new_hp = tuple(
+        next(adds) if inst.is_nop else inst for inst in kernel.hp
+    )
+    return LoopKernel(hp=new_hp, lp=kernel.lp, name=f"{kernel.name}-adds")
+
+
+@dataclass(frozen=True)
+class NopAnalysisResult:
+    nop_droop_v: float
+    add_droop_v: float
+    nop_fundamental_hz: float
+    add_fundamental_hz: float
+
+    @property
+    def droop_loss_v(self) -> float:
+        return self.nop_droop_v - self.add_droop_v
+
+    @property
+    def frequency_shift_hz(self) -> float:
+        """Negative when the ADD variant runs below the NOP variant."""
+        return self.add_fundamental_hz - self.nop_fundamental_hz
+
+
+def run_sec5a5(
+    platform: MeasurementPlatform,
+    table: OpcodeTable,
+    *,
+    threads: int = 4,
+) -> NopAnalysisResult:
+    pool = table.supported_on(platform.chip.extensions)
+    original = a_res_canned(pool)
+    modified = substitute_hp_nops_with_adds(original, pool)
+
+    m_nop = platform.measure_program(stressmark_program(original), threads)
+    m_add = platform.measure_program(stressmark_program(modified), threads)
+
+    dt = platform.chip.cycle_time_s
+    f_nop = amplitude_spectrum(m_nop.current.samples, dt).dominant_frequency(
+        f_min_hz=5e6
+    )
+    f_add = amplitude_spectrum(m_add.current.samples, dt).dominant_frequency(
+        f_min_hz=5e6
+    )
+    return NopAnalysisResult(
+        nop_droop_v=m_nop.max_droop_v,
+        add_droop_v=m_add.max_droop_v,
+        nop_fundamental_hz=f_nop,
+        add_fundamental_hz=f_add,
+    )
+
+
+def report(result: NopAnalysisResult) -> str:
+    rows = [
+        ["A-Res (NOPs in HP)", f"{result.nop_droop_v * 1e3:.1f} mV",
+         f"{result.nop_fundamental_hz / 1e6:.1f} MHz"],
+        ["A-Res (NOPs -> ADDs)", f"{result.add_droop_v * 1e3:.1f} mV",
+         f"{result.add_fundamental_hz / 1e6:.1f} MHz"],
+    ]
+    table = format_table(
+        ["variant", "max droop", "pattern fundamental"],
+        rows,
+        title="Section V.A.5 — NOP vs ADD in the A-Res high-power region",
+    )
+    return table + (
+        f"\ndroop loss from ADD substitution: {result.droop_loss_v * 1e3:.1f} mV "
+        f"(paper: 40 mV); frequency shift: "
+        f"{result.frequency_shift_hz / 1e6:+.1f} MHz (paper: shifted lower)"
+    )

@@ -1,0 +1,104 @@
+"""Canonical testbed assembly shared by all experiment reproductions.
+
+One place defines the two boards (paper Section IV), the failure-model
+calibration, and the standard thread configurations, so every figure/table
+harness measures against identical hardware.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.ga import GaConfig
+from repro.core.platform import MeasurementPlatform, Measurement
+from repro.isa.kernels import ThreadProgram
+from repro.isa.opcodes import OpcodeTable, default_table
+from repro.measure.failure import FailureModel, voltage_at_failure
+from repro.pdn.elements import bulldozer_pdn, phenom_pdn
+from repro.uarch.config import bulldozer_chip, phenom_chip
+from repro.workloads.phases import ActivityModel
+from repro.workloads.runner import run_workload
+
+#: Timing-margin calibration: the typical path fails below this voltage.
+#: Chosen so the 4T failure sweep spans the same ~125 mV band as Table I.
+VCRIT_BASE_V = 0.95
+
+#: The paper's thread configurations (Fig. 9).
+THREAD_CONFIGS: tuple[int, ...] = (1, 2, 4, 8)
+
+#: Deterministic seed for workload generation across experiments.
+WORKLOAD_SEED = 20120212  # MICRO 2012
+
+
+def bulldozer_testbed(*, fp_throttle: int | None = None) -> MeasurementPlatform:
+    """The primary testbed: 4-module Bulldozer board, 100 MHz first droop."""
+    chip = bulldozer_chip()
+    if fp_throttle is not None:
+        chip = chip.with_fp_throttle(fp_throttle)
+    return MeasurementPlatform(chip, bulldozer_pdn(vdd=chip.vdd))
+
+
+def phenom_testbed() -> MeasurementPlatform:
+    """The secondary testbed: same board, Phenom II processor (Section V.C)."""
+    chip = phenom_chip()
+    return MeasurementPlatform(chip, phenom_pdn(vdd=chip.vdd))
+
+
+def opcode_pool(platform: MeasurementPlatform) -> OpcodeTable:
+    """The opcode vocabulary legal on a platform's processor."""
+    return default_table().supported_on(platform.chip.extensions)
+
+
+def failure_model() -> FailureModel:
+    return FailureModel(vcrit_base=VCRIT_BASE_V)
+
+
+def quick_ga(seed: int = 1, *, population: int = 12, generations: int = 8) -> GaConfig:
+    """A bench-sized GA budget: converges in tens of seconds, not hours."""
+    return GaConfig(
+        population_size=population,
+        generations=generations,
+        seed=seed,
+        stagnation_patience=max(6, generations),
+    )
+
+
+def program_failure_voltage(
+    platform: MeasurementPlatform,
+    program: ThreadProgram,
+    threads: int,
+    *,
+    model: FailureModel | None = None,
+) -> float:
+    """Voltage-at-failure sweep for a generated/stressmark program."""
+    model = model or failure_model()
+
+    def run_at(vs: float):
+        measurement = platform.measure_program(program, threads, supply_v=vs)
+        return measurement.voltage, measurement.sensitivity
+
+    return voltage_at_failure(run_at, model, vdd_nominal=platform.chip.vdd)
+
+
+def workload_failure_voltage(
+    platform: MeasurementPlatform,
+    workload: ActivityModel,
+    threads: int,
+    *,
+    duration_cycles: int = 120_000,
+    model: FailureModel | None = None,
+    seed: int = WORKLOAD_SEED,
+) -> float:
+    """Voltage-at-failure sweep for a synthetic benchmark workload."""
+    model = model or failure_model()
+
+    def run_at(vs: float):
+        measurement = run_workload(
+            platform, workload, threads,
+            duration_cycles=duration_cycles,
+            rng=np.random.default_rng(seed),
+            supply_v=vs,
+        )
+        return measurement.voltage, measurement.sensitivity
+
+    return voltage_at_failure(run_at, model, vdd_nominal=platform.chip.vdd)

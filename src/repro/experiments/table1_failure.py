@@ -1,0 +1,86 @@
+"""Table I: voltage at failure relative to the A-Res 4T failure point.
+
+The supply is lowered in 12.5 mV decrements until each 4T program fails.
+Expected ordering (paper): A-Res fails first (highest voltage), then
+SM-Res, SM1, A-Ex, SM2, and finally the standard benchmarks — with SM2
+failing *above* its droop rank because it exercises sensitive paths.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.analysis.report import format_table, vf_delta_label
+from repro.core.platform import MeasurementPlatform
+from repro.isa.opcodes import OpcodeTable
+from repro.experiments.setup import (
+    program_failure_voltage,
+    workload_failure_voltage,
+)
+from repro.workloads.parsec import parsec_model
+from repro.workloads.spec import spec_model
+from repro.workloads.stressmarks import (
+    a_ex_canned,
+    a_res_canned,
+    sm1,
+    sm2,
+    sm_res,
+    stressmark_program,
+)
+
+#: Paper column order.
+TABLE1_ORDER = ("A-Res", "SM-Res", "SM1", "A-Ex", "SM2", "zeusmp", "swaptions")
+
+
+@dataclass(frozen=True)
+class Table1Result:
+    failure_voltages: dict  # name -> VF in volts
+
+    @property
+    def reference(self) -> float:
+        return self.failure_voltages["A-Res"]
+
+    def delta_mv(self, name: str) -> float:
+        """Millivolts below the A-Res failure point (paper's 'VF - N mV')."""
+        return (self.reference - self.failure_voltages[name]) * 1e3
+
+
+def run_table1(
+    platform: MeasurementPlatform,
+    table: OpcodeTable,
+    *,
+    threads: int = 4,
+) -> Table1Result:
+    pool = table.supported_on(platform.chip.extensions)
+    failure_voltages = {}
+    stressmarks = {
+        "A-Res": a_res_canned(pool),
+        "SM-Res": sm_res(pool),
+        "SM1": sm1(pool),
+        "A-Ex": a_ex_canned(pool),
+        "SM2": sm2(pool),
+    }
+    for name, kernel in stressmarks.items():
+        failure_voltages[name] = program_failure_voltage(
+            platform, stressmark_program(kernel), threads
+        )
+    failure_voltages["zeusmp"] = workload_failure_voltage(
+        platform, spec_model("zeusmp"), threads
+    )
+    failure_voltages["swaptions"] = workload_failure_voltage(
+        platform, parsec_model("swaptions"), threads
+    )
+    return Table1Result(failure_voltages=failure_voltages)
+
+
+def report(result: Table1Result) -> str:
+    rows = [[
+        name,
+        f"{result.failure_voltages[name]:.4f} V",
+        vf_delta_label(result.failure_voltages[name], result.reference),
+    ] for name in TABLE1_ORDER]
+    return format_table(
+        ["program", "failure voltage", "relative"],
+        rows,
+        title="Table I — voltage at failure relative to A-Res (4T)",
+    )

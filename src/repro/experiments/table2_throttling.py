@@ -1,0 +1,154 @@
+"""Table II: impact of FPU throttling on droop and failure point.
+
+FPU throttling statically limits FP-unit issues per cycle per module
+(paper Section V.B).  Expected shape:
+
+* throttling reduces droop for every stressmark, most for the pure-FP
+  resonant ones (A-Res, SM-Res), least for SM1 (multiple stress paths);
+* failure voltages drop (margin improves) under throttling;
+* AUDIT re-run *with throttling enabled* (A-Res-Th) finds an integer-lean
+  path around the throttle: better than the throttled 4T-trained marks,
+  but below the unthrottled droops.
+
+Droops are relative to unthrottled 4T SM1; failure points relative to the
+unthrottled 4T A-Res failure voltage, matching the paper's normalisation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.analysis.report import format_table, vf_delta_label
+from repro.core.audit import AuditConfig, AuditRunner, StressmarkMode
+from repro.core.platform import MeasurementPlatform
+from repro.isa.instruction import make_independent
+from repro.isa.kernels import LoopKernel, nop_region
+from repro.isa.opcodes import OpcodeTable
+from repro.experiments.setup import program_failure_voltage, quick_ga
+from repro.workloads.stressmarks import (
+    a_res_canned,
+    sm1,
+    sm_res,
+    stressmark_program,
+)
+
+#: The static FPU issue limit used for the throttled runs.
+THROTTLE_LIMIT = 1
+
+
+def a_res_th_canned(table: OpcodeTable, *, period_cycles: int = 32) -> LoopKernel:
+    """The stressmark AUDIT converges to with FPU throttling enabled.
+
+    With the FP pipes capped, the GA leans on the dedicated integer
+    clusters (which the throttle cannot touch) plus the allowed trickle of
+    FP ops — "another path that can still produce significant voltage
+    droops with FPU throttling enabled" (paper Section V.B).
+    """
+    half = period_cycles // 2
+    hp = (
+        make_independent(table.get("imul"), half // 2)
+        + make_independent(table.get("add"), half * 2)
+        + make_independent(table.get("load"), half)
+        + make_independent(table.get("store"), half // 2)
+        + make_independent(table.get("mulpd"), half // 2)
+    )
+    lp_nops = max(0, period_cycles * 4 - len(hp) - 1)
+    return LoopKernel(hp=hp, lp=nop_region(table.nop, lp_nops), name="A-Res-Th")
+
+
+@dataclass(frozen=True)
+class Table2Row:
+    name: str
+    throttled: bool
+    droop_v: float
+    failure_v: float
+
+
+@dataclass(frozen=True)
+class Table2Result:
+    rows: tuple[Table2Row, ...]
+    baseline_droop_v: float   # unthrottled 4T SM1
+    reference_failure_v: float  # unthrottled 4T A-Res
+
+    def row(self, name: str, *, throttled: bool) -> Table2Row:
+        for r in self.rows:
+            if r.name == name and r.throttled == throttled:
+                return r
+        raise KeyError((name, throttled))
+
+    def relative_droop(self, name: str, *, throttled: bool) -> float:
+        return self.row(name, throttled=throttled).droop_v / self.baseline_droop_v
+
+
+def run_table2(
+    free_platform: MeasurementPlatform,
+    throttled_platform: MeasurementPlatform,
+    table: OpcodeTable,
+    *,
+    threads: int = 4,
+    audit_rerun: bool = False,
+    audit_seed: int = 22,
+) -> Table2Result:
+    """Measure droop + failure for SM1/A-Res/SM-Res with and without
+    throttling, plus the throttle-aware AUDIT stressmark A-Res-Th.
+
+    ``audit_rerun=True`` runs the real GA against the throttled platform
+    instead of using the canned A-Res-Th (slower, but the full loop).
+    """
+    pool = table.supported_on(free_platform.chip.extensions)
+    kernels = {
+        "SM1": sm1(pool),
+        "A-Res": a_res_canned(pool),
+        "SM-Res": sm_res(pool),
+    }
+
+    rows: list[Table2Row] = []
+    for throttled, platform in ((False, free_platform), (True, throttled_platform)):
+        for name, kernel in kernels.items():
+            program = stressmark_program(kernel)
+            droop = platform.measure_program(program, threads).max_droop_v
+            failure = program_failure_voltage(platform, program, threads)
+            rows.append(Table2Row(name, throttled, droop, failure))
+
+    if audit_rerun:
+        runner = AuditRunner(
+            throttled_platform,
+            config=AuditConfig(threads=threads, mode=StressmarkMode.RESONANT,
+                               ga=quick_ga(audit_seed)),
+        )
+        th_kernel = runner.run(name="A-Res-Th").kernel
+    else:
+        th_kernel = a_res_th_canned(pool)
+    th_program = stressmark_program(th_kernel)
+    rows.append(
+        Table2Row(
+            "A-Res-Th",
+            True,
+            throttled_platform.measure_program(th_program, threads).max_droop_v,
+            program_failure_voltage(throttled_platform, th_program, threads),
+        )
+    )
+
+    baseline = next(r for r in rows if r.name == "SM1" and not r.throttled)
+    reference = next(r for r in rows if r.name == "A-Res" and not r.throttled)
+    return Table2Result(
+        rows=tuple(rows),
+        baseline_droop_v=baseline.droop_v,
+        reference_failure_v=reference.failure_v,
+    )
+
+
+def report(result: Table2Result) -> str:
+    rows = []
+    for r in result.rows:
+        rows.append([
+            "FPU throttling" if r.throttled else "no throttling",
+            r.name,
+            f"{r.droop_v / result.baseline_droop_v:.2f}",
+            vf_delta_label(r.failure_v, result.reference_failure_v),
+        ])
+    return format_table(
+        ["mode", "stressmark", "rel. droop", "failure point"],
+        rows,
+        title="Table II — impact of FPU throttling (droop rel. to 4T SM1)",
+    )

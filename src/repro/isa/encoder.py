@@ -1,0 +1,85 @@
+"""NASM assembly emission.
+
+The paper's AUDIT emits NASM-format x86-64 assembly compiled with NASM
+2.09.08 (Section IV).  We reproduce that artifact: :func:`encode_program`
+renders a :class:`~repro.isa.kernels.ThreadProgram` as a complete NASM
+source file — prologue initialising every used register with max-toggle
+checkerboard data, the loop body, and the ``dec rcx / jnz`` loop close.
+
+The emitted text is a faithful, assemblable artifact of the generated
+stressmark; the *measured* path in this library runs the same instruction
+stream through the machine model instead of real silicon.
+"""
+
+from __future__ import annotations
+
+from repro.isa.data_patterns import CHECKER_A, CHECKER_B
+from repro.isa.instruction import used_registers
+from repro.isa.kernels import LoopKernel, ThreadProgram
+
+_HEADER = """\
+; Auto-generated di/dt stressmark (AUDIT reproduction)
+; Assemble with: nasm -f elf64 {name}.asm
+BITS 64
+section .text
+global _start
+_start:
+"""
+
+
+def _prologue_lines(kernel: LoopKernel) -> list[str]:
+    """Register initialisation with alternating checkerboard values."""
+    gprs, xmms = used_registers(kernel.body)
+    lines: list[str] = []
+    for i, reg in enumerate(sorted(gprs)):
+        value = CHECKER_A if i % 2 == 0 else CHECKER_B
+        lines.append(f"    mov {reg}, 0x{value:016x}")
+    if xmms:
+        # Stage the two checkerboards in memory once, then load alternately.
+        lines.append(f"    mov rax, 0x{CHECKER_A:016x}")
+        lines.append("    mov [rsp - 16], rax")
+        lines.append("    mov [rsp - 8], rax")
+        lines.append(f"    mov rax, 0x{CHECKER_B:016x}")
+        lines.append("    mov [rsp - 32], rax")
+        lines.append("    mov [rsp - 24], rax")
+        for i, reg in enumerate(sorted(xmms)):
+            slot = 16 if i % 2 == 0 else 32
+            lines.append(f"    movdqu {reg}, [rsp - {slot}]")
+    return lines
+
+
+def encode_program(program: ThreadProgram, *, name: str | None = None) -> str:
+    """Render *program* as a complete NASM source string."""
+    kernel = program.kernel
+    label = name or kernel.name
+    lines = [_HEADER.format(name=label)]
+    lines.extend(_prologue_lines(kernel))
+    lines.append(f"    mov rcx, {program.iterations}")
+    lines.append(f"{label}_loop:")
+    def emit(inst):
+        for line in inst.nasm().splitlines():
+            lines.append(f"    {line}")
+
+    for inst in kernel.hp:
+        emit(inst)
+    if kernel.lp:
+        lines.append("    ; --- low-power region ---")
+        for inst in kernel.lp:
+            emit(inst)
+    lines.append("    dec rcx")
+    lines.append(f"    jnz {label}_loop")
+    lines.append("    ; exit(0)")
+    lines.append("    mov rax, 60")
+    lines.append("    xor rdi, rdi")
+    lines.append("    syscall")
+    return "\n".join(lines) + "\n"
+
+
+def encode_kernel_listing(kernel: LoopKernel) -> str:
+    """Render just the loop body (one instruction per line), for reports."""
+    lines = [f"; {kernel.name}: {len(kernel.hp)} HP + {len(kernel.lp)} LP instructions"]
+    lines.extend(inst.nasm() for inst in kernel.hp)
+    if kernel.lp:
+        lines.append("; --- low-power region ---")
+        lines.extend(inst.nasm() for inst in kernel.lp)
+    return "\n".join(lines) + "\n"

@@ -1,0 +1,258 @@
+"""Concrete instructions: an opcode bound to register operands.
+
+Instructions are immutable value objects.  The pipeline scheduler consumes
+their read/write sets to honour data dependencies; the encoder renders them
+to NASM syntax.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import IsaError
+from repro.isa.data_patterns import DataPattern
+from repro.isa.opcodes import IClass, OpcodeSpec, Unit
+from repro.isa.registers import Register, RegClass, RegisterAllocator, register_pool
+
+
+@dataclass(frozen=True)
+class Instruction:
+    """One dynamic instruction instance.
+
+    ``dest`` is ``None`` for instructions without a register result (NOP,
+    store).  ``sources`` lists register sources; memory operands are implied
+    by the opcode (loads read ``[mem]``, stores write it) and modelled by the
+    cache substrate, not by an explicit address operand.
+    """
+
+    spec: OpcodeSpec
+    dest: Register | None = None
+    sources: tuple[Register, ...] = ()
+    data: DataPattern = DataPattern.MAX_TOGGLE
+    memory_level: str = "l1"
+    """Where this op's memory access hits ('l1', 'l2', 'l3', 'memory').
+
+    Ignored for non-memory opcodes.  Deeper levels cost more latency and
+    energy — how memory-intensive stressmarks (Joseph & Brooks style) build
+    their high-current phases.
+    """
+
+    _MEMORY_LEVELS = ("l1", "l2", "l3", "memory")
+
+    def __post_init__(self) -> None:
+        if self.memory_level not in self._MEMORY_LEVELS:
+            raise IsaError(
+                f"memory_level must be one of {self._MEMORY_LEVELS}, "
+                f"got {self.memory_level!r}"
+            )
+        if self.spec.has_dest and self.dest is None:
+            raise IsaError(f"{self.spec.mnemonic} requires a destination register")
+        if not self.spec.has_dest and self.dest is not None:
+            raise IsaError(f"{self.spec.mnemonic} does not write a register")
+        if len(self.sources) != self.spec.num_sources:
+            raise IsaError(
+                f"{self.spec.mnemonic} takes {self.spec.num_sources} sources, "
+                f"got {len(self.sources)}"
+            )
+        expected = self.spec.operand_class
+        for reg in self.operands():
+            if expected is None or reg.rclass is not expected:
+                raise IsaError(
+                    f"{self.spec.mnemonic}: operand {reg} has class "
+                    f"{reg.rclass.value}, expected "
+                    f"{expected.value if expected else 'no operands'}"
+                )
+
+    def operands(self) -> tuple[Register, ...]:
+        """All register operands (dest first when present)."""
+        regs = () if self.dest is None else (self.dest,)
+        return regs + self.sources
+
+    @property
+    def reads(self) -> frozenset[Register]:
+        """Registers read by this instruction."""
+        return frozenset(self.sources)
+
+    @property
+    def writes(self) -> frozenset[Register]:
+        """Registers written by this instruction."""
+        return frozenset(() if self.dest is None else (self.dest,))
+
+    @property
+    def is_nop(self) -> bool:
+        return self.spec.iclass is IClass.NOP
+
+    @property
+    def unit(self) -> Unit:
+        return self.spec.unit
+
+    def nasm(self) -> str:
+        """Render in NASM syntax (may span several lines).
+
+        XMM ops use the three-operand VEX/FMA4 forms they really have.
+        Legacy two-operand integer ops are compiled the way a compiler
+        lowers three-address code: a register move followed by the
+        read-modify-write op.  The machine model executes the abstract
+        three-operand instruction; the emitted sequence is the faithful
+        x86 encoding of the same dataflow.
+        """
+        spec = self.spec
+        if spec.iclass is IClass.NOP:
+            return "nop"
+        if spec.iclass is IClass.LOAD:
+            return f"mov {self.dest}, [rsp - 64]"
+        if spec.iclass is IClass.STORE:
+            return f"mov [rsp - 64], {self.sources[0]}"
+        if spec.iclass is IClass.LEA:
+            return f"lea {self.dest}, [{self.sources[0]} + 8]"
+        if spec.iclass is IClass.MOV:
+            return f"mov {self.dest}, {self.sources[0]}"
+        if spec.iclass is IClass.INT_DIV:
+            return (
+                f"mov rax, {self.sources[0]}\n"
+                f"cqo\n"
+                f"idiv {self.sources[1]}\n"
+                f"mov {self.dest}, rax"
+            )
+        if spec.operand_class is RegClass.GPR and spec.num_sources == 2:
+            return (
+                f"mov {self.dest}, {self.sources[0]}\n"
+                f"{spec.mnemonic} {self.dest}, {self.sources[1]}"
+            )
+        if spec.operand_class is RegClass.GPR and spec.num_sources == 1:
+            if spec.iclass is IClass.INT_ALU:  # rotate-style RMW
+                return (
+                    f"mov {self.dest}, {self.sources[0]}\n"
+                    f"{spec.mnemonic} {self.dest}, 5"
+                )
+        if (spec.operand_class is RegClass.XMM and spec.num_sources == 2
+                and not spec.mnemonic.startswith("v")):
+            # Legacy SSE ops are destructive two-operand: lower like the
+            # integer RMW case, with the class-appropriate register move.
+            move = "movdqa" if spec.iclass is IClass.SIMD_INT else "movaps"
+            return (
+                f"{move} {self.dest}, {self.sources[0]}\n"
+                f"{spec.mnemonic} {self.dest}, {self.sources[1]}"
+            )
+        ops = ", ".join(str(r) for r in self.operands())
+        return f"{spec.mnemonic} {ops}"
+
+    def __str__(self) -> str:
+        return self.nasm()
+
+
+def make_instruction(
+    spec: OpcodeSpec,
+    allocator: RegisterAllocator,
+    *,
+    dependent: bool = False,
+    data: DataPattern = DataPattern.MAX_TOGGLE,
+) -> Instruction:
+    """Build an instruction for *spec* with allocator-chosen operands.
+
+    With ``dependent=False`` (the default, what a power virus wants) the
+    sources are fresh round-robin registers, so consecutive instructions are
+    independent and can issue in parallel.  With ``dependent=True`` the first
+    source is the most recently written register of the class, forming a
+    serial chain (used for long-latency low-power sequences).
+    """
+    rclass = spec.operand_class
+    if rclass is None:
+        return Instruction(spec=spec, data=data)
+
+    sources: list[Register] = []
+    for i in range(spec.num_sources):
+        if dependent and i == 0:
+            sources.append(allocator.dependent_source(rclass))
+        else:
+            sources.append(allocator.fresh(rclass))
+    dest = allocator.fresh(rclass) if spec.has_dest else None
+    return Instruction(spec=spec, dest=dest, sources=tuple(sources), data=data)
+
+
+def make_independent(
+    spec: OpcodeSpec,
+    count: int,
+    *,
+    data: DataPattern = DataPattern.MAX_TOGGLE,
+) -> tuple[Instruction, ...]:
+    """*count* copies of *spec* with no data dependencies between them.
+
+    Sources are drawn from the top of the register pool (and never written),
+    destinations rotate through the rest — so the ops can issue at the full
+    width of their unit pool.  This is what a high-power burst wants: the
+    round-robin allocator of :func:`make_instruction` can create accidental
+    RAW chains through register reuse, which throttles the burst.
+    """
+    if count < 1:
+        raise IsaError("count must be >= 1")
+    rclass = spec.operand_class
+    if rclass is None:
+        return tuple(Instruction(spec=spec, data=data) for _ in range(count))
+    pool = list(register_pool(rclass))
+    n_sources = spec.num_sources
+    if n_sources >= len(pool):
+        raise IsaError("register pool too small for this opcode's sources")
+    sources = tuple(pool[-(i + 1)] for i in range(n_sources))
+    dest_pool = pool[: len(pool) - n_sources] or pool[:1]
+    out = []
+    for i in range(count):
+        dest = dest_pool[i % len(dest_pool)] if spec.has_dest else None
+        out.append(Instruction(spec=spec, dest=dest, sources=sources, data=data))
+    return tuple(out)
+
+
+def make_chain(
+    spec: OpcodeSpec,
+    length: int,
+    *,
+    data: DataPattern = DataPattern.MAX_TOGGLE,
+) -> tuple[Instruction, ...]:
+    """A loop-carried serial dependence chain of *length* copies of *spec*.
+
+    Each instruction's first source is the previous instruction's
+    destination, and the first instruction reads the last one's destination —
+    so consecutive loop iterations serialise too.  This is the
+    "long-latency operations with dependencies" low-power sequence the paper
+    evaluates as an LP-region alternative (Section III.C).
+    """
+    if length < 1:
+        raise IsaError("chain length must be >= 1")
+    if not spec.has_dest or spec.num_sources < 1:
+        raise IsaError("chain ops need a destination and at least one source")
+    rclass = spec.operand_class
+    if rclass is None:
+        raise IsaError("chain ops must take register operands")
+    pool = list(register_pool(rclass))
+    # Destinations reuse the pool cyclically for long chains; renaming means
+    # only the explicit RAW chain below serialises.
+    dests = [pool[i % (len(pool) - 1)] for i in range(length)]
+    chain = []
+    filler = pool[-1]
+    for i in range(length):
+        prev_dest = dests[(i - 1) % length]
+        sources = [prev_dest] + [filler] * (spec.num_sources - 1)
+        chain.append(
+            Instruction(spec=spec, dest=dests[i], sources=tuple(sources), data=data)
+        )
+    return tuple(chain)
+
+
+def nop(spec_table_nop: OpcodeSpec) -> Instruction:
+    """A NOP instruction from the given NOP spec."""
+    if spec_table_nop.iclass is not IClass.NOP:
+        raise IsaError("nop() requires a NOP opcode spec")
+    return Instruction(spec=spec_table_nop)
+
+
+def used_registers(instructions) -> tuple[frozenset[Register], frozenset[Register]]:
+    """Return (GPRs, XMMs) referenced anywhere in *instructions*."""
+    gprs: set[Register] = set()
+    xmms: set[Register] = set()
+    for inst in instructions:
+        for reg in inst.operands():
+            if reg.rclass is RegClass.GPR:
+                gprs.add(reg)
+            else:
+                xmms.add(reg)
+    return frozenset(gprs), frozenset(xmms)

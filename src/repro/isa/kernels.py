@@ -1,0 +1,153 @@
+"""Loop kernels: the unit of work AUDIT generates and measures.
+
+A di/dt stressmark (paper Fig. 7) is a loop whose body has a **high-power
+region** (H cycles of dense, energetic instructions) followed by a
+**low-power region** (L cycles — NOPs on the evaluated processor, see paper
+Section III.C).  The loop repeats for M iterations so the periodic current
+excites the PDN resonance.
+
+The HP region is structured as S replicated **sub-blocks** of K cycles each
+(hierarchical generation, Section III.C): AUDIT's GA only searches the
+sub-block, shrinking the solution space.
+
+This module holds the data model only; scheduling (how many cycles the body
+*actually* takes on a given machine) lives in :mod:`repro.uarch`.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass
+
+from repro.errors import IsaError
+from repro.isa.instruction import Instruction, nop
+from repro.isa.opcodes import OpcodeSpec
+
+
+@dataclass(frozen=True)
+class LoopKernel:
+    """A loop body: HP instructions followed by LP instructions.
+
+    ``hp`` and ``lp`` are in program order.  The loop-closing ``dec rcx;
+    jnz`` pair is implicit: the machine model appends it (macro-fused, one
+    slot) unless told otherwise.
+    """
+
+    hp: tuple[Instruction, ...]
+    lp: tuple[Instruction, ...]
+    name: str = "kernel"
+
+    def __post_init__(self) -> None:
+        if not self.hp and not self.lp:
+            raise IsaError("a loop kernel needs at least one instruction")
+
+    @property
+    def body(self) -> tuple[Instruction, ...]:
+        """HP followed by LP instructions."""
+        return self.hp + self.lp
+
+    def __len__(self) -> int:
+        return len(self.hp) + len(self.lp)
+
+    @property
+    def fp_fraction(self) -> float:
+        """Fraction of body instructions executing on the FP unit."""
+        body = self.body
+        if not body:
+            return 0.0
+        return sum(1 for i in body if i.spec.is_fp) / len(body)
+
+    @property
+    def nop_fraction(self) -> float:
+        """Fraction of body instructions that are NOPs."""
+        body = self.body
+        return sum(1 for i in body if i.is_nop) / len(body)
+
+    def mnemonic_histogram(self) -> Counter:
+        """Counter of mnemonics over the whole body."""
+        return Counter(i.spec.mnemonic for i in self.body)
+
+    def with_name(self, name: str) -> "LoopKernel":
+        """Copy of this kernel under a different name."""
+        return LoopKernel(hp=self.hp, lp=self.lp, name=name)
+
+    def with_lp(self, lp: tuple[Instruction, ...]) -> "LoopKernel":
+        """Copy of this kernel with a replaced low-power region."""
+        return LoopKernel(hp=self.hp, lp=lp, name=self.name)
+
+
+def replicate_subblock(sub: tuple[Instruction, ...] | list[Instruction], count: int) -> tuple[Instruction, ...]:
+    """Replicate a sub-block *count* times to form an HP region.
+
+    Mirrors paper Section III.C: "AUDIT breaks the HP region into S
+    replicated sub-blocks of length K".
+    """
+    if count < 1:
+        raise IsaError("sub-block replication count must be >= 1")
+    sub = tuple(sub)
+    if not sub:
+        raise IsaError("sub-block may not be empty")
+    return sub * count
+
+
+def nop_region(nop_spec: OpcodeSpec, count: int) -> tuple[Instruction, ...]:
+    """A run of *count* NOPs (the LP region used throughout the paper)."""
+    if count < 0:
+        raise IsaError("NOP count must be non-negative")
+    return tuple(nop(nop_spec) for _ in range(count))
+
+
+def build_kernel(
+    subblock: tuple[Instruction, ...] | list[Instruction],
+    *,
+    replications: int,
+    lp_nops: int,
+    nop_spec: OpcodeSpec,
+    name: str = "kernel",
+) -> LoopKernel:
+    """Assemble the canonical hierarchical stressmark kernel.
+
+    HP = *subblock* replicated *replications* times; LP = *lp_nops* NOPs.
+    """
+    hp = replicate_subblock(subblock, replications)
+    lp = nop_region(nop_spec, lp_nops)
+    return LoopKernel(hp=hp, lp=lp, name=name)
+
+
+def with_data_pattern(kernel: LoopKernel, pattern) -> LoopKernel:
+    """Copy of *kernel* with every instruction's operand data re-tagged.
+
+    Used to reproduce the paper's Section III observation that operand data
+    values change the measured droop by ~10 %: the same instruction stream
+    measured with max-toggle versus all-zeros operands.
+    """
+    from dataclasses import replace as _replace
+
+    hp = tuple(_replace(inst, data=pattern) for inst in kernel.hp)
+    lp = tuple(_replace(inst, data=pattern) for inst in kernel.lp)
+    return LoopKernel(hp=hp, lp=lp, name=kernel.name)
+
+
+@dataclass(frozen=True)
+class ThreadProgram:
+    """A kernel bound to an iteration count, ready to run on one thread.
+
+    ``iterations`` is M in the paper's notation: the number of loop periods
+    executed, chosen large enough to build and sustain resonance.
+    ``phase_cycles`` is an initial misalignment relative to the reference
+    core, used by the dithering machinery and the OS-interference model.
+    """
+
+    kernel: LoopKernel
+    iterations: int
+    phase_cycles: int = 0
+
+    def __post_init__(self) -> None:
+        if self.iterations < 1:
+            raise IsaError("iterations must be >= 1")
+        if self.phase_cycles < 0:
+            raise IsaError("phase_cycles must be non-negative")
+
+    def with_phase(self, phase_cycles: int) -> "ThreadProgram":
+        """Copy of this program starting at a different phase offset."""
+        return ThreadProgram(self.kernel, self.iterations, phase_cycles)

@@ -1,0 +1,303 @@
+"""Opcode descriptors: the instruction vocabulary AUDIT draws from.
+
+Every opcode carries the microarchitectural and electrical attributes the
+rest of the library needs:
+
+* which **execution unit** it occupies and for how long (latency /
+  reciprocal throughput), driving the pipeline scheduler;
+* its **dynamic energy** per execution, driving the per-cycle current model;
+* the **path sensitivity** of the circuit paths it exercises, driving the
+  voltage-at-failure model (paper Section V.A.4 — SM2 fails at a high voltage
+  despite a modest droop because it exercises sensitive paths);
+* the **ISA extensions** it requires, so that older processors reject it
+  (paper Section V.C — SM1 could not run on the Phenom II).
+
+The energy numbers are synthetic but *ordered* like real x86 cores: NOPs are
+nearly free, integer ALU ops cheap, SIMD floating-point and fused
+multiply-add ops the most expensive.  Only the ordering and rough ratios
+matter for reproducing the paper's results.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from enum import Enum
+
+from repro.errors import IsaError
+from repro.isa.registers import RegClass
+
+
+class IClass(str, Enum):
+    """Broad instruction class, used for reporting and cost functions."""
+
+    NOP = "nop"
+    INT_ALU = "int_alu"
+    INT_MUL = "int_mul"
+    INT_DIV = "int_div"
+    LEA = "lea"
+    MOV = "mov"
+    LOAD = "load"
+    STORE = "store"
+    SIMD_INT = "simd_int"
+    FP_ADD = "fp_add"
+    FP_MUL = "fp_mul"
+    FP_DIV = "fp_div"
+    FMA = "fma"
+    BRANCH = "branch"
+
+
+class Unit(str, Enum):
+    """Execution unit pool an instruction occupies.
+
+    ``NONE`` means the instruction is eliminated at the front end (NOPs): it
+    consumes a fetch/decode slot and fetch energy but no back-end resources —
+    the property that lets AUDIT's NOP-sprinkled loops hold their period at
+    the resonant frequency (paper Section V.A.5).
+
+    ``FPU`` and ``FSIMD`` are both pipes of the module-shared floating-point
+    unit (Bulldozer: two FMAC pipes plus two SIMD-integer pipes); they share
+    the FP register tokens and count against the FPU throttle together.
+    """
+
+    NONE = "none"
+    IALU = "ialu"
+    IMUL = "imul"
+    AGU = "agu"
+    FPU = "fpu"
+    FSIMD = "fsimd"
+
+
+#: Instruction classes executed by the (module-shared) floating-point unit.
+FP_CLASSES: frozenset[IClass] = frozenset(
+    {IClass.FP_ADD, IClass.FP_MUL, IClass.FP_DIV, IClass.FMA, IClass.SIMD_INT}
+)
+
+
+@dataclass(frozen=True)
+class OpcodeSpec:
+    """Static description of one opcode.
+
+    Parameters
+    ----------
+    mnemonic:
+        NASM mnemonic (``vfmaddpd`` etc.).
+    iclass:
+        Broad class, see :class:`IClass`.
+    unit:
+        Execution unit pool occupied, see :class:`Unit`.
+    latency:
+        Result latency in cycles (dependent ops wait this long).
+    issue_interval:
+        Cycles the unit stays busy per instruction (reciprocal throughput).
+        1 for fully pipelined ops, > 1 for dividers.
+    energy_pj:
+        Dynamic energy per execution in picojoules at nominal data toggling.
+    num_sources:
+        Number of register source operands.
+    has_dest:
+        Whether the instruction writes a register result (consumes a
+        physical register and a result-bus slot).
+    operand_class:
+        Register class of the operands (GPR or XMM); ``None`` for NOP.
+    path_sensitivity:
+        Relative timing-margin sensitivity of the paths exercised, 1.0 being
+        the typical path.  Values above 1.0 mean the op fails at a *higher*
+        supply voltage for the same droop.
+    extensions:
+        ISA extensions required (``frozenset`` of strings such as ``"fma4"``).
+        A processor that does not advertise them rejects the instruction.
+    memory:
+        ``True`` for loads/stores (they also occupy the cache hierarchy).
+    """
+
+    mnemonic: str
+    iclass: IClass
+    unit: Unit
+    latency: int
+    issue_interval: int
+    energy_pj: float
+    num_sources: int
+    has_dest: bool
+    operand_class: RegClass | None
+    path_sensitivity: float = 1.0
+    extensions: frozenset[str] = field(default_factory=frozenset)
+    memory: bool = False
+
+    def __post_init__(self) -> None:
+        if self.latency < 1 and self.unit is not Unit.NONE:
+            raise IsaError(f"{self.mnemonic}: latency must be >= 1")
+        if self.issue_interval < 1 and self.unit is not Unit.NONE:
+            raise IsaError(f"{self.mnemonic}: issue_interval must be >= 1")
+        if self.energy_pj < 0:
+            raise IsaError(f"{self.mnemonic}: energy must be non-negative")
+        if self.num_sources < 0:
+            raise IsaError(f"{self.mnemonic}: num_sources must be >= 0")
+
+    @property
+    def is_fp(self) -> bool:
+        """True when the op executes on the shared floating-point unit."""
+        return self.unit is Unit.FPU or self.unit is Unit.FSIMD
+
+    def __str__(self) -> str:
+        return self.mnemonic
+
+
+def _spec(
+    mnemonic: str,
+    iclass: IClass,
+    unit: Unit,
+    latency: int,
+    issue_interval: int,
+    energy_pj: float,
+    num_sources: int,
+    has_dest: bool,
+    operand_class: RegClass | None,
+    *,
+    path_sensitivity: float = 1.0,
+    extensions: frozenset[str] = frozenset(),
+    memory: bool = False,
+) -> OpcodeSpec:
+    return OpcodeSpec(
+        mnemonic=mnemonic,
+        iclass=iclass,
+        unit=unit,
+        latency=latency,
+        issue_interval=issue_interval,
+        energy_pj=energy_pj,
+        num_sources=num_sources,
+        has_dest=has_dest,
+        operand_class=operand_class,
+        path_sensitivity=path_sensitivity,
+        extensions=extensions,
+        memory=memory,
+    )
+
+
+#: The default opcode table.  Mnemonics are real x86/SSE/FMA4 instructions;
+#: latencies approximate the AMD 15h ("Bulldozer") family optimisation guide.
+DEFAULT_OPCODES: tuple[OpcodeSpec, ...] = (
+    _spec("nop", IClass.NOP, Unit.NONE, 1, 1, 25.0, 0, False, None),
+    # Integer ALU.
+    _spec("add", IClass.INT_ALU, Unit.IALU, 1, 1, 100.0, 2, True, RegClass.GPR),
+    _spec("sub", IClass.INT_ALU, Unit.IALU, 1, 1, 100.0, 2, True, RegClass.GPR),
+    _spec("xor", IClass.INT_ALU, Unit.IALU, 1, 1, 85.0, 2, True, RegClass.GPR),
+    _spec("and", IClass.INT_ALU, Unit.IALU, 1, 1, 85.0, 2, True, RegClass.GPR),
+    _spec("or", IClass.INT_ALU, Unit.IALU, 1, 1, 85.0, 2, True, RegClass.GPR),
+    _spec("rol", IClass.INT_ALU, Unit.IALU, 1, 1, 110.0, 1, True, RegClass.GPR),
+    _spec("mov", IClass.MOV, Unit.IALU, 1, 1, 60.0, 1, True, RegClass.GPR),
+    _spec("lea", IClass.LEA, Unit.AGU, 1, 1, 95.0, 1, True, RegClass.GPR,
+          path_sensitivity=1.01),
+    # Integer multiply / divide exercise long carry-chain paths (sensitive).
+    _spec("imul", IClass.INT_MUL, Unit.IMUL, 4, 1, 260.0, 2, True, RegClass.GPR,
+          path_sensitivity=1.03),
+    _spec("idiv", IClass.INT_DIV, Unit.IMUL, 22, 18, 420.0, 2, True, RegClass.GPR,
+          path_sensitivity=1.025),
+    # Memory: L1-hitting load and store (the power virus working set fits L1).
+    _spec("load", IClass.LOAD, Unit.AGU, 4, 1, 210.0, 1, True, RegClass.GPR,
+          path_sensitivity=1.025, memory=True),
+    _spec("store", IClass.STORE, Unit.AGU, 1, 1, 190.0, 2, False, RegClass.GPR,
+          memory=True),
+    # SIMD integer (runs on the shared FP unit on Bulldozer).
+    _spec("pxor", IClass.SIMD_INT, Unit.FSIMD, 2, 1, 220.0, 2, True, RegClass.XMM,
+          extensions=frozenset({"sse2"})),
+    _spec("paddd", IClass.SIMD_INT, Unit.FSIMD, 2, 1, 270.0, 2, True, RegClass.XMM,
+          extensions=frozenset({"sse2"})),
+    _spec("pmulld", IClass.SIMD_INT, Unit.FSIMD, 5, 1, 470.0, 2, True, RegClass.XMM,
+          extensions=frozenset({"sse41"})),
+    # Packed floating point.
+    _spec("addps", IClass.FP_ADD, Unit.FPU, 5, 1, 380.0, 2, True, RegClass.XMM,
+          extensions=frozenset({"sse"})),
+    _spec("addpd", IClass.FP_ADD, Unit.FPU, 5, 1, 400.0, 2, True, RegClass.XMM,
+          extensions=frozenset({"sse2"})),
+    _spec("mulps", IClass.FP_MUL, Unit.FPU, 5, 1, 520.0, 2, True, RegClass.XMM,
+          extensions=frozenset({"sse"})),
+    _spec("mulpd", IClass.FP_MUL, Unit.FPU, 5, 1, 560.0, 2, True, RegClass.XMM,
+          extensions=frozenset({"sse2"})),
+    _spec("divpd", IClass.FP_DIV, Unit.FPU, 24, 20, 730.0, 2, True, RegClass.XMM,
+          path_sensitivity=1.02, extensions=frozenset({"sse2"})),
+    # Fused multiply-add: the highest-power op; Bulldozer-only (FMA4).
+    _spec("vfmaddpd", IClass.FMA, Unit.FPU, 6, 1, 800.0, 3, True, RegClass.XMM,
+          extensions=frozenset({"fma4"})),
+    _spec("vfmaddps", IClass.FMA, Unit.FPU, 6, 1, 760.0, 3, True, RegClass.XMM,
+          extensions=frozenset({"fma4"})),
+)
+
+
+class OpcodeTable:
+    """Lookup and filtering over a set of :class:`OpcodeSpec`.
+
+    AUDIT takes "the instructions used to generate the stressmark" as an
+    input (paper Fig. 5); an ``OpcodeTable`` is that input.  ``subset`` and
+    ``supported_on`` derive restricted vocabularies, e.g. the integer-only
+    pool or the pool legal on a Phenom II (no FMA4).
+    """
+
+    def __init__(self, specs: tuple[OpcodeSpec, ...] | list[OpcodeSpec] = DEFAULT_OPCODES):
+        specs = tuple(specs)
+        if not specs:
+            raise IsaError("opcode table may not be empty")
+        names = [s.mnemonic for s in specs]
+        if len(set(names)) != len(names):
+            raise IsaError("duplicate mnemonics in opcode table")
+        self._specs = specs
+        self._by_name = {s.mnemonic: s for s in specs}
+
+    def __iter__(self):
+        return iter(self._specs)
+
+    def __len__(self) -> int:
+        return len(self._specs)
+
+    def __contains__(self, mnemonic: str) -> bool:
+        return mnemonic in self._by_name
+
+    def get(self, mnemonic: str) -> OpcodeSpec:
+        """Return the spec for *mnemonic*, raising :class:`IsaError` if absent."""
+        try:
+            return self._by_name[mnemonic]
+        except KeyError:
+            raise IsaError(f"unknown opcode: {mnemonic!r}") from None
+
+    @property
+    def mnemonics(self) -> tuple[str, ...]:
+        """All mnemonics in table order."""
+        return tuple(s.mnemonic for s in self._specs)
+
+    def subset(self, mnemonics) -> "OpcodeTable":
+        """Return a new table containing only *mnemonics* (order preserved)."""
+        wanted = set(mnemonics)
+        missing = wanted - set(self._by_name)
+        if missing:
+            raise IsaError(f"unknown opcodes: {sorted(missing)}")
+        return OpcodeTable(tuple(s for s in self._specs if s.mnemonic in wanted))
+
+    def supported_on(self, extensions) -> "OpcodeTable":
+        """Return the sub-table whose extension requirements are met.
+
+        *extensions* is the set of ISA extensions a processor advertises
+        (e.g. ``{"sse", "sse2"}`` for a Phenom II).
+        """
+        available = set(extensions)
+        kept = tuple(s for s in self._specs if s.extensions <= available)
+        return OpcodeTable(kept)
+
+    def by_unit(self, unit: Unit) -> tuple[OpcodeSpec, ...]:
+        """All opcodes executing on *unit*."""
+        return tuple(s for s in self._specs if s.unit is unit)
+
+    def by_class(self, iclass: IClass) -> tuple[OpcodeSpec, ...]:
+        """All opcodes of class *iclass*."""
+        return tuple(s for s in self._specs if s.iclass is iclass)
+
+    @property
+    def nop(self) -> OpcodeSpec:
+        """The NOP spec (every table must contain one)."""
+        for s in self._specs:
+            if s.iclass is IClass.NOP:
+                return s
+        raise IsaError("opcode table has no NOP")
+
+
+def default_table() -> OpcodeTable:
+    """The full default opcode vocabulary."""
+    return OpcodeTable(DEFAULT_OPCODES)

@@ -1,0 +1,120 @@
+"""Architectural register model for the x86-flavoured ISA substrate.
+
+AUDIT's code generator (paper Section IV) uses general-purpose registers and
+64-/128-bit media registers as source and destination operands.  This module
+provides the register name space plus a small allocator that the code
+generator uses to pick operands — either fresh registers (to create
+independent instructions that can issue in parallel) or recently written ones
+(to create deliberate dependency chains).
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+from enum import Enum
+
+from repro.errors import IsaError
+
+
+class RegClass(str, Enum):
+    """Operand register class."""
+
+    GPR = "gpr"
+    """64-bit general purpose register (rax, rbx, ...)."""
+
+    XMM = "xmm"
+    """128-bit SSE media register (xmm0 ... xmm15)."""
+
+
+@dataclass(frozen=True, order=True)
+class Register:
+    """A single architectural register.
+
+    Registers are value objects: two ``Register`` instances with the same
+    name compare equal and hash identically, so they can be used in
+    read/write dependency sets.
+    """
+
+    name: str
+    rclass: RegClass
+
+    def __str__(self) -> str:
+        return self.name
+
+
+#: GPRs available to generated code.  ``rsp``/``rbp`` are reserved for the
+#: runtime, ``rcx`` is the loop counter used by the kernel epilogue
+#: (``dec rcx; jnz``), and ``rax``/``rdx`` are scratch registers clobbered
+#: by the idiv lowering sequence (``mov rax, …; cqo; idiv …``).
+GPR_NAMES: tuple[str, ...] = (
+    "rbx",
+    "rsi",
+    "rdi",
+    "r8",
+    "r9",
+    "r10",
+    "r11",
+    "r12",
+    "r13",
+    "r14",
+    "r15",
+)
+
+#: The loop-counter register, excluded from allocation.
+LOOP_COUNTER = Register("rcx", RegClass.GPR)
+
+XMM_NAMES: tuple[str, ...] = tuple(f"xmm{i}" for i in range(16))
+
+GPRS: tuple[Register, ...] = tuple(Register(n, RegClass.GPR) for n in GPR_NAMES)
+XMMS: tuple[Register, ...] = tuple(Register(n, RegClass.XMM) for n in XMM_NAMES)
+
+
+def register_pool(rclass: RegClass) -> tuple[Register, ...]:
+    """Return every allocatable register of *rclass*."""
+    if rclass is RegClass.GPR:
+        return GPRS
+    if rclass is RegClass.XMM:
+        return XMMS
+    raise IsaError(f"unknown register class: {rclass!r}")
+
+
+class RegisterAllocator:
+    """Round-robin operand allocator with optional dependency injection.
+
+    The allocator cycles through each register class independently so that
+    consecutive instructions get distinct destinations (maximising
+    instruction-level parallelism, which is what a power virus wants).  The
+    ``dependent_source`` method instead returns the most recently allocated
+    destination of a class, letting callers build serial chains (used for the
+    long-latency low-power sequences evaluated in paper Section III.C).
+    """
+
+    def __init__(self) -> None:
+        self._cycles = {
+            RegClass.GPR: itertools.cycle(GPRS),
+            RegClass.XMM: itertools.cycle(XMMS),
+        }
+        self._last: dict[RegClass, Register] = {}
+
+    def fresh(self, rclass: RegClass) -> Register:
+        """Return the next register of *rclass* in round-robin order."""
+        reg = next(self._cycles[rclass])
+        self._last[rclass] = reg
+        return reg
+
+    def dependent_source(self, rclass: RegClass) -> Register:
+        """Return the most recently allocated register of *rclass*.
+
+        Using this as a source operand makes the new instruction depend on
+        the previous producer.  Falls back to a fresh register when nothing
+        has been allocated yet.
+        """
+        last = self._last.get(rclass)
+        if last is None:
+            return self.fresh(rclass)
+        return last
+
+    def reset(self) -> None:
+        """Restart both round-robin cycles from the beginning."""
+        self.__init__()

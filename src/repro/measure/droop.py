@@ -1,0 +1,144 @@
+"""Droop metrics and event statistics.
+
+The paper characterises programs by their worst droop (Fig. 9), by how
+*often* large droops occur (Fig. 10's histograms — "what dictates the
+failure point ... is the higher-probability droop events near the tail"),
+and by discrete droop events captured with a triggered oscilloscope.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import MeasurementError
+
+
+@dataclass(frozen=True)
+class DroopEvent:
+    """One triggered excursion below the droop threshold."""
+
+    start_index: int
+    end_index: int
+    min_v: float
+
+    @property
+    def depth_below(self) -> float:
+        """Depth below the trigger at the event minimum (for sorting)."""
+        return -self.min_v
+
+
+@dataclass(frozen=True)
+class DroopStatistics:
+    """Summary statistics of a voltage waveform."""
+
+    vdd_nominal: float
+    min_v: float
+    max_v: float
+    mean_v: float
+    max_droop_v: float
+    max_overshoot_v: float
+    samples: int
+
+    @classmethod
+    def from_samples(cls, samples: np.ndarray, vdd_nominal: float) -> "DroopStatistics":
+        samples = np.asarray(samples, dtype=np.float64)
+        if samples.size == 0:
+            raise MeasurementError("cannot summarise an empty waveform")
+        min_v = float(samples.min())
+        max_v = float(samples.max())
+        return cls(
+            vdd_nominal=vdd_nominal,
+            min_v=min_v,
+            max_v=max_v,
+            mean_v=float(samples.mean()),
+            max_droop_v=max(0.0, vdd_nominal - min_v),
+            max_overshoot_v=max(0.0, max_v - vdd_nominal),
+            samples=int(samples.size),
+        )
+
+
+def droop_events(
+    samples: np.ndarray,
+    *,
+    threshold_v: float,
+) -> list[DroopEvent]:
+    """Segment a waveform into excursions below *threshold_v*.
+
+    Each maximal run of consecutive samples below the threshold is one
+    event, like an oscilloscope trigger capturing each crossing.
+    """
+    samples = np.asarray(samples, dtype=np.float64)
+    below = samples < threshold_v
+    if not below.any():
+        return []
+    # Find run boundaries of the boolean mask.
+    padded = np.concatenate([[False], below, [False]])
+    edges = np.flatnonzero(padded[1:] != padded[:-1])
+    starts, ends = edges[0::2], edges[1::2]
+    return [
+        DroopEvent(
+            start_index=int(s),
+            end_index=int(e),
+            min_v=float(samples[s:e].min()),
+        )
+        for s, e in zip(starts, ends)
+    ]
+
+
+@dataclass(frozen=True)
+class DroopHistogram:
+    """Histogram of sampled supply voltage (paper Fig. 10)."""
+
+    counts: np.ndarray
+    bin_edges: np.ndarray
+    vdd_nominal: float
+
+    @classmethod
+    def from_samples(
+        cls,
+        samples: np.ndarray,
+        vdd_nominal: float,
+        *,
+        bins: int = 120,
+        v_range: tuple[float, float] | None = None,
+    ) -> "DroopHistogram":
+        samples = np.asarray(samples, dtype=np.float64)
+        if samples.size == 0:
+            raise MeasurementError("cannot histogram an empty waveform")
+        if bins < 2:
+            raise MeasurementError("need at least 2 bins")
+        counts, edges = np.histogram(samples, bins=bins, range=v_range)
+        return cls(counts=counts, bin_edges=edges, vdd_nominal=vdd_nominal)
+
+    @property
+    def bin_centers(self) -> np.ndarray:
+        return 0.5 * (self.bin_edges[:-1] + self.bin_edges[1:])
+
+    @property
+    def total_samples(self) -> int:
+        return int(self.counts.sum())
+
+    @property
+    def modal_voltage(self) -> float:
+        """Bin centre with the most samples."""
+        return float(self.bin_centers[int(np.argmax(self.counts))])
+
+    def tail_fraction(self, below_v: float) -> float:
+        """Fraction of samples strictly below *below_v*.
+
+        The paper's failure discussion keys on the weight of the
+        low-voltage tail, not just its deepest point.
+        """
+        mask = self.bin_centers < below_v
+        return float(self.counts[mask].sum()) / max(1, self.total_samples)
+
+    def spread_v(self) -> float:
+        """Width of the occupied voltage range (max - min occupied bins)."""
+        occupied = np.flatnonzero(self.counts)
+        if occupied.size == 0:
+            return 0.0
+        lo = self.bin_edges[occupied[0]]
+        hi = self.bin_edges[occupied[-1] + 1]
+        return float(hi - lo)

@@ -1,0 +1,105 @@
+"""Voltage-at-failure model: timing margin on the paths actually exercised.
+
+Paper Section V.A.4's central insight is that the measured droop is *not*
+the only failure indicator: SM2's droop is comparable to ordinary
+benchmarks, yet SM2 fails at a much higher supply voltage because it
+exercises **sensitive paths**.  We model this directly:
+
+* every opcode carries a ``path_sensitivity`` (see
+  :mod:`repro.isa.opcodes`); the machine model emits a per-cycle
+  sensitivity trace — the most sensitive path active each cycle;
+* a cycle fails when the instantaneous on-die voltage falls below the
+  requirement of the most sensitive active path:
+
+      v(t)  <  vcrit_base * sensitivity(t)
+
+* the failure experiment lowers the supply in fixed decrements (the paper
+  uses 12.5 mV) and reports the first voltage at which any cycle fails.
+
+Cycles with no in-flight computation (sensitivity 0) impose only a
+retention floor far below any operating point, so they never fail first.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+import numpy as np
+
+from repro.errors import MeasurementError
+from repro.pdn.transient import VoltageTrace
+
+#: Paper's supply decrement for the failure search.
+FAILURE_STEP_V = 0.0125
+
+
+@dataclass(frozen=True)
+class FailureModel:
+    """Critical-path voltage requirements.
+
+    ``vcrit_base`` is the minimum voltage at which the *typical* (1.0
+    sensitivity) path still meets timing; a path with sensitivity ``s``
+    requires ``vcrit_base * s``.
+    """
+
+    vcrit_base: float
+
+    def __post_init__(self) -> None:
+        if self.vcrit_base <= 0:
+            raise MeasurementError("vcrit_base must be positive")
+
+    def fails(self, voltage: VoltageTrace, sensitivity: np.ndarray) -> bool:
+        """Does any cycle violate its active path's voltage requirement?"""
+        sens = np.asarray(sensitivity, dtype=np.float64)
+        n = min(len(voltage.samples), len(sens))
+        if n == 0:
+            raise MeasurementError("empty voltage or sensitivity trace")
+        v = voltage.samples[:n]
+        required = self.vcrit_base * sens[:n]
+        return bool(np.any(v < required))
+
+    def margin_v(self, voltage: VoltageTrace, sensitivity: np.ndarray) -> float:
+        """Worst-case margin: min over cycles of (v - required).
+
+        Negative values mean the run fails.  The margin tells you how much
+        additional supply droop (or supply reduction) the run tolerates.
+        """
+        sens = np.asarray(sensitivity, dtype=np.float64)
+        n = min(len(voltage.samples), len(sens))
+        if n == 0:
+            raise MeasurementError("empty voltage or sensitivity trace")
+        active = sens[:n] > 0
+        if not active.any():
+            return float("inf")
+        v = voltage.samples[:n][active]
+        required = self.vcrit_base * sens[:n][active]
+        return float(np.min(v - required))
+
+
+def voltage_at_failure(
+    run_at: Callable[[float], tuple[VoltageTrace, np.ndarray]],
+    model: FailureModel,
+    *,
+    vdd_nominal: float,
+    step_v: float = FAILURE_STEP_V,
+    max_steps: int = 60,
+) -> float:
+    """Lower the supply in *step_v* decrements until the run fails.
+
+    ``run_at(vs)`` re-measures the program at supply ``vs`` (lower supply
+    means proportionally more current for the same energy, hence deeper
+    droops — the same feedback real hardware shows).  Returns the first
+    failing supply voltage.  Raises if the program still passes after
+    *max_steps* decrements (the model would then be mis-calibrated).
+    """
+    if step_v <= 0:
+        raise MeasurementError("step_v must be positive")
+    for k in range(max_steps + 1):
+        vs = vdd_nominal - k * step_v
+        voltage, sensitivity = run_at(vs)
+        if model.fails(voltage, sensitivity):
+            return vs
+    raise MeasurementError(
+        f"no failure found within {max_steps} decrements below {vdd_nominal} V"
+    )

@@ -1,0 +1,98 @@
+"""Oscilloscope model: the measurement instrument of the hardware path.
+
+Mirrors the paper's set-up (Section IV): a Tektronix scope with a
+differential probe at the package/die supply connection, triggering on large
+droops at 5 GS/s for droop capture and 100 MS/s for the long natural-
+dithering scope shots of Fig. 6.
+
+The scope resamples a simulated :class:`~repro.pdn.transient.VoltageTrace`
+(whose native rate is the core clock) at its own sample rate, in either
+plain decimation mode or min/max **peak-detect** mode (real scopes use peak
+detect for exactly this reason: a 100 MS/s stream must not miss a 3-ns
+droop).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import MeasurementError
+from repro.measure.droop import DroopEvent, DroopHistogram, DroopStatistics, droop_events
+from repro.pdn.transient import VoltageTrace
+
+
+@dataclass(frozen=True)
+class ScopeCapture:
+    """One scope acquisition."""
+
+    samples: np.ndarray
+    sample_rate_hz: float
+    vdd_nominal: float
+
+    def statistics(self) -> DroopStatistics:
+        return DroopStatistics.from_samples(self.samples, self.vdd_nominal)
+
+    def histogram(self, *, bins: int = 120,
+                  v_range: tuple[float, float] | None = None) -> DroopHistogram:
+        return DroopHistogram.from_samples(
+            self.samples, self.vdd_nominal, bins=bins, v_range=v_range
+        )
+
+    def triggered_droops(self, threshold_v: float) -> list[DroopEvent]:
+        return droop_events(self.samples, threshold_v=threshold_v)
+
+    @property
+    def duration_s(self) -> float:
+        return len(self.samples) / self.sample_rate_hz
+
+
+class Oscilloscope:
+    """Voltage-probe front end with configurable rate and acquisition mode."""
+
+    def __init__(self, sample_rate_hz: float = 5e9, *, peak_detect: bool = True):
+        if sample_rate_hz <= 0:
+            raise MeasurementError("sample rate must be positive")
+        self.sample_rate_hz = sample_rate_hz
+        self.peak_detect = peak_detect
+
+    def capture(self, trace: VoltageTrace) -> ScopeCapture:
+        """Acquire *trace* at the scope's sample rate.
+
+        When the scope is slower than the signal's native rate, plain mode
+        keeps every Nth sample while peak-detect mode keeps the *minimum* of
+        each N-sample window (droops are what we are hunting).  When the
+        scope is as fast or faster, the native samples pass through — the
+        simulation can't invent information between clock cycles.
+        """
+        native_rate = 1.0 / trace.dt
+        stride = max(1, int(round(native_rate / self.sample_rate_hz)))
+        if stride == 1:
+            samples = trace.samples.copy()
+            effective_rate = native_rate
+        elif self.peak_detect:
+            usable = (len(trace.samples) // stride) * stride
+            if usable == 0:
+                raise MeasurementError("trace shorter than one scope sample window")
+            windows = trace.samples[:usable].reshape(-1, stride)
+            samples = windows.min(axis=1)
+            effective_rate = native_rate / stride
+        else:
+            samples = trace.samples[::stride].copy()
+            effective_rate = native_rate / stride
+        return ScopeCapture(
+            samples=samples,
+            sample_rate_hz=effective_rate,
+            vdd_nominal=trace.vdd_nominal,
+        )
+
+
+def droop_capture_scope() -> Oscilloscope:
+    """The 5 GS/s droop-triggered configuration of paper Section IV."""
+    return Oscilloscope(5e9, peak_detect=True)
+
+
+def dithering_scope() -> Oscilloscope:
+    """The 100 MS/s configuration used for Fig. 6's natural-dithering shot."""
+    return Oscilloscope(100e6, peak_detect=True)

@@ -1,0 +1,53 @@
+"""Thread-to-module placement policies.
+
+Paper Section V.A: "higher voltage droops occur for a given number of
+threads when threads are spatially distributed across modules.  Hence, for
+the 1T, 2T, and 4T runs, each thread is assigned to a different module.
+For the 8T runs, there are two threads assigned to each module."
+"""
+
+from __future__ import annotations
+
+from repro.errors import ConfigurationError
+from repro.uarch.config import ChipConfig
+
+
+def spread_placement(chip: ChipConfig, thread_count: int) -> list[int]:
+    """Threads per module under the paper's spread-first policy.
+
+    Fills one thread per module before doubling up, e.g. on a 4-module
+    2-thread chip: 1T→[1,0,0,0], 2T→[1,1,0,0], 4T→[1,1,1,1], 8T→[2,2,2,2].
+    """
+    if thread_count < 1:
+        raise ConfigurationError("thread_count must be >= 1")
+    if thread_count > chip.total_threads:
+        raise ConfigurationError(
+            f"{chip.name} supports at most {chip.total_threads} threads"
+        )
+    counts = [0] * chip.module_count
+    for i in range(thread_count):
+        counts[i % chip.module_count] += 1
+    if max(counts) > chip.module.threads:
+        raise ConfigurationError("placement exceeded per-module thread capacity")
+    return counts
+
+
+def packed_placement(chip: ChipConfig, thread_count: int) -> list[int]:
+    """Threads per module packing modules full before moving on.
+
+    The anti-policy to :func:`spread_placement`; used to study shared-
+    resource interference at low thread counts.
+    """
+    if thread_count < 1:
+        raise ConfigurationError("thread_count must be >= 1")
+    if thread_count > chip.total_threads:
+        raise ConfigurationError(
+            f"{chip.name} supports at most {chip.total_threads} threads"
+        )
+    counts = [0] * chip.module_count
+    remaining = thread_count
+    for module in range(chip.module_count):
+        take = min(remaining, chip.module.threads)
+        counts[module] = take
+        remaining -= take
+    return counts

@@ -1,0 +1,102 @@
+"""OS interference model: timer ticks and natural dithering.
+
+Paper Section III.A observes that on a Windows system the OS timer tick
+(~16 ms) perturbs the relative phase of identical short loops running on
+different cores — **natural dithering**.  Every tick, interrupt handling
+steals a different number of cycles on each core, re-randomising the
+alignment vector; when the phases happen to align, the resonant droop
+maximises (the centre of Fig. 6's scope shot).
+
+The model is deliberately simple: at each tick boundary every non-reference
+core's phase offset is redrawn uniformly over the loop period.  That is
+exactly the statistical behaviour the paper leverages, and it is the reason
+the dithering *algorithm* (Section III.B) exists — relying on the OS to
+align threads is not dependable.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+
+#: Windows timer tick period the paper observed (Section III.A: ~16 ms).
+WINDOWS_TICK_S = 15.6e-3
+
+
+@dataclass(frozen=True)
+class TickPhases:
+    """Alignment state during one tick interval."""
+
+    start_s: float
+    duration_s: float
+    phases: tuple[int, ...]
+
+    def misalignment(self, period: int) -> int:
+        """Worst circular distance of any core from the reference core."""
+        worst = 0
+        for phase in self.phases:
+            offset = phase % period
+            worst = max(worst, min(offset, period - offset))
+        return worst
+
+
+class OsInterferenceModel:
+    """Generates per-tick phase perturbations for a set of cores."""
+
+    def __init__(
+        self,
+        *,
+        tick_period_s: float = WINDOWS_TICK_S,
+        seed: int | None = None,
+    ):
+        if tick_period_s <= 0:
+            raise ConfigurationError("tick period must be positive")
+        self.tick_period_s = tick_period_s
+        self._rng = np.random.default_rng(seed)
+
+    def natural_dithering(
+        self,
+        *,
+        duration_s: float,
+        cores: int,
+        loop_period_cycles: int,
+    ) -> list[TickPhases]:
+        """Phase history over *duration_s* of running a short loop.
+
+        Core 0 is the phase reference; the other ``cores - 1`` phases are
+        redrawn uniformly in [0, loop_period_cycles) at every tick.
+        """
+        if duration_s <= 0:
+            raise ConfigurationError("duration must be positive")
+        if cores < 1:
+            raise ConfigurationError("need at least one core")
+        if loop_period_cycles < 1:
+            raise ConfigurationError("loop period must be >= 1 cycle")
+        ticks = []
+        t = 0.0
+        while t < duration_s:
+            span = min(self.tick_period_s, duration_s - t)
+            others = self._rng.integers(0, loop_period_cycles, size=cores - 1)
+            ticks.append(
+                TickPhases(
+                    start_s=t,
+                    duration_s=span,
+                    phases=(0, *map(int, others)),
+                )
+            )
+            t += span
+        return ticks
+
+    def interrupt_cycle_cost(self, *, frequency_hz: float) -> int:
+        """Cycles stolen by one tick's interrupt handling (randomised).
+
+        Used by workload models to inject activity gaps; magnitude is a few
+        microseconds of handler time.
+        """
+        if frequency_hz <= 0:
+            raise ConfigurationError("frequency must be positive")
+        micros = self._rng.uniform(0.5, 3.0)
+        return int(micros * 1e-6 * frequency_hz)

@@ -1,0 +1,175 @@
+"""Lumped power-distribution-network parameters.
+
+Paper Fig. 2 models the PDN as a three-stage RLC ladder — motherboard,
+package, and die — each stage a series R+L feeding a decoupling capacitor
+(with effective series resistance).  The three L/C interactions produce the
+first, second, and third droop resonances of Fig. 3:
+
+* **first droop** — package + die inductance against on-die decap,
+  50–200 MHz (the one the paper, and this library, targets);
+* **second droop** — socket/package inductance against package decap,
+  low MHz;
+* **third droop** — board inductance against bulk decap, tens–hundreds kHz.
+
+Presets are tuned so the Bulldozer-like testbed resonates near 100 MHz and
+the Phenom-like one near 80 MHz, with realistic milliohm-scale peak
+impedances.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.errors import ConfigurationError
+
+
+@dataclass(frozen=True)
+class LadderStage:
+    """One RLC ladder stage: series R and L feeding a shunt capacitor.
+
+    Parameters
+    ----------
+    resistance_ohm:
+        Series (path) resistance of this stage.
+    inductance_h:
+        Series inductance of this stage.
+    capacitance_f:
+        Decoupling capacitance hanging off the stage's output node.
+    esr_ohm:
+        Effective series resistance of the decap (damping).
+    """
+
+    resistance_ohm: float
+    inductance_h: float
+    capacitance_f: float
+    esr_ohm: float
+
+    def __post_init__(self) -> None:
+        for name in ("resistance_ohm", "inductance_h", "capacitance_f", "esr_ohm"):
+            if getattr(self, name) <= 0:
+                raise ConfigurationError(f"{name} must be positive")
+
+    @property
+    def natural_frequency_hz(self) -> float:
+        """Undamped resonance 1/(2*pi*sqrt(LC)) of this stage in isolation."""
+        return 1.0 / (2.0 * math.pi * math.sqrt(self.inductance_h * self.capacitance_f))
+
+    @property
+    def characteristic_impedance_ohm(self) -> float:
+        """sqrt(L/C) — sets the scale of the resonant impedance peak."""
+        return math.sqrt(self.inductance_h / self.capacitance_f)
+
+    @property
+    def quality_factor(self) -> float:
+        """Approximate Q of the stage tank (char. impedance over total R)."""
+        return self.characteristic_impedance_ohm / (self.resistance_ohm + self.esr_ohm)
+
+
+@dataclass(frozen=True)
+class PdnParameters:
+    """Full three-stage PDN description plus the VRM.
+
+    ``board`` is the motherboard stage (third droop), ``package`` the
+    socket/package stage (second droop), and ``die`` the package-to-die
+    stage (first droop).  ``load_line_ohm`` is the VRM load-line output
+    impedance; paper Fig. 9 measurements disable it, which is the default
+    here (:meth:`with_load_line` re-enables it).
+    """
+
+    vdd_nominal: float
+    board: LadderStage
+    package: LadderStage
+    die: LadderStage
+    load_line_ohm: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.vdd_nominal <= 0:
+            raise ConfigurationError("vdd_nominal must be positive")
+        if self.load_line_ohm < 0:
+            raise ConfigurationError("load_line_ohm must be non-negative")
+        # The stages must be ordered board -> package -> die by frequency.
+        f3 = self.board.natural_frequency_hz
+        f2 = self.package.natural_frequency_hz
+        f1 = self.die.natural_frequency_hz
+        if not f3 < f2 < f1:
+            raise ConfigurationError(
+                "stage natural frequencies must increase board < package < die "
+                f"(got {f3:.3g}, {f2:.3g}, {f1:.3g} Hz)"
+            )
+
+    @property
+    def stages(self) -> tuple[LadderStage, LadderStage, LadderStage]:
+        """Stages ordered from VRM to die."""
+        return (self.board, self.package, self.die)
+
+    @property
+    def dc_resistance_ohm(self) -> float:
+        """Total series path resistance (plus load line when enabled)."""
+        return (
+            self.load_line_ohm
+            + self.board.resistance_ohm
+            + self.package.resistance_ohm
+            + self.die.resistance_ohm
+        )
+
+    @property
+    def first_droop_frequency_hz(self) -> float:
+        """Nominal (undamped, isolated) first-droop resonance frequency."""
+        return self.die.natural_frequency_hz
+
+    def with_load_line(self, load_line_ohm: float) -> "PdnParameters":
+        """Copy of these parameters with the VRM load line set."""
+        return PdnParameters(
+            vdd_nominal=self.vdd_nominal,
+            board=self.board,
+            package=self.package,
+            die=self.die,
+            load_line_ohm=load_line_ohm,
+        )
+
+
+def bulldozer_pdn(vdd: float = 1.2) -> PdnParameters:
+    """PDN preset for the Bulldozer-like testbed (first droop ≈ 100 MHz)."""
+    return PdnParameters(
+        vdd_nominal=vdd,
+        board=LadderStage(
+            resistance_ohm=0.15e-3,
+            inductance_h=9.4e-9,   # board spreading + VRM output inductance
+            capacitance_f=3.0e-3,  # bulk electrolytics
+            esr_ohm=2.0e-3,
+        ),
+        package=LadderStage(
+            resistance_ohm=0.1e-3,
+            inductance_h=0.20e-9,   # socket + package planes
+            capacitance_f=30.0e-6,  # package ceramics
+            esr_ohm=1.2e-3,
+        ),
+        die=LadderStage(
+            resistance_ohm=0.05e-3,
+            inductance_h=5.06e-12,  # package-to-die + on-die grid
+            capacitance_f=0.5e-6,   # on-die decap
+            esr_ohm=0.2e-3,
+        ),
+    )
+
+
+def phenom_pdn(vdd: float = 1.3) -> PdnParameters:
+    """PDN preset for the Phenom-II-like testbed (first droop ≈ 80 MHz).
+
+    Same board (the paper swaps only the processor on the same board,
+    Section V.C); different die stage because the older 45-nm part has less
+    on-die decap and a different package.
+    """
+    base = bulldozer_pdn(vdd)
+    return PdnParameters(
+        vdd_nominal=vdd,
+        board=base.board,
+        package=base.package,
+        die=LadderStage(
+            resistance_ohm=0.08e-3,
+            inductance_h=8.8e-12,
+            capacitance_f=0.45e-6,  # -> ~80 MHz first droop
+            esr_ohm=0.3e-3,
+        ),
+    )

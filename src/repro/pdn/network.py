@@ -1,0 +1,105 @@
+"""State-space assembly of the three-stage PDN ladder.
+
+The ladder of paper Fig. 2 is a sixth-order linear system: three inductor
+currents and three capacitor voltages.  We assemble the continuous-time
+state-space matrices once and expose:
+
+* the **frequency response** (impedance seen by the die load), which gives
+  Fig. 3's resonance peaks analytically, and
+* the (A, B, C, D) deviation model used by the transient solver, where the
+  input is the die load current and the output is the on-die supply voltage.
+
+Sign conventions: state is the *deviation* from the zero-load equilibrium
+(all node voltages at Vdd, no current flowing), the input is load current in
+amperes (positive = drawing current), and the output is ``v_die - Vdd``
+(negative values are droops).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import PdnError
+from repro.pdn.elements import PdnParameters
+
+
+class PdnNetwork:
+    """The assembled PDN: matrices plus frequency-domain queries."""
+
+    #: State ordering: [i_board, i_pkg, i_die, v_board, v_pkg, v_die].
+    STATE_DIM = 6
+
+    def __init__(self, params: PdnParameters):
+        self.params = params
+        self._assemble()
+
+    def _assemble(self) -> None:
+        p = self.params
+        r_ll = p.load_line_ohm
+        s1, s2, s3 = p.board, p.package, p.die
+        rs1 = s1.resistance_ohm + r_ll  # load line acts as extra VRM series R
+        rs2, rs3 = s2.resistance_ohm, s3.resistance_ohm
+        r1, r2, r3 = s1.esr_ohm, s2.esr_ohm, s3.esr_ohm
+        l1, l2, l3 = s1.inductance_h, s2.inductance_h, s3.inductance_h
+        c1, c2, c3 = s1.capacitance_f, s2.capacitance_f, s3.capacitance_f
+
+        a = np.zeros((6, 6))
+        # L1 di1/dt = -(rs1 + r1) i1 + r1 i2 - v1          (+ Vs, folded out)
+        a[0, :] = [-(rs1 + r1) / l1, r1 / l1, 0.0, -1.0 / l1, 0.0, 0.0]
+        # L2 di2/dt = r1 i1 - (r1 + rs2 + r2) i2 + r2 i3 + v1 - v2
+        a[1, :] = [r1 / l2, -(r1 + rs2 + r2) / l2, r2 / l2, 1.0 / l2, -1.0 / l2, 0.0]
+        # L3 di3/dt = r2 i2 - (r2 + rs3 + r3) i3 + v2 - v3  (+ r3 I via B)
+        a[2, :] = [0.0, r2 / l3, -(r2 + rs3 + r3) / l3, 0.0, 1.0 / l3, -1.0 / l3]
+        # C1 dv1/dt = i1 - i2
+        a[3, :] = [1.0 / c1, -1.0 / c1, 0.0, 0.0, 0.0, 0.0]
+        # C2 dv2/dt = i2 - i3
+        a[4, :] = [0.0, 1.0 / c2, -1.0 / c2, 0.0, 0.0, 0.0]
+        # C3 dv3/dt = i3 - I
+        a[5, :] = [0.0, 0.0, 1.0 / c3, 0.0, 0.0, 0.0]
+
+        b = np.zeros((6, 1))
+        b[2, 0] = r3 / l3
+        b[5, 0] = -1.0 / c3
+
+        c = np.zeros((1, 6))
+        c[0, 2] = r3
+        c[0, 5] = 1.0
+        d = np.array([[-r3]])
+
+        self.a_matrix = a
+        self.b_matrix = b
+        self.c_matrix = c
+        self.d_matrix = d
+
+    # ------------------------------------------------------------------
+    # Frequency domain
+    # ------------------------------------------------------------------
+    def transfer(self, frequencies_hz: np.ndarray) -> np.ndarray:
+        """Complex transfer function H(f) from load current to (v_die - Vdd).
+
+        ``H(0)`` equals minus the DC path resistance; at the first-droop
+        resonance ``|H|`` peaks.
+        """
+        freqs = np.atleast_1d(np.asarray(frequencies_hz, dtype=np.float64))
+        if np.any(freqs < 0):
+            raise PdnError("frequencies must be non-negative")
+        s_values = 2j * np.pi * freqs
+        eye = np.eye(self.STATE_DIM)
+        out = np.empty(len(freqs), dtype=np.complex128)
+        for idx, s in enumerate(s_values):
+            m = s * eye - self.a_matrix
+            x = np.linalg.solve(m, self.b_matrix)
+            out[idx] = (self.c_matrix @ x + self.d_matrix)[0, 0]
+        return out
+
+    def impedance(self, frequencies_hz: np.ndarray) -> np.ndarray:
+        """|Z(f)| seen by the die load (ohms) — the curve of paper Fig. 3."""
+        return np.abs(self.transfer(frequencies_hz))
+
+    def dc_droop(self, current_a: float) -> float:
+        """Steady-state IR droop (volts, positive) at constant load."""
+        return self.params.dc_resistance_ohm * current_a
+
+    def __repr__(self) -> str:
+        f1 = self.params.first_droop_frequency_hz
+        return f"PdnNetwork(vdd={self.params.vdd_nominal}, f1~{f1 / 1e6:.0f}MHz)"

@@ -1,0 +1,94 @@
+"""Energy-to-current conversion: the electrical side of the power model.
+
+The pipeline model produces *per-cycle dynamic energy* (picojoules) from
+instruction activity.  This module converts that to the *load current*
+waveform the PDN sees:
+
+    I(cycle) = I_leak + I_idle_clk + E_dyn(cycle) / (Vdd * T_clk)
+
+where ``I_leak`` is leakage (always present), ``I_idle_clk`` is the clock
+tree and always-on logic of an active core, and the last term is switching
+current.  Aggressive power management (Bulldozer) gates the clock tree in
+idle regions, giving a larger swing between HP and LP phases; the older
+Phenom II "does not manage power as aggressively" (paper Section V.C), which
+we model with a larger non-gateable idle fraction.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+
+
+@dataclass(frozen=True)
+class PowerParameters:
+    """Electrical constants of one core.
+
+    Parameters
+    ----------
+    leakage_a:
+        Leakage current per core (A), independent of activity.
+    idle_clock_a:
+        Current of the running clock tree / always-on logic per core (A).
+    clock_gating_efficiency:
+        Fraction of ``idle_clock_a`` removed during cycles with zero dynamic
+        energy (clock gating).  1.0 = perfect gating (big di/dt swing),
+        0.0 = no gating (Phenom-like, small swing).
+    """
+
+    leakage_a: float = 1.5
+    idle_clock_a: float = 3.0
+    clock_gating_efficiency: float = 0.85
+
+    def __post_init__(self) -> None:
+        if self.leakage_a < 0 or self.idle_clock_a < 0:
+            raise ConfigurationError("currents must be non-negative")
+        if not 0.0 <= self.clock_gating_efficiency <= 1.0:
+            raise ConfigurationError("clock_gating_efficiency must be in [0, 1]")
+
+
+class EnergyModel:
+    """Convert per-cycle dynamic energy into per-cycle load current.
+
+    One instance is bound to an operating point (supply voltage and clock
+    frequency); changing the operating point (e.g. the voltage-at-failure
+    sweep of paper Section V.A.4) means building a new instance.
+    """
+
+    def __init__(self, params: PowerParameters, vdd: float, frequency_hz: float):
+        if vdd <= 0:
+            raise ConfigurationError("vdd must be positive")
+        if frequency_hz <= 0:
+            raise ConfigurationError("frequency must be positive")
+        self.params = params
+        self.vdd = vdd
+        self.frequency_hz = frequency_hz
+        self.cycle_time_s = 1.0 / frequency_hz
+
+    def current_from_energy(self, energies_pj: np.ndarray) -> np.ndarray:
+        """Per-cycle core current (A) from per-cycle dynamic energy (pJ).
+
+        Cycles with zero dynamic energy are treated as clock-gated: the
+        gateable fraction of the idle-clock current is removed.
+        """
+        energies_pj = np.asarray(energies_pj, dtype=np.float64)
+        if np.any(energies_pj < 0):
+            raise ConfigurationError("per-cycle energies must be non-negative")
+        dynamic = energies_pj * 1e-12 / (self.vdd * self.cycle_time_s)
+        p = self.params
+        active_clock = p.idle_clock_a * np.ones_like(dynamic)
+        gated = p.idle_clock_a * (1.0 - p.clock_gating_efficiency)
+        active_clock[dynamic == 0.0] = gated
+        return p.leakage_a + active_clock + dynamic
+
+    def idle_current(self) -> float:
+        """Current of a fully idle (clock-gated) core (A)."""
+        p = self.params
+        return p.leakage_a + p.idle_clock_a * (1.0 - p.clock_gating_efficiency)
+
+    def energy_to_amps(self, energy_pj: float) -> float:
+        """Scalar conversion: dynamic energy in one cycle to amps."""
+        return energy_pj * 1e-12 / (self.vdd * self.cycle_time_s)

@@ -1,0 +1,161 @@
+"""Current traces: sampled load-current waveforms.
+
+A :class:`CurrentTrace` is a numpy-backed, uniformly sampled current
+waveform.  The machine model emits one trace per core; traces from all cores
+are summed into the chip load current that drives the PDN.  Periodic
+stressmark traces are stored as a single period and tiled / phase-rolled,
+which is what makes GA fitness evaluation and dithering sweeps fast.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+
+
+@dataclass(frozen=True)
+class CurrentTrace:
+    """A uniformly sampled current waveform.
+
+    Attributes
+    ----------
+    samples:
+        Current in amperes, one value per sample interval.
+    dt:
+        Sample interval in seconds (usually one clock cycle).
+    """
+
+    samples: np.ndarray
+    dt: float
+
+    def __post_init__(self) -> None:
+        samples = np.asarray(self.samples, dtype=np.float64)
+        if samples.ndim != 1:
+            raise ConfigurationError("current trace must be one-dimensional")
+        if samples.size == 0:
+            raise ConfigurationError("current trace may not be empty")
+        if self.dt <= 0:
+            raise ConfigurationError("dt must be positive")
+        object.__setattr__(self, "samples", samples)
+
+    def __len__(self) -> int:
+        return len(self.samples)
+
+    @property
+    def duration_s(self) -> float:
+        """Total trace duration in seconds."""
+        return len(self.samples) * self.dt
+
+    @property
+    def mean_a(self) -> float:
+        return float(self.samples.mean())
+
+    @property
+    def peak_a(self) -> float:
+        return float(self.samples.max())
+
+    @property
+    def swing_a(self) -> float:
+        """Peak-to-trough current swing (the raw di driver of di/dt)."""
+        return float(self.samples.max() - self.samples.min())
+
+    def tile(self, repetitions: int) -> "CurrentTrace":
+        """Repeat the waveform *repetitions* times (loop iterations)."""
+        if repetitions < 1:
+            raise ConfigurationError("repetitions must be >= 1")
+        return CurrentTrace(np.tile(self.samples, repetitions), self.dt)
+
+    def roll(self, shift_samples: int) -> "CurrentTrace":
+        """Circularly shift the waveform by *shift_samples* (phase offset).
+
+        Positive shift delays the waveform.  Only meaningful for periodic
+        traces (one period or whole tiles).
+        """
+        return CurrentTrace(np.roll(self.samples, shift_samples), self.dt)
+
+    def pad(self, leading: int = 0, trailing: int = 0, level: float = 0.0) -> "CurrentTrace":
+        """Extend the trace with constant-current samples on either end."""
+        if leading < 0 or trailing < 0:
+            raise ConfigurationError("padding must be non-negative")
+        samples = np.concatenate([
+            np.full(leading, level),
+            self.samples,
+            np.full(trailing, level),
+        ])
+        return CurrentTrace(samples, self.dt)
+
+    def __add__(self, other: "CurrentTrace") -> "CurrentTrace":
+        """Sum two equally sampled, equal-length traces (core superposition)."""
+        if not isinstance(other, CurrentTrace):
+            return NotImplemented
+        if abs(other.dt - self.dt) > 1e-18:
+            raise ConfigurationError("cannot add traces with different dt")
+        if len(other) != len(self):
+            raise ConfigurationError("cannot add traces with different lengths")
+        return CurrentTrace(self.samples + other.samples, self.dt)
+
+    def scaled(self, factor: float) -> "CurrentTrace":
+        """Trace with all samples multiplied by *factor*."""
+        return CurrentTrace(self.samples * factor, self.dt)
+
+
+def sum_traces(traces: list[CurrentTrace] | tuple[CurrentTrace, ...]) -> CurrentTrace:
+    """Sum many traces (all cores into the shared PDN load).
+
+    Shorter traces are zero-padded at the end to the longest length —
+    a core that finishes early simply stops drawing dynamic current.
+    """
+    if not traces:
+        raise ConfigurationError("sum_traces needs at least one trace")
+    dt = traces[0].dt
+    longest = max(len(t) for t in traces)
+    total = np.zeros(longest, dtype=np.float64)
+    for t in traces:
+        if abs(t.dt - dt) > 1e-18:
+            raise ConfigurationError("all traces must share the same dt")
+        total[: len(t)] += t.samples
+    return CurrentTrace(total, dt)
+
+
+def square_wave(
+    high_a: float,
+    low_a: float,
+    high_samples: int,
+    low_samples: int,
+    periods: int,
+    dt: float,
+) -> CurrentTrace:
+    """An idealised HP/LP periodic load (paper Fig. 7).
+
+    Used by the resonance sweep and by tests that need a known-frequency
+    excitation without running the pipeline model.
+    """
+    if high_samples < 0 or low_samples < 0 or high_samples + low_samples == 0:
+        raise ConfigurationError("need a positive period length")
+    if periods < 1:
+        raise ConfigurationError("periods must be >= 1")
+    one = np.concatenate([
+        np.full(high_samples, float(high_a)),
+        np.full(low_samples, float(low_a)),
+    ])
+    return CurrentTrace(np.tile(one, periods), dt)
+
+
+def step_load(
+    low_a: float,
+    high_a: float,
+    low_samples: int,
+    high_samples: int,
+    dt: float,
+) -> CurrentTrace:
+    """A single low→high current step (first-droop excitation event)."""
+    if low_samples < 1 or high_samples < 1:
+        raise ConfigurationError("step_load needs samples on both sides")
+    samples = np.concatenate([
+        np.full(low_samples, float(low_a)),
+        np.full(high_samples, float(high_a)),
+    ])
+    return CurrentTrace(samples, dt)

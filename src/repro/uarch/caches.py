@@ -1,0 +1,70 @@
+"""Cache hierarchy model.
+
+The testbed chips have per-module L2 and a shared L3 (paper Section IV).
+Stressmark loops touch a working set that fits L1, so for generated code the
+hierarchy contributes an L1 latency and energy; the synthetic benchmark
+models (:mod:`repro.workloads`) use the deeper levels to shape their
+memory-bound phases (a long-latency miss followed by a burst of activity is
+one of the paper's named droop inducers).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from enum import Enum
+
+from repro.errors import ConfigurationError
+
+
+class CacheLevel(str, Enum):
+    """Where a memory access hits."""
+
+    L1 = "l1"
+    L2 = "l2"
+    L3 = "l3"
+    MEMORY = "memory"
+
+
+@dataclass(frozen=True)
+class CacheLevelSpec:
+    """Latency and access energy of one level."""
+
+    latency_cycles: int
+    energy_pj: float
+
+    def __post_init__(self) -> None:
+        if self.latency_cycles < 1:
+            raise ConfigurationError("latency must be >= 1 cycle")
+        if self.energy_pj < 0:
+            raise ConfigurationError("energy must be non-negative")
+
+
+@dataclass(frozen=True)
+class CacheHierarchy:
+    """The full hierarchy; defaults approximate the Bulldozer testbed."""
+
+    l1: CacheLevelSpec = field(default_factory=lambda: CacheLevelSpec(4, 110.0))
+    l2: CacheLevelSpec = field(default_factory=lambda: CacheLevelSpec(21, 360.0))
+    l3: CacheLevelSpec = field(default_factory=lambda: CacheLevelSpec(65, 820.0))
+    memory: CacheLevelSpec = field(default_factory=lambda: CacheLevelSpec(220, 1900.0))
+
+    def spec(self, level: CacheLevel) -> CacheLevelSpec:
+        """Return the spec for *level*."""
+        mapping = {
+            CacheLevel.L1: self.l1,
+            CacheLevel.L2: self.l2,
+            CacheLevel.L3: self.l3,
+            CacheLevel.MEMORY: self.memory,
+        }
+        try:
+            return mapping[level]
+        except KeyError:
+            raise ConfigurationError(f"unknown cache level: {level!r}") from None
+
+    def load_latency(self, level: CacheLevel = CacheLevel.L1) -> int:
+        """Load-to-use latency for a hit at *level*."""
+        return self.spec(level).latency_cycles
+
+    def access_energy(self, level: CacheLevel = CacheLevel.L1) -> float:
+        """Energy of one access hitting at *level* (pJ)."""
+        return self.spec(level).energy_pj

@@ -1,0 +1,191 @@
+"""Machine configuration: cores, modules, and whole chips.
+
+The primary testbed mirrors the paper's (Section IV): four AMD Bulldozer
+modules, each running two threads through a **shared front end and shared
+floating-point unit** but dedicated integer clusters.  The secondary testbed
+is a Phenom-II-like chip: four independent single-threaded cores, no FMA4,
+and less aggressive power management.
+
+These dataclasses are pure configuration; execution lives in
+:mod:`repro.uarch.module` and :mod:`repro.uarch.chip`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+
+from repro.errors import ConfigurationError
+from repro.power.energy import PowerParameters
+from repro.uarch.caches import CacheHierarchy
+
+
+@dataclass(frozen=True)
+class CoreConfig:
+    """Per-core (per-thread on Bulldozer) integer cluster resources.
+
+    ``int_alu_count``/``agu_count``/``imul_count`` are the unit pools;
+    ``int_phys_regs`` is the rename-register token pool; ``result_buses``
+    limits register writebacks per cycle; ``scheduler_window`` is the
+    per-thread out-of-order window.
+    """
+
+    int_alu_count: int = 2
+    agu_count: int = 2
+    imul_count: int = 1
+    scheduler_window: int = 40
+    int_phys_regs: int = 28
+    result_buses: int = 4
+    retire_width: int = 4
+
+    def __post_init__(self) -> None:
+        for name in (
+            "int_alu_count",
+            "agu_count",
+            "imul_count",
+            "scheduler_window",
+            "int_phys_regs",
+            "result_buses",
+            "retire_width",
+        ):
+            if getattr(self, name) < 1:
+                raise ConfigurationError(f"{name} must be >= 1")
+
+
+@dataclass(frozen=True)
+class ModuleConfig:
+    """One module: 1–2 threads sharing a front end and an FP unit.
+
+    ``decode_width`` is shared between the module's threads (Bulldozer
+    alternates decode between threads).  The shared FP unit has
+    ``fp_arith_pipes`` FMAC pipes (FP add/mul/div/FMA) and ``fp_simd_pipes``
+    SIMD-integer pipes; together they give the paper's "two threads together
+    can only issue four floating point instructions per cycle".
+    ``fp_throttle`` statically caps total FP-unit issues per cycle per module
+    when set (paper Section V.B's FPU throttling mechanism).
+    """
+
+    core: CoreConfig = field(default_factory=CoreConfig)
+    threads: int = 2
+    decode_width: int = 4
+    fp_arith_pipes: int = 2
+    fp_simd_pipes: int = 2
+    fp_phys_regs: int = 48
+    fp_throttle: int | None = None
+
+    def __post_init__(self) -> None:
+        if self.threads not in (1, 2):
+            raise ConfigurationError("a module runs 1 or 2 threads")
+        for name in ("decode_width", "fp_arith_pipes", "fp_simd_pipes",
+                     "fp_phys_regs"):
+            if getattr(self, name) < 1:
+                raise ConfigurationError(f"{name} must be >= 1")
+        if self.fp_throttle is not None and not (
+            1 <= self.fp_throttle <= self.fp_pipe_count
+        ):
+            raise ConfigurationError(
+                "fp_throttle must be between 1 and fp_pipe_count"
+            )
+
+    @property
+    def fp_pipe_count(self) -> int:
+        """Total shared FP-unit issue width (arith + SIMD pipes)."""
+        return self.fp_arith_pipes + self.fp_simd_pipes
+
+    def with_fp_throttle(self, limit: int | None) -> "ModuleConfig":
+        """Copy with the FPU throttle set (or cleared with None)."""
+        return replace(self, fp_throttle=limit)
+
+
+#: Energy charged per decoded instruction (front-end activity), pJ.
+DECODE_ENERGY_PJ = 40.0
+
+
+@dataclass(frozen=True)
+class ChipConfig:
+    """A whole processor: modules, clock, supply, ISA level, power model."""
+
+    name: str
+    module: ModuleConfig
+    module_count: int
+    frequency_hz: float
+    vdd: float
+    power: PowerParameters
+    extensions: frozenset[str]
+    caches: CacheHierarchy = field(default_factory=CacheHierarchy)
+
+    def __post_init__(self) -> None:
+        if self.module_count < 1:
+            raise ConfigurationError("module_count must be >= 1")
+        if self.frequency_hz <= 0 or self.vdd <= 0:
+            raise ConfigurationError("frequency and vdd must be positive")
+
+    @property
+    def total_threads(self) -> int:
+        return self.module_count * self.module.threads
+
+    @property
+    def cycle_time_s(self) -> float:
+        return 1.0 / self.frequency_hz
+
+    def with_fp_throttle(self, limit: int | None) -> "ChipConfig":
+        """Copy of the chip with FPU throttling applied to every module."""
+        return replace(self, module=self.module.with_fp_throttle(limit))
+
+    def with_vdd(self, vdd: float) -> "ChipConfig":
+        """Copy of the chip at a different supply voltage (failure sweeps)."""
+        return replace(self, vdd=vdd)
+
+
+def bulldozer_chip() -> ChipConfig:
+    """The paper's primary testbed: 4 Bulldozer modules, 8 threads, 3.2 GHz."""
+    return ChipConfig(
+        name="bulldozer",
+        module=ModuleConfig(
+            core=CoreConfig(),
+            threads=2,
+            decode_width=4,
+            fp_arith_pipes=2,
+            fp_simd_pipes=2,
+            fp_phys_regs=48,
+        ),
+        module_count=4,
+        frequency_hz=3.2e9,
+        vdd=1.2,
+        power=PowerParameters(
+            leakage_a=1.5,
+            idle_clock_a=3.0,
+            clock_gating_efficiency=0.85,
+        ),
+        extensions=frozenset({"sse", "sse2", "sse3", "sse41", "sse42", "avx", "fma4"}),
+    )
+
+
+def phenom_chip() -> ChipConfig:
+    """The secondary testbed: 45-nm Phenom II X4 — 4 single-threaded cores.
+
+    No module-level sharing (one thread per "module"), no FMA4/SSE4.1+, a
+    narrower FP unit, and much weaker clock gating ("less variation between
+    high- and low-power regions because it does not manage power as
+    aggressively", paper Section V.C).
+    """
+    return ChipConfig(
+        name="phenom",
+        module=ModuleConfig(
+            core=CoreConfig(int_alu_count=3, agu_count=2, imul_count=1,
+                            scheduler_window=24, int_phys_regs=40),
+            threads=1,
+            decode_width=3,
+            fp_arith_pipes=1,
+            fp_simd_pipes=1,
+            fp_phys_regs=40,
+        ),
+        module_count=4,
+        frequency_hz=2.8e9,
+        vdd=1.3,
+        power=PowerParameters(
+            leakage_a=2.0,
+            idle_clock_a=4.0,
+            clock_gating_efficiency=0.40,
+        ),
+        extensions=frozenset({"sse", "sse2", "sse3"}),
+    )

@@ -1,0 +1,76 @@
+"""PARSEC-like multi-threaded benchmark suite.
+
+PARSEC programs are genuinely multi-threaded with barrier/synchronisation
+structure.  The paper expected barrier alignment to produce large droops
+(following Miller et al.) but measured none — the barrier release signal
+reaches each core at a different time, and that skew damps the synchronized
+first-droop excitation (Section V.A.1).  The models here carry that
+structure: barriers drain all threads, and the release skew is the knob the
+barrier experiment (``benchmarks/test_sec5a1_barrier.py``) turns.
+"""
+
+from __future__ import annotations
+
+from repro.errors import WorkloadError
+from repro.workloads.phases import ActivityModel
+
+#: Release skew observed on the Bulldozer testbed (cycles); large enough to
+#: damp the 32-cycle first-droop alignment.
+DEFAULT_BARRIER_SKEW_CYCLES = 48
+
+PARSEC_MODELS: tuple[ActivityModel, ...] = (
+    ActivityModel(
+        name="blackscholes", util_mean=0.56, util_sigma=0.05,
+        stall_rate_per_kcycle=1.2, stall_cycles=16, burst_cycles=18,
+        burst_boost=0.22, sensitivity=1.0,
+        barrier_interval_cycles=40_000,
+        barrier_skew_cycles=DEFAULT_BARRIER_SKEW_CYCLES,
+    ),
+    ActivityModel(
+        name="bodytrack", util_mean=0.50, util_sigma=0.07,
+        stall_rate_per_kcycle=2.0, stall_cycles=24, burst_cycles=24,
+        burst_boost=0.28, sensitivity=1.0,
+        barrier_interval_cycles=25_000,
+        barrier_skew_cycles=DEFAULT_BARRIER_SKEW_CYCLES,
+    ),
+    ActivityModel(
+        name="canneal", util_mean=0.38, util_sigma=0.08,
+        stall_rate_per_kcycle=3.6, stall_cycles=60, burst_cycles=30,
+        burst_boost=0.34, sensitivity=1.0,
+        barrier_interval_cycles=None,  # lock-based, no global barriers
+    ),
+    ActivityModel(
+        name="fluidanimate", util_mean=0.54, util_sigma=0.08,
+        stall_rate_per_kcycle=2.2, stall_cycles=30, burst_cycles=30,
+        burst_boost=0.30, sensitivity=1.0,
+        barrier_interval_cycles=12_000,
+        barrier_skew_cycles=DEFAULT_BARRIER_SKEW_CYCLES,
+    ),
+    ActivityModel(
+        name="streamcluster", util_mean=0.46, util_sigma=0.07,
+        stall_rate_per_kcycle=2.6, stall_cycles=40, burst_cycles=30,
+        burst_boost=0.30, sensitivity=1.0,
+        barrier_interval_cycles=8_000,
+        barrier_skew_cycles=DEFAULT_BARRIER_SKEW_CYCLES,
+    ),
+    # swaptions: the other large-droop standard benchmark of Table I.
+    ActivityModel(
+        name="swaptions", util_mean=0.62, util_sigma=0.09,
+        stall_rate_per_kcycle=2.8, stall_cycles=40, burst_cycles=42,
+        burst_boost=0.40, sensitivity=1.0,
+        barrier_interval_cycles=60_000,
+        barrier_skew_cycles=DEFAULT_BARRIER_SKEW_CYCLES,
+    ),
+)
+
+
+def parsec_model(name: str) -> ActivityModel:
+    """Look up a PARSEC model by benchmark name."""
+    for model in PARSEC_MODELS:
+        if model.name == name:
+            return model
+    raise WorkloadError(f"unknown PARSEC benchmark: {name!r}")
+
+
+def parsec_names() -> tuple[str, ...]:
+    return tuple(m.name for m in PARSEC_MODELS)

@@ -1,0 +1,144 @@
+"""Phase-structured synthetic activity generation.
+
+Standard benchmarks are not loop kernels — their droops come from
+*irregular* activity swings: pipeline stalls after branch mispredictions and
+cache misses followed by bursts of recovered work (paper Section V.A.1).
+We model a benchmark thread as a per-cycle **utilisation** process:
+
+* a slow AR(1) phase component (program phases, ~10k-cycle correlation);
+* Poisson **stall→burst events**: utilisation collapses for the stall
+  width, then overshoots (the drained pipeline refilling at full width) —
+  the paper's named first-droop excitation mechanism in real programs;
+* optional **barrier** structure (PARSEC): all threads drain to idle at a
+  shared point, then restart with per-thread release skew (Section V.A.1's
+  barrier discussion: the skew damps the synchronized excitation).
+
+Utilisation maps to per-cycle dynamic energy via the thread's peak
+energy-per-cycle; the measurement platform converts energy to current using
+the same electrical model as generated stressmarks.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import WorkloadError
+from repro.uarch.config import DECODE_ENERGY_PJ, ChipConfig
+
+#: Average dynamic energy per fully utilised issue slot (pJ); roughly the
+#: energy of a mid-weight op in the default opcode table plus decode.
+ENERGY_PER_SLOT_PJ = 320.0
+
+
+@dataclass(frozen=True)
+class ActivityModel:
+    """Statistical description of one benchmark's activity.
+
+    ``util_mean``/``util_sigma`` define the slow phase process (fraction of
+    peak issue).  ``stall_rate_per_kcycle`` is the Poisson rate of
+    stall→burst events; each collapses utilisation to ~0 for
+    ``stall_cycles`` and then boosts it by ``burst_boost`` for
+    ``burst_cycles``.  ``sensitivity`` is the path-sensitivity level while
+    the thread is active.  ``barrier_interval_cycles`` (with
+    ``barrier_skew_cycles``) adds PARSEC-style global synchronisation.
+    """
+
+    name: str
+    util_mean: float
+    util_sigma: float
+    stall_rate_per_kcycle: float
+    stall_cycles: int
+    burst_cycles: int
+    burst_boost: float
+    sensitivity: float = 1.0
+    barrier_interval_cycles: int | None = None
+    barrier_skew_cycles: int = 0
+    barrier_stall_cycles: int = 60
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.util_mean <= 1.0:
+            raise WorkloadError(f"{self.name}: util_mean must be in [0, 1]")
+        if self.util_sigma < 0:
+            raise WorkloadError(f"{self.name}: util_sigma must be >= 0")
+        if self.stall_rate_per_kcycle < 0:
+            raise WorkloadError(f"{self.name}: stall rate must be >= 0")
+        if self.stall_cycles < 1 or self.burst_cycles < 0:
+            raise WorkloadError(f"{self.name}: bad stall/burst widths")
+        if self.burst_boost < 0:
+            raise WorkloadError(f"{self.name}: burst_boost must be >= 0")
+        if self.sensitivity < 0:
+            raise WorkloadError(f"{self.name}: sensitivity must be >= 0")
+        if self.barrier_interval_cycles is not None and self.barrier_interval_cycles < 2:
+            raise WorkloadError(f"{self.name}: barrier interval too short")
+
+    # ------------------------------------------------------------------
+    def thread_utilisation(
+        self,
+        duration_cycles: int,
+        rng: np.random.Generator,
+    ) -> np.ndarray:
+        """One thread's utilisation waveform in [0, 1]."""
+        if duration_cycles < 1:
+            raise WorkloadError("duration must be >= 1 cycle")
+        n = duration_cycles
+        # Slow AR(1) phase process, correlation length ~8k cycles; the
+        # recurrence runs through lfilter (C speed).
+        from scipy.signal import lfilter
+
+        rho = np.exp(-1.0 / 8000.0)
+        noise = rng.normal(0.0, self.util_sigma * np.sqrt(1 - rho**2), size=n)
+        noise[0] += rng.normal(0.0, self.util_sigma)
+        phase = lfilter([1.0], [1.0, -rho], noise)
+        util = np.clip(self.util_mean + phase, 0.0, 1.0)
+
+        # Poisson stall -> burst events.
+        expected = self.stall_rate_per_kcycle * n / 1000.0
+        count = rng.poisson(expected)
+        starts = rng.integers(0, max(1, n), size=count)
+        for start in starts:
+            stall_end = min(n, start + self.stall_cycles)
+            util[start:stall_end] *= 0.05
+            burst_end = min(n, stall_end + self.burst_cycles)
+            util[stall_end:burst_end] = np.clip(
+                util[stall_end:burst_end] + self.burst_boost, 0.0, 1.0
+            )
+        return util
+
+    def apply_barriers(
+        self,
+        utils: list[np.ndarray],
+        rng: np.random.Generator,
+    ) -> list[np.ndarray]:
+        """Impose barrier structure across all threads' utilisations.
+
+        At each barrier point every thread drains to ~0 for the barrier
+        stall, then resumes after its own random release skew (paper: the
+        release signal "naturally reaches each core at different times").
+        """
+        if self.barrier_interval_cycles is None:
+            return utils
+        n = len(utils[0])
+        out = [u.copy() for u in utils]
+        interval = self.barrier_interval_cycles
+        for barrier_at in range(interval, n, interval):
+            for u in out:
+                skew = int(rng.integers(0, self.barrier_skew_cycles + 1))
+                stall_end = min(n, barrier_at + self.barrier_stall_cycles + skew)
+                u[barrier_at:stall_end] *= 0.03
+        return out
+
+    # ------------------------------------------------------------------
+    def thread_energy(
+        self,
+        chip: ChipConfig,
+        utilisation: np.ndarray,
+    ) -> np.ndarray:
+        """Per-cycle dynamic energy (pJ) of one thread at *utilisation*."""
+        peak = chip.module.decode_width * (ENERGY_PER_SLOT_PJ + DECODE_ENERGY_PJ)
+        return utilisation * peak
+
+    def thread_sensitivity(self, utilisation: np.ndarray) -> np.ndarray:
+        """Per-cycle sensitivity: active cycles exercise this model's paths."""
+        return np.where(utilisation > 0.02, self.sensitivity, 0.0)

@@ -1,0 +1,86 @@
+"""SPEC CPU2006-like synthetic benchmark suite.
+
+Each entry is an :class:`~repro.workloads.phases.ActivityModel` whose
+parameters are chosen to reproduce the *qualitative* droop behaviour the
+paper reports for the suite (Fig. 9): modest droops well below the
+stressmarks, growing with thread count, with zeusmp at the top of the pack
+(it is one of the paper's two largest-droop standard benchmarks, used in
+Fig. 10 and Table I).
+
+Multi-threaded SPEC runs replicate the program on multiple cores
+("similar to SPECrate", Section V.A) with independently drawn activity —
+no synchronisation between copies.
+"""
+
+from __future__ import annotations
+
+from repro.errors import WorkloadError
+from repro.workloads.phases import ActivityModel
+
+#: The modelled subset of SPEC CPU2006 (integer and floating point).
+SPEC_MODELS: tuple[ActivityModel, ...] = (
+    ActivityModel(
+        name="perlbench", util_mean=0.52, util_sigma=0.07,
+        stall_rate_per_kcycle=2.2, stall_cycles=18, burst_cycles=24,
+        burst_boost=0.24, sensitivity=1.0,
+    ),
+    ActivityModel(
+        name="bzip2", util_mean=0.48, util_sigma=0.06,
+        stall_rate_per_kcycle=2.8, stall_cycles=22, burst_cycles=20,
+        burst_boost=0.28, sensitivity=1.0,
+    ),
+    ActivityModel(
+        name="gcc", util_mean=0.44, util_sigma=0.09,
+        stall_rate_per_kcycle=3.4, stall_cycles=26, burst_cycles=22,
+        burst_boost=0.26, sensitivity=1.0,
+    ),
+    ActivityModel(
+        name="mcf", util_mean=0.30, util_sigma=0.08,
+        stall_rate_per_kcycle=4.8, stall_cycles=80, burst_cycles=30,
+        burst_boost=0.32, sensitivity=1.0,
+    ),
+    ActivityModel(
+        name="milc", util_mean=0.55, util_sigma=0.08,
+        stall_rate_per_kcycle=2.0, stall_cycles=40, burst_cycles=36,
+        burst_boost=0.28, sensitivity=1.0,
+    ),
+    ActivityModel(
+        name="namd", util_mean=0.62, util_sigma=0.05,
+        stall_rate_per_kcycle=1.2, stall_cycles=16, burst_cycles=20,
+        burst_boost=0.22, sensitivity=1.0,
+    ),
+    ActivityModel(
+        name="povray", util_mean=0.58, util_sigma=0.06,
+        stall_rate_per_kcycle=1.6, stall_cycles=14, burst_cycles=18,
+        burst_boost=0.18, sensitivity=1.0,
+    ),
+    ActivityModel(
+        name="hmmer", util_mean=0.64, util_sigma=0.04,
+        stall_rate_per_kcycle=0.9, stall_cycles=12, burst_cycles=14,
+        burst_boost=0.18, sensitivity=1.0,
+    ),
+    ActivityModel(
+        name="lbm", util_mean=0.50, util_sigma=0.07,
+        stall_rate_per_kcycle=2.4, stall_cycles=50, burst_cycles=40,
+        burst_boost=0.34, sensitivity=1.0,
+    ),
+    # zeusmp: FP-heavy with strong stall/recover swings -> the largest
+    # droop among the modelled SPEC benchmarks (paper Fig. 9/10, Table I).
+    ActivityModel(
+        name="zeusmp", util_mean=0.58, util_sigma=0.12,
+        stall_rate_per_kcycle=4.2, stall_cycles=46, burst_cycles=48,
+        burst_boost=0.52, sensitivity=1.0,
+    ),
+)
+
+
+def spec_model(name: str) -> ActivityModel:
+    """Look up a SPEC model by benchmark name."""
+    for model in SPEC_MODELS:
+        if model.name == name:
+            return model
+    raise WorkloadError(f"unknown SPEC benchmark: {name!r}")
+
+
+def spec_names() -> tuple[str, ...]:
+    return tuple(m.name for m in SPEC_MODELS)

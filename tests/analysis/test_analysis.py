@@ -1,0 +1,77 @@
+"""Tests for spectrum analysis and report formatting."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.report import format_table, millivolts, relative, vf_delta_label
+from repro.analysis.spectrum import activity_fundamental_hz, amplitude_spectrum
+from repro.errors import MeasurementError, ReproError
+
+DT = 1 / 3.2e9
+
+
+class TestSpectrum:
+    def test_pure_tone_amplitude_and_frequency(self):
+        n = 4096
+        t = np.arange(n) * DT
+        f0 = 100e6
+        wave = 0.05 * np.sin(2 * np.pi * f0 * t)
+        spec = amplitude_spectrum(wave, DT)
+        assert spec.dominant_frequency() == pytest.approx(f0, rel=0.01)
+        assert spec.amplitude_at(f0) == pytest.approx(0.05, rel=0.05)
+
+    def test_dc_removed(self):
+        wave = np.full(1024, 3.0)
+        spec = amplitude_spectrum(wave, DT)
+        assert spec.amplitudes.max() == pytest.approx(0.0, abs=1e-12)
+
+    def test_f_min_skips_low_frequency_content(self):
+        n = 8192
+        t = np.arange(n) * DT
+        wave = np.sin(2 * np.pi * 5e6 * t) + 0.3 * np.sin(2 * np.pi * 120e6 * t)
+        spec = amplitude_spectrum(wave, DT)
+        assert spec.dominant_frequency() == pytest.approx(5e6, rel=0.05)
+        assert spec.dominant_frequency(f_min_hz=50e6) == pytest.approx(120e6, rel=0.05)
+
+    def test_activity_fundamental(self):
+        n = 4096
+        square = np.tile(np.concatenate([np.ones(16), np.zeros(16)]), n // 32)
+        assert activity_fundamental_hz(square, DT) == pytest.approx(1e8, rel=0.02)
+
+    def test_validation(self):
+        with pytest.raises(MeasurementError):
+            amplitude_spectrum(np.ones(2), DT)
+        with pytest.raises(MeasurementError):
+            amplitude_spectrum(np.ones(100), 0.0)
+        with pytest.raises(MeasurementError):
+            amplitude_spectrum(np.ones(100), DT).dominant_frequency(f_min_hz=1e12)
+
+
+class TestReport:
+    def test_table_renders_aligned(self):
+        text = format_table(
+            ["name", "droop"], [["SM1", 1.0], ["A-Res", 1.39]], title="Fig 9"
+        )
+        lines = text.splitlines()
+        assert lines[0] == "Fig 9"
+        assert "SM1" in text and "1.390" in text
+        header_line = lines[2]
+        assert header_line.startswith("name")
+
+    def test_table_arity_checked(self):
+        with pytest.raises(ReproError):
+            format_table(["a", "b"], [[1]])
+        with pytest.raises(ReproError):
+            format_table([], [])
+
+    def test_relative(self):
+        assert relative(1.39, 1.0) == pytest.approx(1.39)
+        with pytest.raises(ReproError):
+            relative(1.0, 0.0)
+
+    def test_millivolts(self):
+        assert millivolts(0.0125) == pytest.approx(12.5)
+
+    def test_vf_delta_label(self):
+        assert vf_delta_label(1.05, 1.05) == "VF"
+        assert vf_delta_label(1.05 - 0.062, 1.05) == "VF - 62 mV"

@@ -1,0 +1,140 @@
+"""Tests for the dithering algorithm (paper Section III.B)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.dithering import (
+    alignment_sweep_cycles,
+    alignment_sweep_seconds,
+    dither_schedules,
+    droop_for_alignment,
+    visited_alignments,
+    worst_case_alignment,
+)
+from repro.errors import SearchError
+
+
+class TestSweepCost:
+    def test_exact_cost_formula(self):
+        # M * (L+H)^(C-1)
+        assert alignment_sweep_cycles(cores=4, period_cycles=24, m_cycles=960) \
+            == 960 * 24 ** 3
+
+    def test_paper_example_four_cores(self):
+        """Paper: 4 GHz, L+H=24, M=960 -> 3.3 ms for four cores."""
+        seconds = alignment_sweep_seconds(
+            cores=4, period_cycles=24, m_cycles=960, frequency_hz=4e9
+        )
+        assert seconds == pytest.approx(3.3e-3, rel=0.01)
+
+    def test_paper_example_eight_cores(self):
+        """Paper: the same sweep for eight cores takes 18.35 minutes."""
+        seconds = alignment_sweep_seconds(
+            cores=8, period_cycles=24, m_cycles=960, frequency_hz=4e9
+        )
+        assert seconds / 60 == pytest.approx(18.35, rel=0.01)
+
+    def test_paper_example_approximate_eight_cores(self):
+        """Paper: delta=3 shrinks the 8-core sweep from 18.35 min to 67 ms."""
+        seconds = alignment_sweep_seconds(
+            cores=8, period_cycles=24, m_cycles=960, frequency_hz=4e9, delta=3
+        )
+        assert seconds == pytest.approx(67e-3, rel=0.05)
+
+    def test_delta_must_divide_period(self):
+        with pytest.raises(SearchError):
+            alignment_sweep_cycles(cores=4, period_cycles=25, m_cycles=10, delta=3)
+
+    def test_single_core_needs_only_m_cycles(self):
+        assert alignment_sweep_cycles(cores=1, period_cycles=24, m_cycles=960) == 960
+
+    def test_validation(self):
+        with pytest.raises(SearchError):
+            alignment_sweep_cycles(cores=0, period_cycles=24, m_cycles=1)
+        with pytest.raises(SearchError):
+            alignment_sweep_seconds(cores=2, period_cycles=24, m_cycles=1,
+                                    frequency_hz=0)
+
+
+class TestDitherSchedules:
+    def test_reference_core_never_pads(self):
+        schedules = dither_schedules(cores=4, period_cycles=24, m_cycles=96)
+        assert schedules[0].pad_cycles == 0
+        assert schedules[0].interval_cycles == 0
+        assert schedules[0].phase_at(10_000, 24) == 0
+
+    def test_exact_padding_intervals(self):
+        # Core c pads 1 cycle every M*(L+H)^(c-1) cycles.
+        schedules = dither_schedules(cores=3, period_cycles=24, m_cycles=96)
+        assert schedules[1].interval_cycles == 96
+        assert schedules[2].interval_cycles == 96 * 24
+        assert all(s.pad_cycles == 1 for s in schedules[1:])
+
+    def test_approximate_padding(self):
+        schedules = dither_schedules(cores=3, period_cycles=24, m_cycles=96, delta=3)
+        assert schedules[1].pad_cycles == 4
+        assert schedules[1].interval_cycles == 96
+        assert schedules[2].interval_cycles == 96 * 6  # k = 24/4
+
+    def test_exact_schedule_visits_every_alignment(self):
+        """The core guarantee: the sweep traverses the whole space."""
+        period, m = 6, 12
+        schedules = dither_schedules(cores=3, period_cycles=period, m_cycles=m)
+        total = alignment_sweep_cycles(cores=3, period_cycles=period, m_cycles=m)
+        seen = visited_alignments(
+            schedules, period_cycles=period, total_cycles=total, sample_every=m
+        )
+        assert len(seen) == period ** 2  # all (x1, x2) combinations
+
+    def test_approximate_schedule_visits_quantised_grid(self):
+        period, m, delta = 8, 16, 1
+        schedules = dither_schedules(cores=2, period_cycles=period,
+                                     m_cycles=m, delta=delta)
+        total = alignment_sweep_cycles(cores=2, period_cycles=period,
+                                       m_cycles=m, delta=delta)
+        seen = visited_alignments(
+            schedules, period_cycles=period, total_cycles=total, sample_every=m
+        )
+        assert seen == {(0,), (2,), (4,), (6,)}
+
+
+class TestAlignmentDroop:
+    def _response(self, period=32, depth=0.05, vdd=1.2):
+        # A sinusoid-ish periodic voltage response with a single trough.
+        t = np.arange(period)
+        return vdd - depth * np.cos(2 * np.pi * t / period)
+
+    def test_aligned_droop_is_sum_of_depths(self):
+        response = self._response()
+        droop = droop_for_alignment(response, (0, 0, 0), vdd=1.2)
+        assert droop == pytest.approx(4 * 0.05, rel=1e-6)
+
+    def test_antiphase_cancels(self):
+        response = self._response()
+        droop = droop_for_alignment(response, (16,), vdd=1.2)
+        assert droop == pytest.approx(0.0, abs=1e-9)
+
+    def test_worst_case_alignment_is_aligned_for_identical_waveforms(self):
+        """min-of-sum >= sum-of-mins: alignment is provably worst."""
+        response = self._response(period=16)
+        offsets, droop = worst_case_alignment(response, cores=3, vdd=1.2)
+        aligned = droop_for_alignment(response, (0, 0), vdd=1.2)
+        assert droop == pytest.approx(aligned, rel=1e-9)
+        # The trough of this response is at t=0, so offsets 0 are worst.
+        assert offsets == (0, 0)
+
+    @given(seed=st.integers(0, 10_000), cores=st.integers(2, 3))
+    @settings(max_examples=25, deadline=None)
+    def test_exhaustive_sweep_never_beats_alignment_bound(self, seed, cores):
+        rng = np.random.default_rng(seed)
+        response = 1.2 + rng.normal(0, 0.02, size=12)
+        _offsets, worst = worst_case_alignment(response, cores=cores, vdd=1.2)
+        bound = cores * max(0.0, -(response - 1.2).min())
+        assert worst <= bound + 1e-12
+
+    def test_approximate_sweep_on_quantised_grid(self):
+        response = self._response(period=16)
+        offsets, _droop = worst_case_alignment(response, cores=2, vdd=1.2, delta=3)
+        assert offsets[0] % 4 == 0

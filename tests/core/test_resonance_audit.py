@@ -1,0 +1,147 @@
+"""Tests for resonance detection, cost functions, and the AUDIT driver."""
+
+import pytest
+
+from repro.core.audit import AuditConfig, AuditRunner, StressmarkMode
+from repro.core.cost import DroopPerPowerCost, MaxDroopCost, SensitivePathCost
+from repro.core.ga import GaConfig
+from repro.core.platform import MeasurementPlatform
+from repro.core.resonance import find_resonance, probe_program
+from repro.errors import SearchError
+from repro.isa.opcodes import default_table
+from repro.pdn.elements import bulldozer_pdn, phenom_pdn
+from repro.uarch.config import bulldozer_chip, phenom_chip
+
+TABLE = default_table()
+
+
+@pytest.fixture(scope="module")
+def platform():
+    chip = bulldozer_chip()
+    return MeasurementPlatform(chip, bulldozer_pdn(vdd=chip.vdd))
+
+
+@pytest.fixture(scope="module")
+def resonance(platform):
+    return find_resonance(platform, TABLE, threads=1,
+                          period_candidates=list(range(16, 73, 8)))
+
+
+class TestProbeProgram:
+    def test_probe_structure(self):
+        prog = probe_program(TABLE, hp_count=8, lp_nops=16)
+        assert len(prog.kernel.hp) == 8
+        assert len(prog.kernel.lp) == 16
+        assert all(not i.is_nop for i in prog.kernel.hp)
+
+    def test_probe_uses_highest_energy_opcode_by_default(self):
+        prog = probe_program(TABLE, hp_count=2, lp_nops=0)
+        assert prog.kernel.hp[0].spec.mnemonic == "vfmaddpd"
+
+    def test_probe_validation(self):
+        with pytest.raises(SearchError):
+            probe_program(TABLE, hp_count=0, lp_nops=4)
+        with pytest.raises(SearchError):
+            probe_program(TABLE, hp_count=4, lp_nops=-1)
+
+
+class TestFindResonance:
+    def test_detects_pdn_first_droop(self, resonance):
+        assert resonance.resonance_hz == pytest.approx(100e6, rel=0.15)
+        assert resonance.best_period_cycles == pytest.approx(32, abs=4)
+
+    def test_peak_dominates_sweep_edges(self, resonance):
+        droops = [p.droop_v for p in resonance.points]
+        peak = max(droops)
+        assert peak > 1.2 * droops[0]
+        assert peak > 1.2 * droops[-1]
+
+    def test_phenom_resonates_lower(self):
+        chip = phenom_chip()
+        platform = MeasurementPlatform(chip, phenom_pdn(vdd=chip.vdd))
+        res = find_resonance(platform, TABLE, threads=1,
+                             period_candidates=list(range(16, 73, 8)))
+        # ~80 MHz at 2.8 GHz -> ~35 cycles.
+        assert res.resonance_hz == pytest.approx(80e6, rel=0.2)
+
+    def test_sweep_needs_candidates(self, platform):
+        with pytest.raises(SearchError):
+            find_resonance(platform, TABLE, period_candidates=[])
+
+    def test_droop_at_lookup(self, resonance):
+        point = resonance.points[0]
+        assert resonance.droop_at(point.lp_nops) == point.droop_v
+        with pytest.raises(SearchError):
+            resonance.droop_at(10_001)
+
+
+class TestCostFunctions:
+    def test_max_droop_cost(self, platform):
+        m = platform.measure_program(
+            probe_program(TABLE, hp_count=32, lp_nops=95), 4)
+        assert MaxDroopCost().evaluate(m) == m.max_droop_v
+
+    def test_droop_per_power_penalises_power(self, platform):
+        m = platform.measure_program(
+            probe_program(TABLE, hp_count=32, lp_nops=95), 4)
+        plain = MaxDroopCost().evaluate(m)
+        penalised = DroopPerPowerCost(power_weight_v_per_w=1e-3).evaluate(m)
+        assert penalised < plain
+
+    def test_sensitive_path_cost_rewards_sensitivity(self, platform):
+        m = platform.measure_program(
+            probe_program(TABLE, hp_count=32, lp_nops=95,
+                          hp_mnemonic="imul"), 4)
+        plain = MaxDroopCost().evaluate(m)
+        boosted = SensitivePathCost(sensitivity_weight_v=1.0).evaluate(m)
+        assert boosted > plain
+
+    def test_cost_validation(self):
+        with pytest.raises(SearchError):
+            DroopPerPowerCost(power_weight_v_per_w=-1)
+        with pytest.raises(SearchError):
+            SensitivePathCost(sensitivity_weight_v=-1)
+
+
+@pytest.mark.slow
+class TestAuditRunner:
+    def _tiny_config(self, **kw):
+        return AuditConfig(
+            threads=kw.get("threads", 4),
+            mode=kw.get("mode", StressmarkMode.RESONANT),
+            ga=GaConfig(population_size=8, generations=4, seed=2,
+                        stagnation_patience=12),
+            lp_sweep_step=16,
+        )
+
+    def test_resonant_run_beats_trivial_probe(self, platform):
+        runner = AuditRunner(platform, config=self._tiny_config())
+        result = runner.run()
+        trivial = platform.measure_program(
+            probe_program(TABLE, hp_count=32, lp_nops=95), 4
+        ).max_droop_v
+        assert result.max_droop_v > 0.8 * trivial
+        assert result.name == "A-Res"
+        assert len(result.kernel.hp) > 0
+
+    def test_phenom_pool_excludes_fma(self):
+        chip = phenom_chip()
+        platform = MeasurementPlatform(chip, phenom_pdn(vdd=chip.vdd))
+        runner = AuditRunner(platform, config=self._tiny_config())
+        assert "vfmaddpd" not in runner.table
+        assert "mulpd" in runner.table
+
+    def test_excitation_mode_uses_long_lp(self, platform):
+        runner = AuditRunner(
+            platform, config=self._tiny_config(mode=StressmarkMode.EXCITATION)
+        )
+        result = runner.run()
+        assert result.name == "A-Ex"
+        period = result.resonance.best_period_cycles
+        assert result.genome.lp_nops >= period * 8
+
+    def test_config_validation(self):
+        with pytest.raises(SearchError):
+            AuditConfig(threads=0)
+        with pytest.raises(SearchError):
+            AuditConfig(subblock_cycles=0)

@@ -1,0 +1,75 @@
+"""Tests for the extension experiments: data values, simulator insights,
+and the ablation studies."""
+
+import pytest
+
+from repro.experiments.ablations import (
+    run_ga_budget_ablation,
+    run_jitter_ablation,
+    run_pdn_damping_ablation,
+)
+from repro.experiments.sec3_data_values import run_sec3_data_values
+from repro.experiments.sec5_simulator_insights import run_sec5_simulator_insights
+from repro.experiments.setup import bulldozer_testbed
+from repro.isa.data_patterns import DataPattern
+from repro.isa.opcodes import default_table
+
+TABLE = default_table()
+
+
+@pytest.fixture(scope="module")
+def platform():
+    return bulldozer_testbed()
+
+
+class TestDataValues:
+    @pytest.fixture(scope="class")
+    def result(self, platform):
+        return run_sec3_data_values(platform, TABLE)
+
+    def test_toggle_ordering(self, result):
+        droops = result.droops
+        assert droops[DataPattern.MAX_TOGGLE] > droops[DataPattern.RANDOM]
+        assert droops[DataPattern.RANDOM] > droops[DataPattern.ZEROS]
+
+    def test_swing_on_the_order_of_ten_percent(self, result):
+        assert 0.04 < result.swing < 0.20
+
+
+class TestSimulatorInsights:
+    @pytest.fixture(scope="class")
+    def result(self, platform):
+        return run_sec5_simulator_insights(platform, TABLE)
+
+    def test_sm2_inverts_between_droop_and_failure_rank(self, result):
+        assert "SM2" in result.rank_inversions
+        assert result.droop_rank("SM2") > result.failure_rank("SM2")
+
+    def test_zeusmp_droop_beats_sm2_but_fails_earlier(self, result):
+        assert result.droops["zeusmp"] > result.droops["SM2"]
+        assert (result.failure_voltages["zeusmp"]
+                < result.failure_voltages["SM2"])
+
+    def test_os_perturbation_spans_a_range(self, result):
+        lo, hi = result.natural_droop_range
+        assert hi > lo * 1.2
+
+
+class TestAblations:
+    def test_jitter_decoherence(self, platform):
+        result = run_jitter_ablation(platform, TABLE, steps=(0, 2))
+        assert result.droops_8t[2] < result.lockstep_8t
+        assert result.droops_8t[2] < result.droop_4t
+
+    def test_ga_budget_monotone(self, platform):
+        result = run_ga_budget_ablation(platform, TABLE, budgets=(2, 6))
+        assert result.droops[6] >= result.droops[2]
+        assert result.evaluations[6] > result.evaluations[2]
+
+    def test_pdn_damping_tracks_peak_impedance(self):
+        result = run_pdn_damping_ablation(TABLE, esr_values=(0.2e-3, 0.8e-3))
+        (esr_lo, peak_lo, a_lo, h_lo), (esr_hi, peak_hi, a_hi, h_hi) = result.rows
+        assert esr_lo < esr_hi
+        assert peak_lo > peak_hi
+        assert a_lo > a_hi
+        assert h_lo > h_hi

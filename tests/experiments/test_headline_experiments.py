@@ -1,0 +1,186 @@
+"""Tests for the headline experiments (Fig. 9/10, Tables I–III).
+
+These use the canned stressmarks (no GA runs) and reduced sample counts so
+the whole module stays under a couple of minutes; the benchmarks/ harness
+runs the full-size versions.
+"""
+
+import pytest
+
+from repro.experiments.fig9_droop_comparison import a_res_8t_canned, run_fig9
+from repro.experiments.fig10_histograms import run_fig10
+from repro.experiments.setup import bulldozer_testbed, phenom_testbed
+from repro.experiments.table1_failure import TABLE1_ORDER, run_table1
+from repro.experiments.table2_throttling import run_table2
+from repro.experiments.table3_phenom import run_table3
+from repro.isa.opcodes import default_table
+
+TABLE = default_table()
+
+
+@pytest.fixture(scope="module")
+def platform():
+    return bulldozer_testbed()
+
+
+@pytest.fixture(scope="module")
+def fig9(platform):
+    return run_fig9(
+        platform, TABLE,
+        workload_duration_cycles=60_000,
+        spec_subset=("zeusmp", "hmmer", "mcf"),
+        parsec_subset=("swaptions", "fluidanimate"),
+    )
+
+
+class TestFig9:
+    def test_baseline_is_4t_sm1(self, fig9):
+        assert fig9.relative("SM1", 4) == pytest.approx(1.0)
+
+    def test_stressmarks_beat_benchmarks_except_sm2(self, fig9):
+        bench_best = max(
+            fig9.relative(name, 4)
+            for name, suite in fig9.suites.items()
+            if suite in ("spec", "parsec")
+        )
+        for name in ("SM1", "SM-Res", "A-Res", "A-Ex"):
+            assert fig9.relative(name, 4) > bench_best, name
+        # SM2's droop is comparable to the benchmarks.
+        assert fig9.relative("SM2", 4) < 1.5 * bench_best
+
+    def test_resonant_stressmarks_dominate(self, fig9):
+        assert fig9.relative("A-Res", 4) > fig9.relative("SM1", 4)
+        assert fig9.relative("SM-Res", 4) > fig9.relative("SM1", 4)
+        assert fig9.relative("A-Res", 4) > fig9.relative("A-Ex", 4)
+
+    def test_droops_grow_1t_to_4t(self, fig9):
+        for name in fig9.droops:
+            d = fig9.droops[name]
+            assert d[1] < d[4], name
+
+    def test_stressmarks_lose_at_8t(self, fig9):
+        for name in ("SM1", "SM-Res", "A-Res"):
+            assert fig9.droops[name][8] < fig9.droops[name][4], name
+
+    def test_a_res_8t_wins_at_8t_loses_below(self, fig9):
+        # Paper Section V.A.2: the 8T-trained stressmark.
+        assert fig9.droops["A-Res-8T"][8] > fig9.droops["A-Res"][8]
+        assert fig9.droops["A-Res-8T"][8] > fig9.droops["SM-Res"][8]
+        for threads in (1, 2, 4):
+            assert fig9.droops["A-Res-8T"][threads] < fig9.droops["A-Res"][threads]
+
+    def test_parsec_no_larger_than_spec(self, fig9):
+        # Paper: "no significant difference in droops between PARSEC and
+        # the SPEC CPU2006 suite" despite barriers.
+        spec_max = max(fig9.relative(n, 4) for n, s in fig9.suites.items()
+                       if s == "spec")
+        parsec_max = max(fig9.relative(n, 4) for n, s in fig9.suites.items()
+                         if s == "parsec")
+        assert parsec_max < 1.4 * spec_max
+
+
+class TestFig10:
+    @pytest.fixture(scope="class")
+    def result(self, platform):
+        return run_fig10(platform, TABLE, samples=300_000)
+
+    def test_zeusmp_has_least_variation(self, result):
+        assert result.spread("zeusmp") < result.spread("SM1")
+        assert result.spread("zeusmp") < result.spread("A-Res")
+
+    def test_sm1_mass_near_nominal_with_tail(self, result):
+        hist = result.histograms["SM1"]
+        assert result.modal_offset("SM1") < 0.6 * hist.vdd_nominal
+        # Long droop tail: some mass well below the mode.
+        assert hist.tail_fraction(hist.modal_voltage - 0.02) > 0.0
+
+    def test_a_res_mass_sits_near_worst_droop(self, result):
+        # The resonance stressmark has "the highest number of events
+        # occurring near the worst-case droop values".
+        assert result.modal_offset("A-Res") > result.modal_offset("SM1")
+        assert result.modal_offset("A-Res") > 2 * result.modal_offset("zeusmp")
+
+    def test_shared_bins(self, result):
+        import numpy as np
+
+        edges = [h.bin_edges for h in result.histograms.values()]
+        np.testing.assert_array_equal(edges[0], edges[1])
+        np.testing.assert_array_equal(edges[0], edges[2])
+
+
+class TestTable1:
+    @pytest.fixture(scope="class")
+    def result(self, platform):
+        return run_table1(platform, TABLE)
+
+    def test_a_res_fails_first(self, result):
+        vf = result.failure_voltages
+        assert vf["A-Res"] == max(vf.values())
+
+    def test_paper_ordering(self, result):
+        vf = result.failure_voltages
+        ordered = [vf[name] for name in TABLE1_ORDER]
+        assert ordered == sorted(ordered, reverse=True)
+
+    def test_sm2_fails_above_benchmarks_despite_small_droop(self, result):
+        # The sensitive-path insight of Section V.A.4.
+        assert result.failure_voltages["SM2"] > result.failure_voltages["zeusmp"]
+
+    def test_benchmarks_fail_last(self, result):
+        vf = result.failure_voltages
+        assert vf["zeusmp"] == min(vf.values())
+        assert vf["swaptions"] == min(vf.values())
+
+
+class TestTable2:
+    @pytest.fixture(scope="class")
+    def result(self, platform):
+        throttled = bulldozer_testbed(fp_throttle=1)
+        return run_table2(platform, throttled, TABLE)
+
+    def test_throttling_reduces_droop_for_all(self, result):
+        for name in ("SM1", "A-Res", "SM-Res"):
+            free = result.row(name, throttled=False)
+            capped = result.row(name, throttled=True)
+            assert capped.droop_v < free.droop_v, name
+
+    def test_throttling_least_effective_for_sm1(self, result):
+        # SM1 has a non-FP stress path the throttle cannot touch.
+        def retained(name):
+            return (result.row(name, throttled=True).droop_v
+                    / result.row(name, throttled=False).droop_v)
+
+        assert retained("SM1") > retained("A-Res")
+        assert retained("SM1") > retained("SM-Res")
+
+    def test_throttling_improves_failure_voltage(self, result):
+        for name in ("SM1", "A-Res", "SM-Res"):
+            free = result.row(name, throttled=False)
+            capped = result.row(name, throttled=True)
+            assert capped.failure_v <= free.failure_v, name
+
+    def test_audit_works_around_the_throttle(self, result):
+        th = result.row("A-Res-Th", throttled=True)
+        assert th.droop_v > result.row("A-Res", throttled=True).droop_v
+        assert th.droop_v > result.row("SM-Res", throttled=True).droop_v
+        # But cannot match the unthrottled droops.
+        assert th.droop_v < result.row("A-Res", throttled=False).droop_v
+
+
+class TestTable3:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return run_table3(phenom_testbed(), TABLE)
+
+    def test_sm1_rejected_for_missing_fma4(self, result):
+        assert result.sm1_rejected
+
+    def test_audit_beats_hand_tuned_on_new_processor(self, result):
+        assert result.relative_droop("A-Res") >= 1.0
+
+    def test_failure_ordering(self, result):
+        vf = result.failure_voltages
+        assert vf["A-Res"] >= vf["SM2"] >= vf["zeusmp"]
+
+    def test_zeusmp_droop_comparable_to_sm2(self, result):
+        assert 0.5 < result.relative_droop("zeusmp") < 1.6

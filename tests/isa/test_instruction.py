@@ -1,0 +1,145 @@
+"""Tests for instruction construction and dependency sets."""
+
+import pytest
+
+from repro.errors import IsaError
+from repro.isa.data_patterns import DataPattern
+from repro.isa.instruction import Instruction, make_instruction, nop, used_registers
+from repro.isa.opcodes import default_table
+from repro.isa.registers import Register, RegClass, RegisterAllocator
+
+TABLE = default_table()
+
+
+def gpr(name: str) -> Register:
+    return Register(name, RegClass.GPR)
+
+
+def xmm(name: str) -> Register:
+    return Register(name, RegClass.XMM)
+
+
+class TestInstructionValidation:
+    def test_missing_destination_rejected(self):
+        with pytest.raises(IsaError):
+            Instruction(spec=TABLE.get("add"), dest=None, sources=(gpr("rax"), gpr("rbx")))
+
+    def test_unexpected_destination_rejected(self):
+        with pytest.raises(IsaError):
+            Instruction(spec=TABLE.get("store"), dest=gpr("rax"), sources=(gpr("rbx"), gpr("rdx")))
+
+    def test_source_arity_enforced(self):
+        with pytest.raises(IsaError):
+            Instruction(spec=TABLE.get("add"), dest=gpr("rax"), sources=(gpr("rbx"),))
+
+    def test_operand_class_enforced(self):
+        with pytest.raises(IsaError):
+            Instruction(spec=TABLE.get("mulpd"), dest=gpr("rax"), sources=(gpr("rbx"), gpr("rdx")))
+
+    def test_nop_takes_no_operands(self):
+        inst = nop(TABLE.nop)
+        assert inst.is_nop
+        assert inst.reads == frozenset()
+        assert inst.writes == frozenset()
+
+
+class TestDependencySets:
+    def test_reads_and_writes(self):
+        inst = Instruction(
+            spec=TABLE.get("add"), dest=gpr("rax"), sources=(gpr("rbx"), gpr("rdx"))
+        )
+        assert inst.reads == {gpr("rbx"), gpr("rdx")}
+        assert inst.writes == {gpr("rax")}
+
+    def test_store_writes_nothing(self):
+        inst = Instruction(spec=TABLE.get("store"), sources=(gpr("rax"), gpr("rbx")))
+        assert inst.writes == frozenset()
+
+    def test_fma_has_three_sources(self):
+        alloc = RegisterAllocator()
+        inst = make_instruction(TABLE.get("vfmaddpd"), alloc)
+        assert len(inst.sources) == 3
+        assert inst.dest is not None
+
+
+class TestMakeInstruction:
+    def test_independent_operands_by_default(self):
+        alloc = RegisterAllocator()
+        a = make_instruction(TABLE.get("add"), alloc)
+        b = make_instruction(TABLE.get("add"), alloc)
+        # b must not read a's destination: no chain.
+        assert a.dest not in b.reads
+
+    def test_dependent_chains_read_previous_dest(self):
+        alloc = RegisterAllocator()
+        a = make_instruction(TABLE.get("mulpd"), alloc)
+        b = make_instruction(TABLE.get("mulpd"), alloc, dependent=True)
+        assert a.dest in b.reads
+
+    def test_data_pattern_propagates(self):
+        alloc = RegisterAllocator()
+        inst = make_instruction(TABLE.get("add"), alloc, data=DataPattern.ZEROS)
+        assert inst.data is DataPattern.ZEROS
+
+    def test_nop_helper_rejects_non_nop(self):
+        with pytest.raises(IsaError):
+            nop(TABLE.get("add"))
+
+
+class TestNasmRendering:
+    def test_alu_lowered_to_legal_two_operand_form(self):
+        inst = Instruction(
+            spec=TABLE.get("add"), dest=gpr("rax"), sources=(gpr("rbx"), gpr("rdx"))
+        )
+        assert inst.nasm() == "mov rax, rbx\nadd rax, rdx"
+
+    def test_idiv_lowered_to_implicit_operand_sequence(self):
+        inst = Instruction(
+            spec=TABLE.get("idiv"), dest=gpr("rbx"), sources=(gpr("rsi"), gpr("rdx"))
+        )
+        lines = inst.nasm().splitlines()
+        assert lines[0] == "mov rax, rsi"
+        assert lines[1] == "cqo"
+        assert lines[2] == "idiv rdx"
+        assert lines[3] == "mov rbx, rax"
+
+    def test_load_store_use_memory_operand(self):
+        load = Instruction(spec=TABLE.get("load"), dest=gpr("rax"), sources=(gpr("rbx"),))
+        assert "[rsp" in load.nasm()
+        store = Instruction(spec=TABLE.get("store"), sources=(gpr("rax"), gpr("rbx")))
+        assert store.nasm().startswith("mov [rsp")
+
+    def test_nop_renders_bare(self):
+        assert nop(TABLE.nop).nasm() == "nop"
+
+    def test_sse_lowered_to_destructive_form(self):
+        inst = Instruction(
+            spec=TABLE.get("mulpd"), dest=xmm("xmm0"), sources=(xmm("xmm1"), xmm("xmm2"))
+        )
+        assert inst.nasm() == "movaps xmm0, xmm1\nmulpd xmm0, xmm2"
+
+    def test_simd_int_uses_movdqa(self):
+        inst = Instruction(
+            spec=TABLE.get("paddd"), dest=xmm("xmm0"), sources=(xmm("xmm1"), xmm("xmm2"))
+        )
+        assert inst.nasm().startswith("movdqa xmm0, xmm1")
+
+    def test_fma4_keeps_native_four_operand_form(self):
+        alloc = RegisterAllocator()
+        inst = make_instruction(TABLE.get("vfmaddpd"), alloc)
+        assert inst.nasm().startswith("vfmaddpd ")
+        assert "\n" not in inst.nasm()
+
+
+class TestUsedRegisters:
+    def test_partitions_by_class(self):
+        alloc = RegisterAllocator()
+        insts = [
+            make_instruction(TABLE.get("add"), alloc),
+            make_instruction(TABLE.get("mulpd"), alloc),
+            nop(TABLE.nop),
+        ]
+        gprs, xmms = used_registers(insts)
+        assert all(r.rclass is RegClass.GPR for r in gprs)
+        assert all(r.rclass is RegClass.XMM for r in xmms)
+        assert gprs and xmms

@@ -1,0 +1,141 @@
+"""Tests for kernel assembly and NASM encoding."""
+
+import pytest
+
+from repro.errors import IsaError
+from repro.isa.encoder import encode_kernel_listing, encode_program
+from repro.isa.instruction import make_instruction
+from repro.isa.kernels import (
+    LoopKernel,
+    ThreadProgram,
+    build_kernel,
+    nop_region,
+    replicate_subblock,
+)
+from repro.isa.opcodes import default_table
+from repro.isa.registers import RegisterAllocator
+
+TABLE = default_table()
+
+
+def make_subblock(mnemonics):
+    alloc = RegisterAllocator()
+    return tuple(make_instruction(TABLE.get(m), alloc) for m in mnemonics)
+
+
+class TestKernelConstruction:
+    def test_replicate_subblock(self):
+        sub = make_subblock(["add", "mulpd"])
+        hp = replicate_subblock(sub, 3)
+        assert len(hp) == 6
+        assert hp[0].spec.mnemonic == "add"
+        assert hp[2].spec.mnemonic == "add"
+
+    def test_replicate_rejects_zero(self):
+        sub = make_subblock(["add"])
+        with pytest.raises(IsaError):
+            replicate_subblock(sub, 0)
+
+    def test_replicate_rejects_empty_subblock(self):
+        with pytest.raises(IsaError):
+            replicate_subblock((), 2)
+
+    def test_nop_region(self):
+        lp = nop_region(TABLE.nop, 5)
+        assert len(lp) == 5
+        assert all(i.is_nop for i in lp)
+
+    def test_build_kernel_shape(self):
+        kernel = build_kernel(
+            make_subblock(["mulpd", "add"]), replications=4, lp_nops=8,
+            nop_spec=TABLE.nop, name="k",
+        )
+        assert len(kernel.hp) == 8
+        assert len(kernel.lp) == 8
+        assert len(kernel) == 16
+        assert kernel.name == "k"
+
+    def test_empty_kernel_rejected(self):
+        with pytest.raises(IsaError):
+            LoopKernel(hp=(), lp=())
+
+    def test_fp_and_nop_fractions(self):
+        kernel = build_kernel(
+            make_subblock(["mulpd", "add"]), replications=1, lp_nops=2,
+            nop_spec=TABLE.nop,
+        )
+        assert kernel.fp_fraction == pytest.approx(0.25)
+        assert kernel.nop_fraction == pytest.approx(0.5)
+
+    def test_mnemonic_histogram(self):
+        kernel = build_kernel(
+            make_subblock(["add", "add", "mulpd"]), replications=2, lp_nops=1,
+            nop_spec=TABLE.nop,
+        )
+        hist = kernel.mnemonic_histogram()
+        assert hist["add"] == 4
+        assert hist["mulpd"] == 2
+        assert hist["nop"] == 1
+
+    def test_with_lp_replaces_low_power_region(self):
+        kernel = build_kernel(
+            make_subblock(["add"]), replications=1, lp_nops=4, nop_spec=TABLE.nop,
+        )
+        replaced = kernel.with_lp(make_subblock(["add", "add"]))
+        assert len(replaced.lp) == 2
+        assert not any(i.is_nop for i in replaced.lp)
+        assert replaced.hp == kernel.hp
+
+
+class TestThreadProgram:
+    def test_rejects_nonpositive_iterations(self):
+        kernel = build_kernel(make_subblock(["add"]), replications=1, lp_nops=0,
+                              nop_spec=TABLE.nop)
+        with pytest.raises(IsaError):
+            ThreadProgram(kernel, iterations=0)
+
+    def test_with_phase(self):
+        kernel = build_kernel(make_subblock(["add"]), replications=1, lp_nops=0,
+                              nop_spec=TABLE.nop)
+        prog = ThreadProgram(kernel, iterations=10)
+        shifted = prog.with_phase(7)
+        assert shifted.phase_cycles == 7
+        assert shifted.kernel is kernel
+        assert prog.phase_cycles == 0
+
+
+class TestEncoder:
+    def _program(self):
+        kernel = build_kernel(
+            make_subblock(["mulpd", "add", "load"]), replications=2, lp_nops=3,
+            nop_spec=TABLE.nop, name="sm",
+        )
+        return ThreadProgram(kernel, iterations=1000)
+
+    def test_program_structure(self):
+        asm = encode_program(self._program())
+        assert "BITS 64" in asm
+        assert "global _start" in asm
+        assert "mov rcx, 1000" in asm
+        assert "sm_loop:" in asm
+        assert "dec rcx" in asm
+        assert "jnz sm_loop" in asm
+        assert "syscall" in asm
+
+    def test_prologue_initialises_checkerboards(self):
+        asm = encode_program(self._program())
+        assert "0x5555555555555555" in asm
+        assert "0xaaaaaaaaaaaaaaaa" in asm
+        assert "movdqu" in asm  # XMM registers get loaded
+
+    def test_body_instructions_emitted_in_order(self):
+        asm = encode_program(self._program())
+        loop_part = asm.split("sm_loop:")[1]
+        assert loop_part.index("mulpd") < loop_part.index("add ")
+        assert loop_part.count("nop") == 3
+
+    def test_listing_contains_counts(self):
+        kernel = self._program().kernel
+        listing = encode_kernel_listing(kernel)
+        assert "6 HP + 3 LP" in listing
+        assert "low-power region" in listing

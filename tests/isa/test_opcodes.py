@@ -1,0 +1,121 @@
+"""Tests for the opcode table."""
+
+import pytest
+
+from repro.errors import IsaError
+from repro.isa.opcodes import (
+    DEFAULT_OPCODES,
+    IClass,
+    OpcodeSpec,
+    OpcodeTable,
+    Unit,
+    default_table,
+)
+from repro.isa.registers import RegClass
+
+
+class TestOpcodeSpec:
+    def test_validation_rejects_bad_latency(self):
+        with pytest.raises(IsaError):
+            OpcodeSpec("bad", IClass.INT_ALU, Unit.IALU, 0, 1, 10.0, 2, True, RegClass.GPR)
+
+    def test_validation_rejects_negative_energy(self):
+        with pytest.raises(IsaError):
+            OpcodeSpec("bad", IClass.INT_ALU, Unit.IALU, 1, 1, -1.0, 2, True, RegClass.GPR)
+
+    def test_fp_property_tracks_unit(self):
+        table = default_table()
+        assert table.get("mulpd").is_fp
+        assert not table.get("add").is_fp
+
+    def test_nop_has_no_backend_unit(self):
+        assert default_table().nop.unit is Unit.NONE
+
+
+class TestDefaultTable:
+    def test_contains_the_paper_instruction_mix(self):
+        table = default_table()
+        for mnemonic in ("nop", "add", "imul", "load", "store", "mulpd", "vfmaddpd"):
+            assert mnemonic in table
+
+    def test_energy_ordering_nop_cheapest_fma_most_expensive(self):
+        table = default_table()
+        energies = {s.mnemonic: s.energy_pj for s in table}
+        assert energies["nop"] == min(energies.values())
+        assert energies["vfmaddpd"] == max(energies.values())
+        assert energies["nop"] < energies["add"] < energies["mulpd"]
+
+    def test_fma_requires_fma4_extension(self):
+        spec = default_table().get("vfmaddpd")
+        assert "fma4" in spec.extensions
+
+    def test_simd_runs_on_shared_fpu(self):
+        table = default_table()
+        assert table.get("paddd").unit is Unit.FSIMD
+        assert table.get("pxor").unit is Unit.FSIMD
+        # Both pipe pools belong to the shared FP unit for throttling.
+        assert table.get("paddd").is_fp
+        assert table.get("mulpd").is_fp
+
+    def test_sensitive_paths_are_marked(self):
+        table = default_table()
+        assert table.get("imul").path_sensitivity > 1.0
+        assert table.get("load").path_sensitivity > 1.0
+        assert table.get("add").path_sensitivity == 1.0
+
+
+class TestOpcodeTableOperations:
+    def test_get_unknown_raises(self):
+        with pytest.raises(IsaError):
+            default_table().get("hcf")
+
+    def test_empty_table_rejected(self):
+        with pytest.raises(IsaError):
+            OpcodeTable(())
+
+    def test_duplicate_mnemonics_rejected(self):
+        spec = DEFAULT_OPCODES[0]
+        with pytest.raises(IsaError):
+            OpcodeTable((spec, spec))
+
+    def test_subset_preserves_order_and_filters(self):
+        table = default_table().subset(["mulpd", "add", "nop"])
+        assert set(table.mnemonics) == {"mulpd", "add", "nop"}
+        full_order = default_table().mnemonics
+        assert table.mnemonics == tuple(
+            m for m in full_order if m in {"mulpd", "add", "nop"}
+        )
+
+    def test_subset_unknown_raises(self):
+        with pytest.raises(IsaError):
+            default_table().subset(["add", "bogus"])
+
+    def test_supported_on_drops_fma_for_phenom_like_cpu(self):
+        phenom_exts = {"sse", "sse2", "sse3"}
+        table = default_table().supported_on(phenom_exts)
+        assert "vfmaddpd" not in table
+        assert "vfmaddps" not in table
+        assert "pmulld" not in table  # needs sse4.1
+        assert "mulpd" in table
+        assert "add" in table
+
+    def test_supported_on_keeps_everything_for_bulldozer(self):
+        bd_exts = {"sse", "sse2", "sse3", "sse41", "sse42", "avx", "fma4"}
+        assert len(default_table().supported_on(bd_exts)) == len(default_table())
+
+    def test_by_unit_partitions(self):
+        table = default_table()
+        fpu_ops = table.by_unit(Unit.FPU)
+        assert all(s.unit is Unit.FPU for s in fpu_ops)
+        assert {"mulpd", "addpd", "divpd"} <= {s.mnemonic for s in fpu_ops}
+        simd_ops = table.by_unit(Unit.FSIMD)
+        assert {"paddd", "pxor"} <= {s.mnemonic for s in simd_ops}
+
+    def test_by_class(self):
+        adds = default_table().by_class(IClass.FP_ADD)
+        assert {s.mnemonic for s in adds} == {"addps", "addpd"}
+
+    def test_nop_lookup_fails_when_absent(self):
+        table = default_table().subset(["add", "mulpd"])
+        with pytest.raises(IsaError):
+            _ = table.nop

@@ -1,0 +1,86 @@
+"""Tests for the register model and allocator."""
+
+import pytest
+
+from repro.errors import IsaError
+from repro.isa.registers import (
+    GPRS,
+    LOOP_COUNTER,
+    XMMS,
+    Register,
+    RegClass,
+    RegisterAllocator,
+    register_pool,
+)
+
+
+class TestRegisterPools:
+    def test_gpr_pool_excludes_reserved_registers(self):
+        names = {r.name for r in GPRS}
+        assert "rsp" not in names
+        assert "rbp" not in names
+        assert "rcx" not in names  # loop counter is reserved
+
+    def test_loop_counter_is_rcx(self):
+        assert LOOP_COUNTER.name == "rcx"
+        assert LOOP_COUNTER.rclass is RegClass.GPR
+
+    def test_xmm_pool_has_sixteen_registers(self):
+        assert len(XMMS) == 16
+        assert XMMS[0].name == "xmm0"
+        assert XMMS[15].name == "xmm15"
+
+    def test_register_pool_dispatch(self):
+        assert register_pool(RegClass.GPR) == GPRS
+        assert register_pool(RegClass.XMM) == XMMS
+
+    def test_register_pool_rejects_junk(self):
+        with pytest.raises(IsaError):
+            register_pool("not-a-class")
+
+    def test_registers_are_value_objects(self):
+        assert Register("rax", RegClass.GPR) == Register("rax", RegClass.GPR)
+        assert hash(Register("rax", RegClass.GPR)) == hash(Register("rax", RegClass.GPR))
+        assert Register("rax", RegClass.GPR) != Register("rbx", RegClass.GPR)
+
+    def test_str_is_bare_name(self):
+        assert str(Register("xmm3", RegClass.XMM)) == "xmm3"
+
+
+class TestRegisterAllocator:
+    def test_fresh_round_robins_without_repeats_within_pool(self):
+        alloc = RegisterAllocator()
+        seen = [alloc.fresh(RegClass.GPR) for _ in range(len(GPRS))]
+        assert len(set(seen)) == len(GPRS)
+
+    def test_fresh_wraps_after_pool_exhausted(self):
+        alloc = RegisterAllocator()
+        first = alloc.fresh(RegClass.XMM)
+        for _ in range(len(XMMS) - 1):
+            alloc.fresh(RegClass.XMM)
+        assert alloc.fresh(RegClass.XMM) == first
+
+    def test_classes_cycle_independently(self):
+        alloc = RegisterAllocator()
+        g1 = alloc.fresh(RegClass.GPR)
+        x1 = alloc.fresh(RegClass.XMM)
+        g2 = alloc.fresh(RegClass.GPR)
+        assert g1 != g2
+        assert x1.rclass is RegClass.XMM
+
+    def test_dependent_source_returns_last_allocated(self):
+        alloc = RegisterAllocator()
+        a = alloc.fresh(RegClass.GPR)
+        assert alloc.dependent_source(RegClass.GPR) == a
+
+    def test_dependent_source_falls_back_to_fresh(self):
+        alloc = RegisterAllocator()
+        reg = alloc.dependent_source(RegClass.XMM)
+        assert reg.rclass is RegClass.XMM
+
+    def test_reset_restarts_cycle(self):
+        alloc = RegisterAllocator()
+        first = alloc.fresh(RegClass.GPR)
+        alloc.fresh(RegClass.GPR)
+        alloc.reset()
+        assert alloc.fresh(RegClass.GPR) == first

@@ -1,0 +1,104 @@
+"""Tests for droop metrics, events, and histograms."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import MeasurementError
+from repro.measure.droop import (
+    DroopHistogram,
+    DroopStatistics,
+    droop_events,
+)
+
+VDD = 1.2
+
+
+class TestDroopStatistics:
+    def test_summary_values(self):
+        samples = np.array([1.2, 1.1, 1.25, 1.18])
+        stats = DroopStatistics.from_samples(samples, VDD)
+        assert stats.min_v == pytest.approx(1.1)
+        assert stats.max_droop_v == pytest.approx(0.1)
+        assert stats.max_overshoot_v == pytest.approx(0.05)
+        assert stats.samples == 4
+
+    def test_empty_rejected(self):
+        with pytest.raises(MeasurementError):
+            DroopStatistics.from_samples(np.array([]), VDD)
+
+
+class TestDroopEvents:
+    def test_no_events_above_threshold(self):
+        assert droop_events(np.full(10, 1.2), threshold_v=1.1) == []
+
+    def test_single_event_segmented(self):
+        samples = np.array([1.2, 1.2, 1.05, 1.02, 1.08, 1.2])
+        events = droop_events(samples, threshold_v=1.1)
+        assert len(events) == 1
+        event = events[0]
+        assert (event.start_index, event.end_index) == (2, 5)
+        assert event.min_v == pytest.approx(1.02)
+
+    def test_multiple_events(self):
+        samples = np.array([1.0, 1.2, 1.0, 1.2, 1.0])
+        events = droop_events(samples, threshold_v=1.1)
+        assert len(events) == 3
+
+    def test_event_at_trace_edges(self):
+        samples = np.array([1.0, 1.2, 1.0])
+        events = droop_events(samples, threshold_v=1.1)
+        assert events[0].start_index == 0
+        assert events[-1].end_index == 3
+
+    @given(st.lists(st.floats(0.9, 1.3, allow_nan=False), min_size=1, max_size=200),
+           st.floats(1.0, 1.2))
+    @settings(max_examples=60, deadline=None)
+    def test_events_cover_exactly_the_below_threshold_samples(self, values, thr):
+        samples = np.array(values)
+        events = droop_events(samples, threshold_v=thr)
+        covered = np.zeros(len(samples), dtype=bool)
+        for e in events:
+            assert e.start_index < e.end_index
+            covered[e.start_index : e.end_index] = True
+            assert np.all(samples[e.start_index : e.end_index] < thr)
+        np.testing.assert_array_equal(covered, samples < thr)
+
+
+class TestDroopHistogram:
+    def test_counts_all_samples(self):
+        rng = np.random.default_rng(0)
+        samples = rng.normal(1.2, 0.01, 5000)
+        hist = DroopHistogram.from_samples(samples, VDD, bins=50)
+        assert hist.total_samples == 5000
+        assert len(hist.bin_centers) == 50
+
+    def test_modal_voltage_near_distribution_mode(self):
+        rng = np.random.default_rng(1)
+        samples = rng.normal(1.2, 0.005, 20000)
+        hist = DroopHistogram.from_samples(samples, VDD, bins=100)
+        assert hist.modal_voltage == pytest.approx(1.2, abs=0.003)
+
+    def test_tail_fraction(self):
+        samples = np.concatenate([np.full(900, 1.2), np.full(100, 1.0)])
+        hist = DroopHistogram.from_samples(samples, VDD, bins=40)
+        assert hist.tail_fraction(1.1) == pytest.approx(0.1, abs=0.01)
+
+    def test_spread(self):
+        samples = np.concatenate([np.full(10, 1.0), np.full(10, 1.2)])
+        hist = DroopHistogram.from_samples(samples, VDD, bins=20)
+        assert hist.spread_v() == pytest.approx(0.2, abs=0.03)
+
+    def test_validation(self):
+        with pytest.raises(MeasurementError):
+            DroopHistogram.from_samples(np.array([]), VDD)
+        with pytest.raises(MeasurementError):
+            DroopHistogram.from_samples(np.ones(4), VDD, bins=1)
+
+    def test_fixed_range_allows_comparison(self):
+        a = DroopHistogram.from_samples(np.full(10, 1.15), VDD, bins=10,
+                                        v_range=(1.0, 1.3))
+        b = DroopHistogram.from_samples(np.full(10, 1.25), VDD, bins=10,
+                                        v_range=(1.0, 1.3))
+        np.testing.assert_array_equal(a.bin_edges, b.bin_edges)

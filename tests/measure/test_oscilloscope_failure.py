@@ -1,0 +1,144 @@
+"""Tests for the oscilloscope model and the failure search."""
+
+import numpy as np
+import pytest
+
+from repro.errors import MeasurementError
+from repro.measure.failure import FailureModel, voltage_at_failure
+from repro.measure.oscilloscope import Oscilloscope, dithering_scope, droop_capture_scope
+from repro.pdn.transient import VoltageTrace
+
+DT = 1 / 3.2e9
+VDD = 1.2
+
+
+def trace_of(samples):
+    return VoltageTrace(np.asarray(samples, dtype=float), DT, VDD)
+
+
+class TestOscilloscope:
+    def test_fast_scope_passes_native_samples(self):
+        trace = trace_of(np.linspace(1.1, 1.2, 100))
+        capture = droop_capture_scope().capture(trace)
+        assert len(capture.samples) == 100
+        assert capture.sample_rate_hz == pytest.approx(3.2e9)
+
+    def test_slow_scope_decimates(self):
+        trace = trace_of(np.full(3200, VDD))
+        capture = dithering_scope().capture(trace)  # 100 MS/s: stride 32
+        assert len(capture.samples) == 100
+        assert capture.sample_rate_hz == pytest.approx(1e8)
+
+    def test_peak_detect_keeps_narrow_droops(self):
+        samples = np.full(3200, VDD)
+        samples[1600] = 1.05  # a single-cycle (0.3 ns) droop
+        capture = dithering_scope().capture(trace_of(samples))
+        assert capture.samples.min() == pytest.approx(1.05)
+
+    def test_plain_decimation_can_miss_narrow_droops(self):
+        samples = np.full(3200, VDD)
+        samples[1601] = 1.05  # not on the stride-32 grid
+        scope = Oscilloscope(100e6, peak_detect=False)
+        capture = scope.capture(trace_of(samples))
+        assert capture.samples.min() == pytest.approx(VDD)
+
+    def test_statistics_and_histogram_round_trip(self):
+        samples = np.concatenate([np.full(100, 1.2), np.full(10, 1.1)])
+        capture = droop_capture_scope().capture(trace_of(samples))
+        assert capture.statistics().max_droop_v == pytest.approx(0.1)
+        assert capture.histogram(bins=10).total_samples == 110
+
+    def test_triggered_droops(self):
+        samples = np.array([1.2, 1.0, 1.2, 1.0, 1.2])
+        capture = droop_capture_scope().capture(trace_of(samples))
+        assert len(capture.triggered_droops(1.1)) == 2
+
+    def test_duration(self):
+        capture = droop_capture_scope().capture(trace_of(np.full(3200, VDD)))
+        assert capture.duration_s == pytest.approx(3200 * DT)
+
+    def test_bad_rate_rejected(self):
+        with pytest.raises(MeasurementError):
+            Oscilloscope(0)
+
+    def test_too_short_for_peak_detect_rejected(self):
+        scope = Oscilloscope(100e6, peak_detect=True)
+        with pytest.raises(MeasurementError):
+            scope.capture(trace_of(np.full(8, VDD)))
+
+
+class TestFailureModel:
+    def test_fails_when_voltage_under_requirement(self):
+        model = FailureModel(vcrit_base=1.0)
+        voltage = trace_of([1.2, 1.04, 1.2])
+        sens = np.array([1.0, 1.05, 1.0])  # requires 1.05 at the droop
+        assert model.fails(voltage, sens)
+
+    def test_passes_when_margin_positive(self):
+        model = FailureModel(vcrit_base=1.0)
+        voltage = trace_of([1.2, 1.06, 1.2])
+        sens = np.array([1.0, 1.05, 1.0])
+        assert not model.fails(voltage, sens)
+
+    def test_idle_cycles_impose_no_requirement(self):
+        model = FailureModel(vcrit_base=1.0)
+        voltage = trace_of([0.5, 1.2])  # deep droop but machine idle
+        sens = np.array([0.0, 1.0])
+        assert not model.fails(voltage, sens)
+
+    def test_margin_value(self):
+        model = FailureModel(vcrit_base=1.0)
+        voltage = trace_of([1.2, 1.1])
+        sens = np.array([1.0, 1.0])
+        assert model.margin_v(voltage, sens) == pytest.approx(0.1)
+
+    def test_margin_infinite_when_never_active(self):
+        model = FailureModel(vcrit_base=1.0)
+        assert model.margin_v(trace_of([1.2]), np.array([0.0])) == float("inf")
+
+    def test_sensitive_paths_fail_at_higher_voltage(self):
+        """The SM2 effect: same droop, earlier failure via sensitivity."""
+        model = FailureModel(vcrit_base=1.0)
+
+        def run_at_factory(sensitivity):
+            def run_at(vs):
+                # Fixed 80 mV droop regardless of supply.
+                voltage = VoltageTrace(np.array([vs, vs - 0.08]), DT, vs)
+                return voltage, np.array([sensitivity, sensitivity])
+            return run_at
+
+        vf_plain = voltage_at_failure(run_at_factory(1.0), model, vdd_nominal=VDD)
+        vf_sensitive = voltage_at_failure(run_at_factory(1.06), model, vdd_nominal=VDD)
+        assert vf_sensitive > vf_plain
+
+    def test_failure_search_uses_125mv_steps(self):
+        model = FailureModel(vcrit_base=1.0)
+        calls = []
+
+        def run_at(vs):
+            calls.append(vs)
+            voltage = VoltageTrace(np.array([vs - 0.05]), DT, vs)
+            return voltage, np.array([1.0])
+
+        vf = voltage_at_failure(run_at, model, vdd_nominal=VDD)
+        # Fails when vs - 0.05 < 1.0, i.e. at the first step at/below 1.05
+        # (floating-point rounding may trip the boundary step itself).
+        assert 1.0375 - 1e-9 <= vf <= 1.05 + 1e-9
+        steps = np.diff(calls)
+        assert np.allclose(steps, -0.0125)
+
+    def test_failure_search_gives_up(self):
+        model = FailureModel(vcrit_base=0.01)
+
+        def run_at(vs):
+            return VoltageTrace(np.array([vs]), DT, vs), np.array([1.0])
+
+        with pytest.raises(MeasurementError):
+            voltage_at_failure(run_at, model, vdd_nominal=VDD, max_steps=5)
+
+    def test_validation(self):
+        with pytest.raises(MeasurementError):
+            FailureModel(vcrit_base=0.0)
+        model = FailureModel(vcrit_base=1.0)
+        with pytest.raises(MeasurementError):
+            model.fails(trace_of([1.2]), np.array([]))

@@ -1,0 +1,115 @@
+"""Tests for OS interference and thread placement."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import ConfigurationError
+from repro.osmodel.affinity import packed_placement, spread_placement
+from repro.osmodel.scheduler import WINDOWS_TICK_S, OsInterferenceModel, TickPhases
+from repro.uarch.config import bulldozer_chip, phenom_chip
+
+
+class TestSpreadPlacement:
+    @pytest.mark.parametrize(
+        "threads,expected",
+        [
+            (1, [1, 0, 0, 0]),
+            (2, [1, 1, 0, 0]),
+            (4, [1, 1, 1, 1]),
+            (8, [2, 2, 2, 2]),
+            (5, [2, 1, 1, 1]),
+        ],
+    )
+    def test_paper_configurations(self, threads, expected):
+        assert spread_placement(bulldozer_chip(), threads) == expected
+
+    def test_phenom_capacity(self):
+        assert spread_placement(phenom_chip(), 4) == [1, 1, 1, 1]
+        with pytest.raises(ConfigurationError):
+            spread_placement(phenom_chip(), 5)
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            spread_placement(bulldozer_chip(), 0)
+        with pytest.raises(ConfigurationError):
+            spread_placement(bulldozer_chip(), 9)
+
+
+class TestPackedPlacement:
+    def test_packs_modules_full_first(self):
+        assert packed_placement(bulldozer_chip(), 2) == [2, 0, 0, 0]
+        assert packed_placement(bulldozer_chip(), 3) == [2, 1, 0, 0]
+        assert packed_placement(bulldozer_chip(), 8) == [2, 2, 2, 2]
+
+    @given(st.integers(1, 8))
+    @settings(max_examples=20, deadline=None)
+    def test_both_policies_conserve_threads(self, n):
+        chip = bulldozer_chip()
+        assert sum(spread_placement(chip, n)) == n
+        assert sum(packed_placement(chip, n)) == n
+
+
+class TestOsInterference:
+    def test_tick_count_matches_duration(self):
+        model = OsInterferenceModel(seed=0)
+        ticks = model.natural_dithering(
+            duration_s=0.1, cores=4, loop_period_cycles=32
+        )
+        assert len(ticks) == int(np.ceil(0.1 / WINDOWS_TICK_S))
+        assert sum(t.duration_s for t in ticks) == pytest.approx(0.1)
+
+    def test_reference_core_phase_is_zero(self):
+        model = OsInterferenceModel(seed=1)
+        for tick in model.natural_dithering(duration_s=0.05, cores=4,
+                                            loop_period_cycles=32):
+            assert tick.phases[0] == 0
+            assert len(tick.phases) == 4
+
+    def test_phases_bounded_by_period(self):
+        model = OsInterferenceModel(seed=2)
+        ticks = model.natural_dithering(duration_s=0.2, cores=8,
+                                        loop_period_cycles=24)
+        for tick in ticks:
+            assert all(0 <= p < 24 for p in tick.phases)
+
+    def test_phases_vary_across_ticks(self):
+        model = OsInterferenceModel(seed=3)
+        ticks = model.natural_dithering(duration_s=0.3, cores=4,
+                                        loop_period_cycles=32)
+        unique = {t.phases for t in ticks}
+        assert len(unique) > 1
+
+    def test_seeded_reproducibility(self):
+        a = OsInterferenceModel(seed=42).natural_dithering(
+            duration_s=0.1, cores=4, loop_period_cycles=32)
+        b = OsInterferenceModel(seed=42).natural_dithering(
+            duration_s=0.1, cores=4, loop_period_cycles=32)
+        assert [t.phases for t in a] == [t.phases for t in b]
+
+    def test_alignment_occurs_eventually(self):
+        """Natural dithering passes near alignment given enough ticks."""
+        model = OsInterferenceModel(seed=4)
+        ticks = model.natural_dithering(duration_s=3.0, cores=4,
+                                        loop_period_cycles=16)
+        best = min(t.misalignment(16) for t in ticks)
+        assert best <= 2
+
+    def test_misalignment_is_circular(self):
+        tick = TickPhases(0.0, 1.0, (0, 31))
+        assert tick.misalignment(32) == 1
+
+    def test_interrupt_cost_scale(self):
+        model = OsInterferenceModel(seed=5)
+        cost = model.interrupt_cycle_cost(frequency_hz=3.2e9)
+        assert 1000 < cost < 10_000_000
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            OsInterferenceModel(tick_period_s=0)
+        model = OsInterferenceModel()
+        with pytest.raises(ConfigurationError):
+            model.natural_dithering(duration_s=0, cores=4, loop_period_cycles=32)
+        with pytest.raises(ConfigurationError):
+            model.natural_dithering(duration_s=1, cores=0, loop_period_cycles=32)

@@ -1,0 +1,76 @@
+"""Tests for PDN parameter sets."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.pdn.elements import LadderStage, PdnParameters, bulldozer_pdn, phenom_pdn
+
+
+class TestLadderStage:
+    def test_rejects_nonpositive_values(self):
+        with pytest.raises(ConfigurationError):
+            LadderStage(0.0, 1e-9, 1e-6, 1e-3)
+        with pytest.raises(ConfigurationError):
+            LadderStage(1e-3, -1e-9, 1e-6, 1e-3)
+
+    def test_natural_frequency(self):
+        # 1 nH with 1 uF -> ~5.03 MHz
+        stage = LadderStage(1e-3, 1e-9, 1e-6, 1e-3)
+        assert stage.natural_frequency_hz == pytest.approx(5.033e6, rel=1e-3)
+
+    def test_characteristic_impedance_and_q(self):
+        stage = LadderStage(1e-3, 1e-9, 1e-6, 1e-3)
+        assert stage.characteristic_impedance_ohm == pytest.approx(0.0316, rel=1e-2)
+        assert stage.quality_factor == pytest.approx(0.0316 / 2e-3, rel=1e-2)
+
+
+class TestPdnParameters:
+    def test_bulldozer_first_droop_near_100mhz(self):
+        params = bulldozer_pdn()
+        assert params.first_droop_frequency_hz == pytest.approx(100e6, rel=0.02)
+
+    def test_phenom_first_droop_near_80mhz(self):
+        params = phenom_pdn()
+        assert params.first_droop_frequency_hz == pytest.approx(80e6, rel=0.02)
+
+    def test_stage_frequencies_strictly_ordered(self):
+        p = bulldozer_pdn()
+        f3 = p.board.natural_frequency_hz
+        f2 = p.package.natural_frequency_hz
+        f1 = p.die.natural_frequency_hz
+        assert f3 < f2 < f1
+
+    def test_misordered_stages_rejected(self):
+        p = bulldozer_pdn()
+        with pytest.raises(ConfigurationError):
+            PdnParameters(vdd_nominal=1.2, board=p.die, package=p.package, die=p.board)
+
+    def test_dc_resistance_sums_path_resistances(self):
+        p = bulldozer_pdn()
+        expected = (p.board.resistance_ohm + p.package.resistance_ohm
+                    + p.die.resistance_ohm)
+        assert p.dc_resistance_ohm == pytest.approx(expected)
+
+    def test_load_line_adds_to_dc_resistance(self):
+        p = bulldozer_pdn().with_load_line(1e-3)
+        assert p.dc_resistance_ohm == pytest.approx(
+            bulldozer_pdn().dc_resistance_ohm + 1e-3
+        )
+
+    def test_load_line_default_disabled(self):
+        assert bulldozer_pdn().load_line_ohm == 0.0
+
+    def test_negative_load_line_rejected(self):
+        with pytest.raises(ConfigurationError):
+            bulldozer_pdn().with_load_line(-1e-3)
+
+    def test_phenom_shares_board_with_bulldozer(self):
+        # Paper Section V.C: same board, different processor.
+        assert phenom_pdn().board == bulldozer_pdn(vdd=1.3).board
+        assert phenom_pdn().package == bulldozer_pdn(vdd=1.3).package
+        assert phenom_pdn().die != bulldozer_pdn().die
+
+    def test_rejects_nonpositive_vdd(self):
+        p = bulldozer_pdn()
+        with pytest.raises(ConfigurationError):
+            PdnParameters(vdd_nominal=0.0, board=p.board, package=p.package, die=p.die)

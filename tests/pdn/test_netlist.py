@@ -1,0 +1,68 @@
+"""Tests for the HSPICE netlist exporter."""
+
+import numpy as np
+import pytest
+
+from repro.errors import PdnError
+from repro.pdn.elements import bulldozer_pdn
+from repro.pdn.netlist import export_netlist, parse_netlist_elements
+from repro.power.trace import CurrentTrace, square_wave
+
+DT = 1 / 3.2e9
+
+
+@pytest.fixture()
+def load():
+    return square_wave(high_a=30, low_a=5, high_samples=16, low_samples=16,
+                       periods=10, dt=DT)
+
+
+class TestExport:
+    def test_deck_structure(self, load):
+        deck = export_netlist(bulldozer_pdn(), load)
+        assert deck.startswith("* ")
+        assert "Vvrm vrm 0 DC" in deck
+        assert ".tran" in deck
+        assert deck.rstrip().endswith(".end")
+        assert "Iload die 0 PWL(" in deck
+
+    def test_all_three_stages_present(self, load):
+        deck = export_netlist(bulldozer_pdn(), load)
+        for stage in ("board", "pkg", "die"):
+            assert f"R{stage} " in deck
+            assert f"L{stage} " in deck
+            assert f"C{stage} " in deck
+            assert f"Resr_{stage} " in deck
+
+    def test_element_values_round_trip(self, load):
+        params = bulldozer_pdn()
+        elements = parse_netlist_elements(export_netlist(params, load))
+        assert elements["Rboard"] == pytest.approx(params.board.resistance_ohm)
+        assert elements["Lpkg"] == pytest.approx(params.package.inductance_h)
+        assert elements["Cdie"] == pytest.approx(params.die.capacitance_f)
+        assert elements["Resr_die"] == pytest.approx(params.die.esr_ohm)
+        assert elements["Vvrm"] == pytest.approx(params.vdd_nominal)
+
+    def test_load_line_emitted_only_when_enabled(self, load):
+        without = export_netlist(bulldozer_pdn(), load)
+        assert "Rll" not in without
+        with_ll = export_netlist(bulldozer_pdn().with_load_line(1e-3), load)
+        assert "Rll vrm vrm_ll" in with_ll
+
+    def test_pwl_covers_the_whole_trace(self, load):
+        deck = export_netlist(bulldozer_pdn(), load)
+        pwl = deck.split("PWL(")[1].split(")")[0].split()
+        times = [float(v) for v in pwl[0::2]]
+        assert times[0] == 0.0
+        assert times[-1] == pytest.approx((len(load) - 1) * DT)
+        assert times == sorted(times)
+
+    def test_long_traces_are_decimated(self):
+        long_load = CurrentTrace(np.random.default_rng(0).uniform(0, 30, 200_000), DT)
+        deck = export_netlist(bulldozer_pdn(), long_load, max_pwl_points=1000)
+        pwl = deck.split("PWL(")[1].split(")")[0].split()
+        assert len(pwl) // 2 <= 1002
+
+    def test_validation(self, load):
+        with pytest.raises(PdnError):
+            export_netlist(bulldozer_pdn(), load, max_pwl_points=1)

@@ -1,0 +1,97 @@
+"""Tests for the PDN state-space network and impedance analysis."""
+
+import numpy as np
+import pytest
+
+from repro.errors import PdnError
+from repro.pdn.elements import bulldozer_pdn, phenom_pdn
+from repro.pdn.impedance import first_droop_frequency, sweep_impedance
+from repro.pdn.network import PdnNetwork
+
+
+@pytest.fixture(scope="module")
+def network():
+    return PdnNetwork(bulldozer_pdn())
+
+
+class TestNetworkAssembly:
+    def test_state_dimension(self, network):
+        assert network.a_matrix.shape == (6, 6)
+        assert network.b_matrix.shape == (6, 1)
+        assert network.c_matrix.shape == (1, 6)
+        assert network.d_matrix.shape == (1, 1)
+
+    def test_network_is_stable(self, network):
+        eigenvalues = np.linalg.eigvals(network.a_matrix)
+        assert np.all(eigenvalues.real < 0)
+
+    def test_dc_impedance_equals_path_resistance(self, network):
+        z0 = network.impedance(np.array([0.0]))[0]
+        assert z0 == pytest.approx(network.params.dc_resistance_ohm, rel=1e-6)
+
+    def test_dc_droop_scales_linearly(self, network):
+        assert network.dc_droop(20.0) == pytest.approx(2 * network.dc_droop(10.0))
+
+    def test_negative_frequency_rejected(self, network):
+        with pytest.raises(PdnError):
+            network.transfer(np.array([-1.0]))
+
+    def test_load_line_raises_dc_impedance(self):
+        base = PdnNetwork(bulldozer_pdn())
+        with_ll = PdnNetwork(bulldozer_pdn().with_load_line(1e-3))
+        z_base = base.impedance(np.array([0.0]))[0]
+        z_ll = with_ll.impedance(np.array([0.0]))[0]
+        assert z_ll == pytest.approx(z_base + 1e-3, rel=1e-6)
+
+    def test_transfer_is_negative_real_at_dc(self, network):
+        h0 = network.transfer(np.array([0.0]))[0]
+        assert h0.real < 0
+        assert abs(h0.imag) < 1e-12
+
+
+class TestImpedanceSweep:
+    def test_finds_three_resonances_in_order(self, network):
+        sweep = sweep_impedance(network)
+        labels = [r.label for r in sweep.resonances]
+        assert labels == ["third", "second", "first"]
+        freqs = [r.frequency_hz for r in sweep.resonances]
+        assert freqs == sorted(freqs)
+
+    def test_first_droop_frequency_near_design_target(self, network):
+        sweep = sweep_impedance(network)
+        assert sweep.first_droop.frequency_hz == pytest.approx(100e6, rel=0.05)
+
+    def test_first_droop_peak_dominates_other_resonances(self, network):
+        # Paper Section II: second/third droops are typically smaller in
+        # magnitude than first droop.
+        sweep = sweep_impedance(network)
+        first = sweep.first_droop.impedance_ohm
+        assert first > sweep.resonance("second").impedance_ohm
+        assert first > sweep.resonance("third").impedance_ohm
+
+    def test_peak_impedance_well_above_dc(self, network):
+        sweep = sweep_impedance(network)
+        assert sweep.first_droop.impedance_ohm > 3 * network.params.dc_resistance_ohm
+
+    def test_resonance_lookup_unknown_label(self, network):
+        sweep = sweep_impedance(network)
+        with pytest.raises(PdnError):
+            sweep.resonance("fourth")
+
+    def test_sweep_argument_validation(self, network):
+        with pytest.raises(PdnError):
+            sweep_impedance(network, f_min_hz=0)
+        with pytest.raises(PdnError):
+            sweep_impedance(network, f_min_hz=1e6, f_max_hz=1e3)
+        with pytest.raises(PdnError):
+            sweep_impedance(network, points=4)
+
+    def test_fine_first_droop_search(self, network):
+        f1 = first_droop_frequency(network)
+        assert f1 == pytest.approx(100e6, rel=0.05)
+
+    def test_phenom_resonates_lower_than_bulldozer(self):
+        f_bd = first_droop_frequency(PdnNetwork(bulldozer_pdn()))
+        f_ph = first_droop_frequency(PdnNetwork(phenom_pdn()))
+        assert f_ph < f_bd
+        assert f_ph == pytest.approx(80e6, rel=0.06)

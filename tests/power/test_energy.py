@@ -1,0 +1,70 @@
+"""Tests for the energy-to-current model."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.power.energy import EnergyModel, PowerParameters
+
+
+class TestPowerParameters:
+    def test_rejects_negative_currents(self):
+        with pytest.raises(ConfigurationError):
+            PowerParameters(leakage_a=-1.0)
+
+    def test_rejects_bad_gating_efficiency(self):
+        with pytest.raises(ConfigurationError):
+            PowerParameters(clock_gating_efficiency=1.5)
+
+
+class TestEnergyModel:
+    def make(self, **kw):
+        params = PowerParameters(leakage_a=1.0, idle_clock_a=2.0,
+                                 clock_gating_efficiency=0.5)
+        return EnergyModel(params, vdd=kw.get("vdd", 1.2),
+                           frequency_hz=kw.get("f", 3.2e9))
+
+    def test_rejects_bad_operating_point(self):
+        with pytest.raises(ConfigurationError):
+            EnergyModel(PowerParameters(), vdd=0.0, frequency_hz=3e9)
+        with pytest.raises(ConfigurationError):
+            EnergyModel(PowerParameters(), vdd=1.2, frequency_hz=0)
+
+    def test_zero_energy_cycle_is_clock_gated(self):
+        model = self.make()
+        current = model.current_from_energy(np.array([0.0]))
+        # leakage (1.0) + half of idle clock (1.0)
+        assert current[0] == pytest.approx(2.0)
+        assert current[0] == pytest.approx(model.idle_current())
+
+    def test_active_cycle_keeps_full_clock_current(self):
+        model = self.make()
+        tiny = model.current_from_energy(np.array([1e-9]))  # ~0 but active
+        assert tiny[0] == pytest.approx(3.0, rel=1e-3)
+
+    def test_dynamic_current_scales_with_energy(self):
+        model = self.make()
+        c = model.current_from_energy(np.array([100.0, 200.0]))
+        dyn1 = c[0] - 3.0
+        dyn2 = c[1] - 3.0
+        assert dyn2 == pytest.approx(2 * dyn1)
+
+    def test_physical_magnitude(self):
+        # 100 pJ per cycle at 3.2 GHz and 1.2 V is 100e-12 * 3.2e9 / 1.2 A.
+        model = self.make()
+        c = model.current_from_energy(np.array([100.0]))
+        expected_dyn = 100e-12 * 3.2e9 / 1.2
+        assert c[0] - 3.0 == pytest.approx(expected_dyn)
+
+    def test_lower_vdd_means_more_current_for_same_energy(self):
+        high_v = self.make(vdd=1.3).current_from_energy(np.array([100.0]))
+        low_v = self.make(vdd=1.1).current_from_energy(np.array([100.0]))
+        assert low_v[0] > high_v[0]
+
+    def test_rejects_negative_energy(self):
+        with pytest.raises(ConfigurationError):
+            self.make().current_from_energy(np.array([-1.0]))
+
+    def test_energy_to_amps_scalar(self):
+        model = self.make()
+        assert model.energy_to_amps(100.0) == pytest.approx(100e-12 * 3.2e9 / 1.2)

@@ -1,0 +1,137 @@
+"""Tests for current-trace construction and algebra."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import ConfigurationError
+from repro.power.trace import CurrentTrace, square_wave, step_load, sum_traces
+
+DT = 1 / 3.2e9
+
+
+class TestCurrentTraceBasics:
+    def test_rejects_empty(self):
+        with pytest.raises(ConfigurationError):
+            CurrentTrace(np.array([]), DT)
+
+    def test_rejects_2d(self):
+        with pytest.raises(ConfigurationError):
+            CurrentTrace(np.zeros((2, 2)), DT)
+
+    def test_rejects_bad_dt(self):
+        with pytest.raises(ConfigurationError):
+            CurrentTrace(np.ones(4), 0.0)
+
+    def test_duration_and_stats(self):
+        tr = CurrentTrace(np.array([1.0, 3.0, 2.0]), DT)
+        assert tr.duration_s == pytest.approx(3 * DT)
+        assert tr.mean_a == pytest.approx(2.0)
+        assert tr.peak_a == pytest.approx(3.0)
+        assert tr.swing_a == pytest.approx(2.0)
+
+    def test_tile(self):
+        tr = CurrentTrace(np.array([1.0, 2.0]), DT).tile(3)
+        assert len(tr) == 6
+        np.testing.assert_array_equal(tr.samples, [1, 2, 1, 2, 1, 2])
+
+    def test_roll_is_circular(self):
+        tr = CurrentTrace(np.array([1.0, 2.0, 3.0]), DT).roll(1)
+        np.testing.assert_array_equal(tr.samples, [3, 1, 2])
+
+    def test_pad(self):
+        tr = CurrentTrace(np.array([5.0]), DT).pad(leading=2, trailing=1, level=1.0)
+        np.testing.assert_array_equal(tr.samples, [1, 1, 5, 1])
+
+    def test_add_requires_matching_grids(self):
+        a = CurrentTrace(np.ones(3), DT)
+        b = CurrentTrace(np.ones(4), DT)
+        with pytest.raises(ConfigurationError):
+            _ = a + b
+        c = CurrentTrace(np.ones(3), DT * 2)
+        with pytest.raises(ConfigurationError):
+            _ = a + c
+
+    def test_add_sums_samples(self):
+        a = CurrentTrace(np.array([1.0, 2.0]), DT)
+        b = CurrentTrace(np.array([10.0, 20.0]), DT)
+        np.testing.assert_array_equal((a + b).samples, [11, 22])
+
+    def test_scaled(self):
+        tr = CurrentTrace(np.array([1.0, 2.0]), DT).scaled(2.5)
+        np.testing.assert_array_equal(tr.samples, [2.5, 5.0])
+
+
+class TestSumTraces:
+    def test_pads_shorter_traces_with_zero(self):
+        a = CurrentTrace(np.array([1.0, 1.0, 1.0]), DT)
+        b = CurrentTrace(np.array([2.0]), DT)
+        total = sum_traces([a, b])
+        np.testing.assert_array_equal(total.samples, [3, 1, 1])
+
+    def test_rejects_empty_list(self):
+        with pytest.raises(ConfigurationError):
+            sum_traces([])
+
+    def test_rejects_mixed_dt(self):
+        a = CurrentTrace(np.ones(2), DT)
+        b = CurrentTrace(np.ones(2), DT * 2)
+        with pytest.raises(ConfigurationError):
+            sum_traces([a, b])
+
+
+class TestGenerators:
+    def test_square_wave_shape(self):
+        tr = square_wave(high_a=10, low_a=2, high_samples=3, low_samples=2,
+                         periods=2, dt=DT)
+        np.testing.assert_array_equal(
+            tr.samples, [10, 10, 10, 2, 2, 10, 10, 10, 2, 2]
+        )
+
+    def test_square_wave_rejects_zero_period(self):
+        with pytest.raises(ConfigurationError):
+            square_wave(1, 0, 0, 0, 1, DT)
+
+    def test_step_load_shape(self):
+        tr = step_load(low_a=1, high_a=9, low_samples=2, high_samples=3, dt=DT)
+        np.testing.assert_array_equal(tr.samples, [1, 1, 9, 9, 9])
+
+    def test_step_load_needs_both_sides(self):
+        with pytest.raises(ConfigurationError):
+            step_load(1, 9, 0, 3, DT)
+
+
+class TestTraceProperties:
+    @given(
+        samples=st.lists(st.floats(0, 100, allow_nan=False), min_size=1, max_size=64),
+        shift=st.integers(-200, 200),
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_roll_preserves_multiset(self, samples, shift):
+        tr = CurrentTrace(np.array(samples), DT)
+        rolled = tr.roll(shift)
+        assert sorted(rolled.samples) == pytest.approx(sorted(tr.samples))
+
+    @given(
+        samples=st.lists(st.floats(0, 100, allow_nan=False), min_size=1, max_size=32),
+        reps=st.integers(1, 5),
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_tile_preserves_mean(self, samples, reps):
+        tr = CurrentTrace(np.array(samples), DT)
+        assert tr.tile(reps).mean_a == pytest.approx(tr.mean_a)
+
+    @given(
+        a=st.lists(st.floats(0, 50, allow_nan=False), min_size=1, max_size=16),
+        b=st.lists(st.floats(0, 50, allow_nan=False), min_size=1, max_size=16),
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_sum_traces_is_superposition(self, a, b):
+        ta = CurrentTrace(np.array(a), DT)
+        tb = CurrentTrace(np.array(b), DT)
+        total = sum_traces([ta, tb])
+        n = max(len(a), len(b))
+        pa = np.pad(np.array(a), (0, n - len(a)))
+        pb = np.pad(np.array(b), (0, n - len(b)))
+        np.testing.assert_allclose(total.samples, pa + pb)

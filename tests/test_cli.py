@@ -1,0 +1,87 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import EXPERIMENTS, build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_audit_defaults(self):
+        args = build_parser().parse_args(["audit"])
+        assert args.chip == "bulldozer"
+        assert args.threads == 4
+        assert args.mode == "resonant"
+        assert args.asm_out is None
+
+    def test_sweep_chip_choices(self):
+        args = build_parser().parse_args(["sweep", "--chip", "phenom"])
+        assert args.chip == "phenom"
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["sweep", "--chip", "riscv"])
+
+    def test_experiment_takes_name(self):
+        args = build_parser().parse_args(["experiment", "table1"])
+        assert args.name == "table1"
+
+
+class TestCommands:
+    def test_list_prints_every_experiment(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        for name in EXPERIMENTS:
+            assert name in out
+
+    def test_unknown_experiment_fails_cleanly(self, capsys):
+        assert main(["experiment", "fig99"]) == 2
+        assert "unknown experiment" in capsys.readouterr().err
+
+    def test_experiment_registry_covers_every_paper_artifact(self):
+        expected = {
+            "fig3", "fig4", "fig6", "fig9", "fig10",
+            "table1", "table2", "table3",
+            "sec3b", "sec3c", "sec3-data", "sec5a1", "sec5a5", "sec5-sim",
+        }
+        assert set(EXPERIMENTS) == expected
+
+    def test_fast_experiment_runs_end_to_end(self, capsys):
+        assert main(["experiment", "sec3b"]) == 0
+        out = capsys.readouterr().out
+        assert "18.35 min" in out
+
+    def test_sweep_runs_end_to_end(self, capsys):
+        assert main(["sweep", "--chip", "bulldozer"]) == 0
+        out = capsys.readouterr().out
+        assert "resonance:" in out
+        assert "MHz" in out
+
+    def test_audit_writes_asm(self, tmp_path, capsys):
+        asm_path = tmp_path / "out.asm"
+        code = main([
+            "audit", "--threads", "2", "--population", "6",
+            "--generations", "2", "--asm-out", str(asm_path),
+        ])
+        assert code == 0
+        text = asm_path.read_text()
+        assert "BITS 64" in text
+        assert "_loop:" in text
+        out = capsys.readouterr().out
+        assert "droop at 2T" in out
+
+    def test_netlist_export(self, tmp_path):
+        deck_path = tmp_path / "deck.sp"
+        code = main(["netlist", "--threads", "2", "--periods", "4",
+                     "--out", str(deck_path)])
+        assert code == 0
+        deck = deck_path.read_text()
+        assert deck.startswith("* A-Res 2T current profile")
+        assert "Iload die 0 PWL(" in deck
+        assert deck.rstrip().endswith(".end")
+
+    def test_throttle_rejected_on_phenom(self, capsys):
+        code = main(["audit", "--chip", "phenom", "--throttle", "1"])
+        assert code == 1
+        assert "error:" in capsys.readouterr().err

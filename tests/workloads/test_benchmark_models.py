@@ -1,0 +1,182 @@
+"""Tests for synthetic SPEC/PARSEC models and the workload runner."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.platform import MeasurementPlatform
+from repro.errors import WorkloadError
+from repro.isa.opcodes import default_table
+from repro.pdn.elements import bulldozer_pdn
+from repro.uarch.config import bulldozer_chip
+from repro.workloads.parsec import PARSEC_MODELS, parsec_model, parsec_names
+from repro.workloads.phases import ActivityModel
+from repro.workloads.runner import run_workload
+from repro.workloads.spec import SPEC_MODELS, spec_model, spec_names
+from repro.workloads.stressmarks import sm1, stressmark_program
+
+TABLE = default_table()
+
+
+@pytest.fixture(scope="module")
+def platform():
+    chip = bulldozer_chip()
+    return MeasurementPlatform(chip, bulldozer_pdn(vdd=chip.vdd))
+
+
+class TestActivityModel:
+    def make(self, **kw):
+        defaults = dict(
+            name="toy", util_mean=0.5, util_sigma=0.05,
+            stall_rate_per_kcycle=2.0, stall_cycles=20, burst_cycles=20,
+            burst_boost=0.3,
+        )
+        defaults.update(kw)
+        return ActivityModel(**defaults)
+
+    def test_utilisation_bounded(self):
+        model = self.make()
+        util = model.thread_utilisation(20_000, np.random.default_rng(0))
+        assert util.min() >= 0.0
+        assert util.max() <= 1.0
+        assert len(util) == 20_000
+
+    def test_utilisation_tracks_mean(self):
+        model = self.make(util_mean=0.6, stall_rate_per_kcycle=0.0)
+        util = model.thread_utilisation(100_000, np.random.default_rng(1))
+        assert util.mean() == pytest.approx(0.6, abs=0.08)
+
+    def test_stalls_create_low_regions(self):
+        quiet = self.make(stall_rate_per_kcycle=0.0, util_mean=0.6, util_sigma=0.0)
+        noisy = self.make(stall_rate_per_kcycle=10.0, util_mean=0.6, util_sigma=0.0)
+        rng = np.random.default_rng(2)
+        u_quiet = quiet.thread_utilisation(50_000, rng)
+        u_noisy = noisy.thread_utilisation(50_000, np.random.default_rng(2))
+        assert u_noisy.min() < 0.1
+        assert u_quiet.min() > 0.4
+
+    def test_bursts_raise_peak(self):
+        model = self.make(burst_boost=0.4, util_mean=0.4, util_sigma=0.0,
+                          stall_rate_per_kcycle=5.0)
+        util = model.thread_utilisation(50_000, np.random.default_rng(3))
+        assert util.max() > 0.7
+
+    def test_barriers_align_drains_across_threads(self):
+        model = self.make(barrier_interval_cycles=10_000, barrier_skew_cycles=10)
+        rng = np.random.default_rng(4)
+        utils = [model.thread_utilisation(30_000, rng) for _ in range(4)]
+        utils = model.apply_barriers(utils, rng)
+        at_barrier = [u[10_000 + 20] for u in utils]
+        assert max(at_barrier) < 0.2  # everyone drained
+
+    def test_no_barriers_when_unset(self):
+        model = self.make()
+        rng = np.random.default_rng(5)
+        utils = [np.full(1000, 0.5)]
+        assert model.apply_barriers(utils, rng)[0] is not utils[0] or True
+        np.testing.assert_array_equal(model.apply_barriers(utils, rng)[0], utils[0])
+
+    def test_energy_scales_with_utilisation(self):
+        model = self.make()
+        chip = bulldozer_chip()
+        energy = model.thread_energy(chip, np.array([0.0, 0.5, 1.0]))
+        assert energy[0] == 0.0
+        assert energy[2] == pytest.approx(2 * energy[1])
+
+    def test_sensitivity_zero_when_idle(self):
+        model = self.make(sensitivity=1.03)
+        sens = model.thread_sensitivity(np.array([0.0, 0.5]))
+        assert sens[0] == 0.0
+        assert sens[1] == pytest.approx(1.03)
+
+    def test_validation(self):
+        with pytest.raises(WorkloadError):
+            self.make(util_mean=1.5)
+        with pytest.raises(WorkloadError):
+            self.make(stall_cycles=0)
+        with pytest.raises(WorkloadError):
+            self.make(burst_boost=-1)
+
+    @given(seed=st.integers(0, 10_000))
+    @settings(max_examples=20, deadline=None)
+    def test_utilisation_always_in_unit_interval(self, seed):
+        model = self.make(util_sigma=0.3, stall_rate_per_kcycle=8.0,
+                          burst_boost=0.8)
+        util = model.thread_utilisation(5000, np.random.default_rng(seed))
+        assert np.all((util >= 0.0) & (util <= 1.0))
+
+
+class TestSuites:
+    def test_spec_contains_the_papers_benchmarks(self):
+        assert "zeusmp" in spec_names()
+        assert len(SPEC_MODELS) >= 8
+
+    def test_parsec_contains_the_papers_benchmarks(self):
+        names = parsec_names()
+        assert {"fluidanimate", "streamcluster", "swaptions"} <= set(names)
+        assert len(PARSEC_MODELS) >= 5
+
+    def test_lookup_and_errors(self):
+        assert spec_model("zeusmp").name == "zeusmp"
+        assert parsec_model("swaptions").name == "swaptions"
+        with pytest.raises(WorkloadError):
+            spec_model("doom")
+        with pytest.raises(WorkloadError):
+            parsec_model("doom")
+
+    def test_parsec_models_have_barriers_except_canneal(self):
+        for model in PARSEC_MODELS:
+            if model.name == "canneal":
+                assert model.barrier_interval_cycles is None
+            else:
+                assert model.barrier_interval_cycles is not None
+
+
+class TestRunWorkload:
+    def test_measurement_shape(self, platform):
+        m = run_workload(platform, spec_model("zeusmp"), 4,
+                         duration_cycles=50_000, rng=np.random.default_rng(0))
+        assert len(m.voltage) == 50_000
+        assert m.max_droop_v > 0
+        assert np.all(np.isfinite(m.voltage.samples))
+
+    def test_benchmarks_droop_below_stressmarks(self, platform):
+        rng = np.random.default_rng(1)
+        bench = run_workload(platform, spec_model("zeusmp"), 4,
+                             duration_cycles=100_000, rng=rng).max_droop_v
+        stress = platform.measure_program(
+            stressmark_program(sm1(TABLE)), 4).max_droop_v
+        assert bench < stress
+
+    def test_zeusmp_tops_the_spec_pack(self, platform):
+        droops = {}
+        for name in ("zeusmp", "hmmer", "namd", "povray"):
+            droops[name] = run_workload(
+                platform, spec_model(name), 4,
+                duration_cycles=100_000, rng=np.random.default_rng(7),
+            ).max_droop_v
+        assert droops["zeusmp"] == max(droops.values())
+
+    def test_droop_grows_with_threads(self, platform):
+        rng = np.random.default_rng(2)
+        droops = [
+            run_workload(platform, spec_model("zeusmp"), t,
+                         duration_cycles=60_000, rng=np.random.default_rng(2)
+                         ).max_droop_v
+            for t in (1, 4)
+        ]
+        assert droops[0] < droops[1]
+
+    def test_reproducible_with_seeded_rng(self, platform):
+        a = run_workload(platform, spec_model("gcc"), 2,
+                         duration_cycles=30_000, rng=np.random.default_rng(9))
+        b = run_workload(platform, spec_model("gcc"), 2,
+                         duration_cycles=30_000, rng=np.random.default_rng(9))
+        np.testing.assert_array_equal(a.voltage.samples, b.voltage.samples)
+
+    def test_validation(self, platform):
+        with pytest.raises(WorkloadError):
+            run_workload(platform, spec_model("gcc"), 0)
+        with pytest.raises(WorkloadError):
+            run_workload(platform, spec_model("gcc"), 2, duration_cycles=10)

@@ -1,0 +1,117 @@
+"""Tests for the manual stressmark library."""
+
+import pytest
+
+from repro.core.platform import MeasurementPlatform
+from repro.errors import SchedulingError, WorkloadError
+from repro.isa.opcodes import default_table
+from repro.pdn.elements import bulldozer_pdn
+from repro.uarch.config import bulldozer_chip, phenom_chip
+from repro.uarch.module import ModuleSimulator
+from repro.workloads.stressmarks import (
+    a_ex_canned,
+    a_res_canned,
+    sm1,
+    sm2,
+    sm_res,
+    stressmark_program,
+)
+
+TABLE = default_table()
+
+
+@pytest.fixture(scope="module")
+def platform():
+    chip = bulldozer_chip()
+    return MeasurementPlatform(chip, bulldozer_pdn(vdd=chip.vdd))
+
+
+def droop(platform, kernel, threads=4):
+    return platform.measure_program(stressmark_program(kernel), threads).max_droop_v
+
+
+class TestKernelStructure:
+    def test_sm_res_is_pure_fp(self):
+        kernel = sm_res(TABLE)
+        assert all(i.spec.is_fp for i in kernel.hp)
+        assert all(i.is_nop for i in kernel.lp)
+        assert kernel.name == "SM-Res"
+
+    def test_sm1_requires_fma4(self):
+        kernel = sm1(TABLE)
+        mnemonics = {i.spec.mnemonic for i in kernel.hp}
+        assert "vfmaddpd" in mnemonics
+
+    def test_sm1_rejected_on_phenom(self):
+        kernel = sm1(TABLE)
+        sim = ModuleSimulator(phenom_chip())
+        with pytest.raises(SchedulingError):
+            sim.run([stressmark_program(kernel)], max_iterations=4)
+
+    def test_sm2_exercises_sensitive_paths(self):
+        kernel = sm2(TABLE)
+        peak_sensitivity = max(i.spec.path_sensitivity for i in kernel.hp)
+        assert peak_sensitivity >= 1.03
+        assert all(not i.spec.is_fp for i in kernel.hp)
+
+    def test_a_res_mixes_clusters_and_sprinkles_nops(self):
+        kernel = a_res_canned(TABLE)
+        has_fp = any(i.spec.is_fp for i in kernel.hp)
+        has_int = any(
+            not i.spec.is_fp and not i.is_nop for i in kernel.hp
+        )
+        has_nops = any(i.is_nop for i in kernel.hp)
+        assert has_fp and has_int and has_nops
+
+    def test_a_ex_has_long_lp(self):
+        kernel = a_ex_canned(TABLE)
+        assert len(kernel.lp) > 5 * len(kernel.hp)
+
+    def test_period_validation(self):
+        with pytest.raises(WorkloadError):
+            sm_res(TABLE, period_cycles=2)
+
+    def test_phenom_variants_avoid_fma(self):
+        pool = TABLE.supported_on(phenom_chip().extensions)
+        kernel = sm_res(pool)
+        assert all(i.spec.mnemonic != "vfmaddpd" for i in kernel.hp)
+        a_res = a_res_canned(pool)
+        assert all("vfmadd" not in i.spec.mnemonic for i in a_res.hp)
+
+
+class TestDroopOrdering:
+    """The paper's Fig. 9 shape at 4T (the primary configuration)."""
+
+    @pytest.fixture(scope="class")
+    def droops(self, platform):
+        return {
+            "SM1": droop(platform, sm1(TABLE)),
+            "SM2": droop(platform, sm2(TABLE)),
+            "SM-Res": droop(platform, sm_res(TABLE)),
+            "A-Res": droop(platform, a_res_canned(TABLE)),
+            "A-Ex": droop(platform, a_ex_canned(TABLE)),
+        }
+
+    def test_resonant_stressmarks_dominate(self, droops):
+        assert droops["A-Res"] > droops["SM1"]
+        assert droops["SM-Res"] > droops["SM1"]
+
+    def test_audit_beats_or_matches_hand_tuned(self, droops):
+        assert droops["A-Res"] >= droops["SM-Res"] * 0.95
+
+    def test_sm2_droop_is_modest(self, droops):
+        assert droops["SM2"] < 0.5 * droops["SM1"]
+
+    def test_excitation_below_resonance(self, droops):
+        assert droops["A-Ex"] < droops["A-Res"]
+
+    def test_4t_beats_8t_for_fp_stressmarks(self, platform):
+        for kernel in (sm1(TABLE), sm_res(TABLE), a_res_canned(TABLE)):
+            d4 = droop(platform, kernel, 4)
+            d8 = droop(platform, kernel, 8)
+            assert d8 < d4, kernel.name
+
+    def test_droop_grows_1t_to_4t(self, platform):
+        kernel = sm_res(TABLE)
+        d = [droop(platform, kernel, t) for t in (1, 2, 4)]
+        assert d[0] < d[1] < d[2]
