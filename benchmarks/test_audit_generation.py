@@ -8,6 +8,7 @@ highly skilled engineer".
 
 from repro.core.audit import AuditConfig, AuditRunner, StressmarkMode
 from repro.core.ga import GaConfig
+from repro.core.telemetry import TelemetryCollector
 from repro.experiments.setup import bulldozer_testbed
 from repro.isa.encoder import encode_kernel_listing
 from repro.isa.opcodes import default_table
@@ -22,7 +23,8 @@ def test_audit_generates_resonant_stressmark(benchmark, save_report):
         ga=GaConfig(population_size=16, generations=12, seed=1,
                     stagnation_patience=10),
     )
-    runner = AuditRunner(platform, config=config)
+    collector = TelemetryCollector()
+    runner = AuditRunner(platform, config=config, observers=[collector])
     result = benchmark.pedantic(runner.run, rounds=1, iterations=1)
 
     hand_tuned = platform.measure_program(
@@ -40,6 +42,8 @@ def test_audit_generates_resonant_stressmark(benchmark, save_report):
         "",
         "winning kernel:",
         encode_kernel_listing(result.kernel),
+        "",
+        collector.summary_table(platform.stats()),
     ]
     save_report("audit_generation", "\n".join(lines))
 

@@ -1,5 +1,6 @@
 """Bench TAB1: voltage at failure relative to A-Res (4T, 12.5 mV steps)."""
 
+from repro.analysis.report import format_kv_table
 from repro.experiments.setup import bulldozer_testbed
 from repro.experiments.table1_failure import TABLE1_ORDER, report, run_table1
 from repro.isa.opcodes import default_table
@@ -10,7 +11,22 @@ def test_table1_voltage_at_failure(benchmark, save_report):
     result = benchmark.pedantic(
         lambda: run_table1(platform, default_table()), rounds=1, iterations=1
     )
-    save_report("table1_failure", report(result))
+    stats = platform.stats()
+    telemetry = format_kv_table(
+        [
+            ("platform measurements", stats.measurements),
+            ("module-simulator runs", stats.module_runs),
+            ("module-trace cache hits", stats.module_cache_hits),
+            ("module-simulator time", f"{stats.sim_time_s:.2f} s"),
+            ("PDN-solve time", f"{stats.pdn_time_s:.2f} s"),
+        ],
+        title="sweep telemetry",
+    )
+    save_report("table1_failure", report(result) + "\n\n" + telemetry)
+
+    # The supply sweep re-solves the PDN at every step but must reuse each
+    # program's module simulation from the first measurement.
+    assert stats.module_cache_hits > stats.module_runs
 
     vf = result.failure_voltages
     # Paper ordering: A-Res > SM-Res > SM1 > A-Ex > SM2 > benchmarks.

@@ -49,6 +49,17 @@ def format_table(headers: list[str], rows: list[list], *, title: str | None = No
     return "\n".join(parts)
 
 
+def format_kv_table(pairs: list[tuple], *, title: str | None = None) -> str:
+    """Render (metric, value) pairs as a two-column table.
+
+    The shape every telemetry/summary report uses; values are rendered by
+    :func:`format_table`'s cell rules.
+    """
+    return format_table(
+        ["metric", "value"], [list(pair) for pair in pairs], title=title
+    )
+
+
 def relative(value: float, baseline: float) -> float:
     """Value normalised to a baseline (the paper's 'relative to 4T SM1')."""
     if baseline == 0:

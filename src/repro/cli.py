@@ -4,6 +4,8 @@ Usage (also available as ``python -m repro``)::
 
     python -m repro sweep --chip bulldozer
     python -m repro audit --threads 4 --mode resonant --asm-out a_res.asm
+    python -m repro audit --workers 4 --progress --telemetry-out run.jsonl
+    python -m repro bench-evals --generations 6
     python -m repro experiment table1
     python -m repro list
 """
@@ -11,13 +13,16 @@ Usage (also available as ``python -m repro``)::
 from __future__ import annotations
 
 import argparse
+import functools
 import sys
 
 from repro.analysis.report import format_table
 from repro.core.audit import AuditConfig, AuditRunner, StressmarkMode
+from repro.core.engine import make_executor
 from repro.core.ga import GaConfig
 from repro.core.resonance import find_resonance
-from repro.errors import ReproError
+from repro.core.telemetry import ConsoleObserver, JsonlObserver, TelemetryCollector
+from repro.errors import ConfigurationError, ReproError
 from repro.experiments.setup import bulldozer_testbed, phenom_testbed
 from repro.isa.encoder import encode_program
 from repro.isa.opcodes import default_table
@@ -31,6 +36,29 @@ def _platform(chip: str, throttle: int | None = None):
             raise ReproError("--throttle is only modelled on the bulldozer chip")
         return phenom_testbed()
     raise ReproError(f"unknown chip {chip!r} (expected bulldozer or phenom)")
+
+
+def _platform_factory(chip: str, throttle: int | None = None):
+    """A picklable platform builder for process-pool workers."""
+    return functools.partial(_platform, chip, throttle)
+
+
+def _observers(args):
+    """Telemetry sinks selected by CLI flags; returns (observers, jsonl)."""
+    observers = []
+    jsonl = None
+    if getattr(args, "progress", False):
+        observers.append(ConsoleObserver())
+    telemetry_out = getattr(args, "telemetry_out", None)
+    if telemetry_out:
+        try:
+            jsonl = JsonlObserver(telemetry_out)
+        except OSError as error:
+            raise ConfigurationError(
+                f"cannot open telemetry log {telemetry_out!r}: {error}"
+            ) from error
+        observers.append(jsonl)
+    return observers, jsonl
 
 
 # ----------------------------------------------------------------------
@@ -173,8 +201,23 @@ def cmd_audit(args) -> int:
         ga=GaConfig(population_size=args.population,
                     generations=args.generations, seed=args.seed),
     )
-    runner = AuditRunner(platform, config=config)
-    result = runner.run()
+    observers, jsonl = _observers(args)
+    collector = TelemetryCollector()
+    observers.append(collector)
+    executor = make_executor(args.workers)
+    runner = AuditRunner(
+        platform,
+        config=config,
+        executor=executor,
+        observers=observers,
+        platform_factory=_platform_factory(args.chip, args.throttle),
+    )
+    try:
+        result = runner.run()
+    finally:
+        executor.close()
+        if jsonl is not None:
+            jsonl.close()
     print(f"resonance: {result.resonance.resonance_hz / 1e6:.1f} MHz")
     print(f"GA evaluations: {result.ga_result.evaluations}")
     print(f"{result.name} droop at {args.threads}T: "
@@ -186,6 +229,47 @@ def cmd_audit(args) -> int:
         print(f"stressmark written to {args.asm_out}")
     else:
         print("\n" + asm)
+    if args.telemetry:
+        print("\n" + collector.summary_table(platform.stats()))
+    return 0
+
+
+def cmd_bench_evals(args) -> int:
+    """A short AUDIT loop instrumented end to end: the perf canary.
+
+    Prints the telemetry summary table (evals/sec, cache hit rates, module
+    simulator vs. PDN-solve time split) so evaluation-path regressions are
+    observable from the command line.
+    """
+    platform = _platform(args.chip)
+    observers, jsonl = _observers(args)
+    collector = TelemetryCollector()
+    observers.append(collector)
+    executor = make_executor(args.workers)
+    config = AuditConfig(
+        threads=args.threads,
+        ga=GaConfig(population_size=args.population,
+                    generations=args.generations, seed=args.seed,
+                    stagnation_patience=max(6, args.generations)),
+    )
+    runner = AuditRunner(
+        platform,
+        config=config,
+        executor=executor,
+        observers=observers,
+        platform_factory=_platform_factory(args.chip),
+    )
+    try:
+        result = runner.run()
+    finally:
+        executor.close()
+        if jsonl is not None:
+            jsonl.close()
+    print(f"{result.name} droop at {args.threads}T: "
+          f"{result.max_droop_v * 1e3:.1f} mV "
+          f"({result.ga_result.evaluations} evaluations, "
+          f"executor: {executor.name})")
+    print("\n" + collector.summary_table(platform.stats()))
     return 0
 
 
@@ -226,6 +310,20 @@ def cmd_list(_args) -> int:
     return 0
 
 
+def _add_telemetry_args(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--workers", type=int, default=None,
+        help="evaluate GA generations on this many worker processes "
+             "(default: serial in-process; note that worker-side platform "
+             "counters stay in the workers)")
+    parser.add_argument(
+        "--progress", action="store_true",
+        help="narrate generations and phases to stderr")
+    parser.add_argument(
+        "--telemetry-out", default=None, metavar="PATH",
+        help="append per-event telemetry as JSON lines to PATH")
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -251,7 +349,24 @@ def build_parser() -> argparse.ArgumentParser:
     audit.add_argument("--seed", type=int, default=1)
     audit.add_argument("--asm-out", default=None,
                        help="write the winning stressmark as NASM to a file")
+    _add_telemetry_args(audit)
+    audit.add_argument("--telemetry", action="store_true",
+                       help="print the run-telemetry summary table")
     audit.set_defaults(fn=cmd_audit)
+
+    bench = sub.add_parser(
+        "bench-evals",
+        help="run a short AUDIT loop and print the telemetry summary "
+             "(evals/sec, cache hit rates, simulator vs PDN time split)",
+    )
+    bench.add_argument("--chip", default="bulldozer",
+                       choices=("bulldozer", "phenom"))
+    bench.add_argument("--threads", type=int, default=4)
+    bench.add_argument("--population", type=int, default=12)
+    bench.add_argument("--generations", type=int, default=4)
+    bench.add_argument("--seed", type=int, default=1)
+    _add_telemetry_args(bench)
+    bench.set_defaults(fn=cmd_bench_evals)
 
     netlist = sub.add_parser(
         "netlist",

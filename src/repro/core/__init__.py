@@ -1,7 +1,11 @@
 """AUDIT core: the paper's contribution — closed-loop stressmark generation.
 
-* :class:`~repro.core.platform.MeasurementPlatform` — the "Measure HW" box.
+* :class:`~repro.core.platform.MeasurementPlatform` — the "Measure HW" box
+  over a pluggable :class:`~repro.core.platform.MeasurementBackend`.
+* :class:`~repro.core.engine.EvaluationEngine` — batched, cached, observable
+  genome fitness with serial/process-pool executors.
 * :class:`~repro.core.audit.AuditRunner` — the full Fig. 5 loop.
+* :mod:`~repro.core.telemetry` — run observers (console/JSONL/collector).
 * :mod:`~repro.core.dithering` — exact/approximate thread alignment.
 * :mod:`~repro.core.resonance` — automatic resonance detection.
 """
@@ -19,35 +23,72 @@ from repro.core.dithering import (
     visited_alignments,
     worst_case_alignment,
 )
+from repro.core.engine import (
+    EvaluationEngine,
+    ParallelExecutor,
+    SerialExecutor,
+    StressmarkFitness,
+    make_executor,
+)
 from repro.core.ga import GaConfig, GaResult, GenerationStats, GeneticAlgorithm
 from repro.core.genome import GenomeSpace, StressmarkGenome
-from repro.core.platform import Measurement, MeasurementPlatform
+from repro.core.platform import (
+    Measurement,
+    MeasurementBackend,
+    MeasurementPlatform,
+    MeasurementStats,
+    SimulatorBackend,
+)
 from repro.core.resonance import (
     ResonancePoint,
     ResonanceSweepResult,
     find_resonance,
     probe_program,
 )
+from repro.core.telemetry import (
+    ConsoleObserver,
+    EvaluationEvent,
+    GenerationEvent,
+    JsonlObserver,
+    PhaseEvent,
+    RunObserver,
+    TelemetryCollector,
+)
 
 __all__ = [
     "AuditConfig",
     "AuditResult",
     "AuditRunner",
+    "ConsoleObserver",
     "DitherSchedule",
     "DroopPerPowerCost",
+    "EvaluationEngine",
+    "EvaluationEvent",
     "GaConfig",
     "GaResult",
+    "GenerationEvent",
     "GenerationStats",
     "GeneticAlgorithm",
     "GenomeSpace",
+    "JsonlObserver",
     "MaxDroopCost",
     "Measurement",
+    "MeasurementBackend",
     "MeasurementPlatform",
+    "MeasurementStats",
+    "ParallelExecutor",
+    "PhaseEvent",
     "ResonancePoint",
     "ResonanceSweepResult",
+    "RunObserver",
     "SensitivePathCost",
+    "SerialExecutor",
+    "SimulatorBackend",
+    "StressmarkFitness",
     "StressmarkGenome",
     "StressmarkMode",
+    "TelemetryCollector",
+    "make_executor",
     "alignment_sweep_cycles",
     "alignment_sweep_seconds",
     "dither_schedules",

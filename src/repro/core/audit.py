@@ -10,18 +10,22 @@ intervention.
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass, field
 from enum import Enum
+from typing import Callable, Sequence
 
 from repro.errors import SearchError
 from repro.isa.kernels import LoopKernel, ThreadProgram
 from repro.isa.opcodes import OpcodeTable, default_table
-from repro.core.codegen import DEFAULT_ITERATIONS, genome_to_kernel, genome_to_program
+from repro.core.codegen import DEFAULT_ITERATIONS, genome_to_kernel
 from repro.core.cost import MaxDroopCost
+from repro.core.engine import EvaluationEngine, FitnessExecutor
 from repro.core.ga import GaConfig, GaResult, GeneticAlgorithm
 from repro.core.genome import GenomeSpace, StressmarkGenome
 from repro.core.platform import Measurement, MeasurementPlatform
 from repro.core.resonance import ResonanceSweepResult, find_resonance
+from repro.core.telemetry import PhaseEvent, RunObserver, notify
 
 
 class StressmarkMode(str, Enum):
@@ -94,6 +98,9 @@ class AuditRunner:
         table: OpcodeTable | None = None,
         cost=None,
         config: AuditConfig | None = None,
+        executor: FitnessExecutor | None = None,
+        observers: Sequence[RunObserver] = (),
+        platform_factory: Callable[[], MeasurementPlatform] | None = None,
     ):
         self.platform = platform
         full_table = table or default_table()
@@ -102,6 +109,9 @@ class AuditRunner:
         self.table = full_table.supported_on(platform.chip.extensions)
         self.cost = cost or MaxDroopCost()
         self.config = config or AuditConfig()
+        self.executor = executor
+        self.observers = tuple(observers)
+        self.platform_factory = platform_factory
 
     # ------------------------------------------------------------------
     def build_space(self, resonance: ResonanceSweepResult) -> GenomeSpace:
@@ -160,15 +170,17 @@ class AuditRunner:
         ))
         return seeds
 
-    def _fitness(self, space: GenomeSpace):
-        threads = self.config.threads
-
-        def fitness(genome: StressmarkGenome) -> float:
-            program = genome_to_program(genome, space)
-            measurement = self.platform.measure_program(program, threads)
-            return self.cost.evaluate(measurement)
-
-        return fitness
+    def build_engine(self, space: GenomeSpace) -> EvaluationEngine:
+        """The evaluation engine the GA scores generations through."""
+        return EvaluationEngine.for_stressmarks(
+            self.platform,
+            space,
+            threads=self.config.threads,
+            cost=self.cost,
+            executor=self.executor,
+            observers=self.observers,
+            platform_factory=self.platform_factory,
+        )
 
     # ------------------------------------------------------------------
     def run(
@@ -179,29 +191,51 @@ class AuditRunner:
     ) -> AuditResult:
         """Execute the complete AUDIT flow and return the best stressmark."""
         cfg = self.config
+        sweep_start = time.perf_counter()
         resonance = find_resonance(
             self.platform,
             self.table,
             threads=1,
             period_candidates=list(range(8, 133, cfg.lp_sweep_step)),
         )
+        notify(self.observers, PhaseEvent(
+            name="resonance-sweep",
+            wall_s=time.perf_counter() - sweep_start,
+            detail=f"{len(resonance.points)} probes, "
+                   f"{resonance.resonance_hz / 1e6:.1f} MHz",
+        ))
         space = self.build_space(resonance)
+        engine = self.build_engine(space)
         ga = GeneticAlgorithm(
             random_fn=space.random_genome,
             mutate_fn=lambda g, rng, rate: space.mutate(g, rng, rate=rate),
             crossover_fn=space.crossover,
-            fitness_fn=self._fitness(space),
+            fitness_fn=engine,
             config=cfg.ga,
+            observers=self.observers,
         )
         if seeds is None:
             seeds = self.default_seeds(space, resonance)
+        ga_start = time.perf_counter()
         ga_result = ga.run(seeds=seeds)
+        notify(self.observers, PhaseEvent(
+            name="ga-search",
+            wall_s=time.perf_counter() - ga_start,
+            detail=f"{ga_result.evaluations} evaluations, "
+                   f"{len(ga_result.history)} generations",
+        ))
         label = name or (
             "A-Res" if cfg.mode is StressmarkMode.RESONANT else "A-Ex"
         )
         kernel = genome_to_kernel(ga_result.best_genome, space, name=label)
         program = ThreadProgram(kernel, DEFAULT_ITERATIONS)
+        final_start = time.perf_counter()
         measurement = self.platform.measure_program(program, cfg.threads)
+        notify(self.observers, PhaseEvent(
+            name="final-measurement",
+            wall_s=time.perf_counter() - final_start,
+            detail=f"{label} at {cfg.threads}T",
+        ))
         return AuditResult(
             name=label,
             kernel=kernel,

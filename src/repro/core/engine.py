@@ -1,0 +1,329 @@
+"""The evaluation engine: AUDIT's batched, backend-pluggable fitness service.
+
+On hardware every fitness call is a multi-second scope capture, so the
+measurement box is *the* bottleneck of the closed loop (paper Fig. 5).
+FIRESTARTER and MicroGrad-style generators pay off exactly when that box
+becomes an instrumented service instead of an inline call — which is what
+this module provides:
+
+* :class:`EvaluationEngine` owns the genome → program → measurement → cost
+  pipeline, memoises fitness by genome, evaluates whole batches
+  (``evaluate_many``), and emits :class:`~repro.core.telemetry.EvaluationEvent`
+  telemetry through any registered observers.
+* Executors are pluggable: :class:`SerialExecutor` (default — deterministic,
+  shares the in-process platform and all its caches) and
+  :class:`ParallelExecutor` (a ``concurrent.futures.ProcessPoolExecutor``
+  fan-out — one GA generation's unevaluated genomes are independent, so a
+  24-genome generation scales near-linearly with workers).
+* :class:`StressmarkFitness` is the pipeline itself as a *picklable*
+  callable: workers rebuild the measurement platform from a
+  ``platform_factory`` exactly once per process and keep it (and its
+  module-trace cache) warm across generations.
+
+Determinism: both executors evaluate the same genomes with the same seeds
+and return results in request order, so serial and parallel runs produce
+identical ``GaResult``s.
+"""
+
+from __future__ import annotations
+
+import pickle
+import time
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass
+from typing import Callable, Generic, Hashable, Protocol, Sequence, TypeVar
+
+from repro.core.codegen import DEFAULT_ITERATIONS, genome_to_program
+from repro.core.cost import MaxDroopCost
+from repro.core.platform import MeasurementPlatform
+from repro.core.telemetry import EvaluationEvent, RunObserver, notify
+from repro.errors import ConfigurationError
+
+G = TypeVar("G", bound=Hashable)
+
+
+# ----------------------------------------------------------------------
+# Executors
+# ----------------------------------------------------------------------
+class FitnessExecutor(Protocol):
+    """How a batch of independent fitness evaluations actually runs."""
+
+    name: str
+    workers: int
+
+    def map(self, fn: Callable, items: Sequence) -> list: ...
+
+    def close(self) -> None: ...
+
+
+class SerialExecutor:
+    """In-process evaluation: the default, cache-warm and dependency-free."""
+
+    name = "serial"
+    workers = 1
+
+    def map(self, fn: Callable, items: Sequence) -> list:
+        return [fn(item) for item in items]
+
+    def close(self) -> None:
+        pass
+
+
+class ParallelExecutor:
+    """Process-pool evaluation via ``concurrent.futures``.
+
+    The mapped callable and its items must be picklable — for stressmark
+    fitness that means constructing the engine with a ``platform_factory``
+    (a module-level function such as
+    :func:`repro.experiments.setup.bulldozer_testbed`).  The pool is created
+    lazily on first use and reused across batches so workers keep their
+    rebuilt platforms (and module-trace caches) warm.
+    """
+
+    name = "parallel"
+
+    def __init__(self, workers: int = 2):
+        if workers < 1:
+            raise ConfigurationError("workers must be >= 1")
+        self.workers = workers
+        self._pool: ProcessPoolExecutor | None = None
+
+    def map(self, fn: Callable, items: Sequence) -> list:
+        items = list(items)
+        if not items:
+            return []
+        if self._pool is None:
+            self._pool = ProcessPoolExecutor(max_workers=self.workers)
+        # One chunk per worker per batch: amortises the per-chunk pickle of
+        # ``fn`` (which carries the platform spec) without starving workers.
+        chunksize = max(1, -(-len(items) // self.workers))
+        return list(self._pool.map(fn, items, chunksize=chunksize))
+
+    def close(self) -> None:
+        if self._pool is not None:
+            self._pool.shutdown()
+            self._pool = None
+
+    def __enter__(self) -> "ParallelExecutor":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+
+def make_executor(workers: int | None) -> SerialExecutor | ParallelExecutor:
+    """`workers` <= 1 (or None) → serial; otherwise a process pool."""
+    if workers is None or workers <= 1:
+        return SerialExecutor()
+    return ParallelExecutor(workers)
+
+
+# ----------------------------------------------------------------------
+# The genome -> fitness pipeline as a picklable callable
+# ----------------------------------------------------------------------
+#: Worker-side platforms, keyed by the pickled factory so every task in a
+#: process reuses one platform (and its module-trace cache).
+_WORKER_PLATFORMS: dict[bytes, MeasurementPlatform] = {}
+
+
+def _as_platform(built) -> MeasurementPlatform:
+    if isinstance(built, MeasurementPlatform):
+        return built
+    return MeasurementPlatform(backend=built)
+
+
+class StressmarkFitness(Generic[G]):
+    """genome → program → measurement → cost, ready for any executor.
+
+    In-process calls use the live *platform*; when pickled to a worker the
+    platform is dropped and rebuilt from *platform_factory* (once per
+    process), so the callable ships only the genome space, thread count,
+    and cost function.
+    """
+
+    def __init__(
+        self,
+        space,
+        threads: int,
+        *,
+        cost=None,
+        platform: MeasurementPlatform | None = None,
+        platform_factory: Callable[[], MeasurementPlatform] | None = None,
+        iterations: int = DEFAULT_ITERATIONS,
+    ):
+        if platform is None and platform_factory is None:
+            raise ConfigurationError(
+                "StressmarkFitness needs a platform or a platform_factory"
+            )
+        self.space = space
+        self.threads = threads
+        self.cost = cost if cost is not None else MaxDroopCost()
+        self.platform_factory = platform_factory
+        self.iterations = iterations
+        self._platform = platform
+
+    def __getstate__(self) -> dict:
+        state = self.__dict__.copy()
+        state["_platform"] = None
+        return state
+
+    def _resolve_platform(self) -> MeasurementPlatform:
+        if self._platform is None:
+            key = pickle.dumps(self.platform_factory)
+            platform = _WORKER_PLATFORMS.get(key)
+            if platform is None:
+                platform = _as_platform(self.platform_factory())
+                _WORKER_PLATFORMS[key] = platform
+            self._platform = platform
+        return self._platform
+
+    def __call__(self, genome: G) -> float:
+        program = genome_to_program(genome, self.space, iterations=self.iterations)
+        measurement = self._resolve_platform().measure_program(
+            program, self.threads
+        )
+        return float(self.cost.evaluate(measurement))
+
+
+@dataclass(frozen=True)
+class _TimedFitness:
+    """Wraps a fitness callable to report per-evaluation wall time."""
+
+    fitness: Callable
+
+    def __call__(self, genome) -> tuple[float, float]:
+        start = time.perf_counter()
+        value = float(self.fitness(genome))
+        return value, time.perf_counter() - start
+
+
+def _genome_label(genome) -> str:
+    label = repr(genome)
+    return label if len(label) <= 120 else label[:117] + "..."
+
+
+# ----------------------------------------------------------------------
+# The engine
+# ----------------------------------------------------------------------
+class EvaluationEngine(Generic[G]):
+    """Batched, cached, observable fitness evaluation.
+
+    Implements the batch-evaluator protocol the GA consumes
+    (``evaluate_many`` + ``evaluations``), so an engine drops in wherever a
+    plain fitness callable was accepted.  Fitness values are memoised by
+    genome; cache hits are free and reported as telemetry, exactly like the
+    measurement reuse that matters on the paper's hardware testbed.
+    """
+
+    def __init__(
+        self,
+        fitness: Callable[[G], float],
+        *,
+        executor: FitnessExecutor | None = None,
+        observers: Sequence[RunObserver] = (),
+        platform: MeasurementPlatform | None = None,
+    ):
+        self.fitness = fitness
+        self.executor = executor if executor is not None else SerialExecutor()
+        self.observers = tuple(observers)
+        self.platform = platform
+        self._cache: dict[G, float] = {}
+        self.evaluations = 0
+        self.cache_hits = 0
+        self._check_executor()
+
+    @classmethod
+    def for_stressmarks(
+        cls,
+        platform: MeasurementPlatform,
+        space,
+        *,
+        threads: int,
+        cost=None,
+        executor: FitnessExecutor | None = None,
+        observers: Sequence[RunObserver] = (),
+        platform_factory: Callable[[], MeasurementPlatform] | None = None,
+        iterations: int = DEFAULT_ITERATIONS,
+    ) -> "EvaluationEngine":
+        """The full AUDIT pipeline over *platform* for genomes in *space*."""
+        fitness = StressmarkFitness(
+            space,
+            threads,
+            cost=cost,
+            platform=platform,
+            platform_factory=platform_factory,
+            iterations=iterations,
+        )
+        return cls(
+            fitness, executor=executor, observers=observers, platform=platform
+        )
+
+    def _check_executor(self) -> None:
+        if (
+            getattr(self.executor, "workers", 1) > 1
+            and isinstance(self.fitness, StressmarkFitness)
+            and self.fitness.platform_factory is None
+        ):
+            raise ConfigurationError(
+                "parallel evaluation needs a picklable platform_factory "
+                "(pass platform_factory= to EvaluationEngine.for_stressmarks)"
+            )
+
+    # ------------------------------------------------------------------
+    def evaluate(self, genome: G) -> float:
+        return self.evaluate_many([genome])[0]
+
+    def evaluate_many(self, genomes: Sequence[G]) -> list[float]:
+        """Fitness for each genome, in request order.
+
+        Unseen genomes are deduplicated and dispatched to the executor as
+        one batch; everything else is served from the genome cache.
+        """
+        genomes = list(genomes)
+        fresh: list[G] = []
+        seen: set[G] = set()
+        for genome in genomes:
+            if genome not in self._cache and genome not in seen:
+                fresh.append(genome)
+                seen.add(genome)
+        if fresh:
+            results = self.executor.map(_TimedFitness(self.fitness), fresh)
+            for genome, (value, wall_s) in zip(fresh, results):
+                self._cache[genome] = value
+                self.evaluations += 1
+                notify(
+                    self.observers,
+                    EvaluationEvent(
+                        genome=_genome_label(genome),
+                        fitness=value,
+                        wall_s=wall_s,
+                        cached=False,
+                        backend=self.executor.name,
+                    ),
+                )
+        out: list[float] = []
+        for genome in genomes:
+            value = self._cache[genome]
+            if genome in seen:
+                seen.discard(genome)  # the one request that paid for it
+            else:
+                self.cache_hits += 1
+                notify(
+                    self.observers,
+                    EvaluationEvent(
+                        genome=_genome_label(genome),
+                        fitness=value,
+                        wall_s=0.0,
+                        cached=True,
+                        backend=self.executor.name,
+                    ),
+                )
+            out.append(value)
+        return out
+
+    # ------------------------------------------------------------------
+    def platform_stats(self):
+        """The platform's MeasurementStats (None without an instrumented one)."""
+        if self.platform is None:
+            return None
+        return self.platform.stats()

@@ -7,19 +7,29 @@ generation budget or droop stagnation ("the maximum voltage droop produced
 by AUDIT does not increase for several generations") — is met.
 
 The engine is genome-agnostic: callers provide ``random_fn``/``mutate_fn``/
-``crossover_fn`` plus a fitness function (higher is better).  Fitness values
-are memoised by genome, so re-evaluating survivors costs nothing — on the
-paper's testbed every evaluation is a multi-second hardware measurement, and
-here it is a pipeline + PDN simulation, so the cache matters in both worlds.
+``crossover_fn`` plus either a plain fitness callable (higher is better) or
+a **batch evaluator** — anything with ``evaluate_many(genomes) ->
+list[float]`` and an ``evaluations`` counter, such as
+:class:`repro.core.engine.EvaluationEngine`.  Each generation is scored as
+one batch, so a parallel evaluator overlaps the population's independent
+measurements; fitness values are memoised by genome either way, because on
+the paper's testbed every evaluation is a multi-second hardware measurement
+and here it is a pipeline + PDN simulation.
+
+Determinism: scoring a population in batch order evaluates exactly the same
+genomes to exactly the same values as the previous one-at-a-time loop, so
+fixed seeds keep producing identical :class:`GaResult`s.
 """
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass
-from typing import Callable, Generic, Hashable, TypeVar
+from typing import Callable, Generic, Hashable, Sequence, TypeVar
 
 import numpy as np
 
+from repro.core.telemetry import GenerationEvent, RunObserver, notify
 from repro.errors import SearchError
 
 G = TypeVar("G", bound=Hashable)
@@ -76,6 +86,26 @@ class GaResult(Generic[G]):
     stopped_early: bool
 
 
+class _MemoisedFitness(Generic[G]):
+    """Adapts a plain fitness callable to the batch-evaluator protocol."""
+
+    def __init__(self, fn: Callable[[G], float]):
+        self._fn = fn
+        self._cache: dict[G, float] = {}
+        self.evaluations = 0
+
+    def evaluate_many(self, genomes: Sequence[G]) -> list[float]:
+        out = []
+        for genome in genomes:
+            value = self._cache.get(genome)
+            if value is None:
+                value = float(self._fn(genome))
+                self._cache[genome] = value
+                self.evaluations += 1
+            out.append(value)
+        return out
+
+
 class GeneticAlgorithm(Generic[G]):
     """Tournament-selection GA with elitism and fitness memoisation."""
 
@@ -85,24 +115,34 @@ class GeneticAlgorithm(Generic[G]):
         random_fn: Callable[[np.random.Generator], G],
         mutate_fn: Callable[[G, np.random.Generator, float], G],
         crossover_fn: Callable[[G, G, np.random.Generator], G],
-        fitness_fn: Callable[[G], float],
+        fitness_fn,
         config: GaConfig,
+        observers: Sequence[RunObserver] = (),
     ):
         self._random_fn = random_fn
         self._mutate_fn = mutate_fn
         self._crossover_fn = crossover_fn
-        self._fitness_fn = fitness_fn
+        if hasattr(fitness_fn, "evaluate_many"):
+            self._evaluator = fitness_fn
+        else:
+            self._evaluator = _MemoisedFitness(fitness_fn)
         self.config = config
-        self._cache: dict[G, float] = {}
-        self._evaluations = 0
+        self.observers = tuple(observers)
+        self._scores: dict[G, float] = {}
 
     # ------------------------------------------------------------------
+    def _score_population(self, population: list[G]) -> list[float]:
+        """Score a whole generation as one batch (the evaluator dedupes)."""
+        scores = [float(s) for s in self._evaluator.evaluate_many(population)]
+        for genome, score in zip(population, scores):
+            self._scores[genome] = score
+        return scores
+
     def _fitness(self, genome: G) -> float:
-        value = self._cache.get(genome)
+        value = self._scores.get(genome)
         if value is None:
-            value = float(self._fitness_fn(genome))
-            self._cache[genome] = value
-            self._evaluations += 1
+            value = float(self._evaluator.evaluate_many([genome])[0])
+            self._scores[genome] = value
         return value
 
     def _tournament(self, population: list[G], rng: np.random.Generator) -> G:
@@ -125,13 +165,17 @@ class GeneticAlgorithm(Generic[G]):
             population.append(self._random_fn(rng))
 
         history: list[GenerationStats] = []
+        self._score_population(population)
+        # Python max (not np.argmax): NaN fitness must never win selection.
         best_genome = max(population, key=self._fitness)
         best_fitness = self._fitness(best_genome)
         stale = 0
         stopped_early = False
 
         for generation in range(cfg.generations):
-            scores = [self._fitness(g) for g in population]
+            gen_start = time.perf_counter()
+            evals_before = self._evaluator.evaluations
+            scores = self._score_population(population)
             gen_best = max(scores)
             if gen_best > best_fitness + 1e-12:
                 best_fitness = gen_best
@@ -144,8 +188,20 @@ class GeneticAlgorithm(Generic[G]):
                     generation=generation,
                     best_fitness=best_fitness,
                     mean_fitness=float(np.mean(scores)),
-                    evaluations_so_far=self._evaluations,
+                    evaluations_so_far=self._evaluator.evaluations,
                 )
+            )
+            notify(
+                self.observers,
+                GenerationEvent(
+                    generation=generation,
+                    best_fitness=best_fitness,
+                    mean_fitness=float(np.mean(scores)),
+                    evaluations_so_far=self._evaluator.evaluations,
+                    batch_size=len(population),
+                    batch_new=self._evaluator.evaluations - evals_before,
+                    wall_s=time.perf_counter() - gen_start,
+                ),
             )
             if stale >= cfg.stagnation_patience:
                 stopped_early = True
@@ -169,6 +225,6 @@ class GeneticAlgorithm(Generic[G]):
             best_genome=best_genome,
             best_fitness=best_fitness,
             history=tuple(history),
-            evaluations=self._evaluations,
+            evaluations=self._evaluator.evaluations,
             stopped_early=stopped_early,
         )

@@ -4,14 +4,23 @@ This is the only place where AUDIT touches the machine (paper Fig. 5): a
 candidate stressmark goes in, a voltage measurement comes out.  On the
 paper's testbed that box is a processor board plus an oscilloscope; here it
 is the chip model (:mod:`repro.uarch`) feeding the PDN solver
-(:mod:`repro.pdn`).  Swapping this class for one that runs NASM output on
-real silicon would reproduce the paper's hardware path unchanged — nothing
-above this layer knows which backend it is talking to.
+(:mod:`repro.pdn`).  The seam is now explicit: anything implementing the
+:class:`MeasurementBackend` protocol — including one that runs NASM output
+on real silicon — drops into :class:`MeasurementPlatform` unchanged, and
+nothing above this layer knows which backend it is talking to.
+
+The platform facade adds what every backend needs regardless of substrate:
+argument validation (thread counts, supply voltages), measurement counting,
+and aggregate :class:`MeasurementStats` for run telemetry.  The default
+:class:`SimulatorBackend` additionally reuses module-simulator traces across
+measurements (failure sweeps at many ``supply_v`` values and dithering/phase
+scans re-solve only the PDN, never the pipeline) and accounts its time split
+between the module simulator and the PDN solve.
 
 Measurement strategy
 --------------------
 
-Stressmark loops reach a steady periodic state; the platform extracts the
+Stressmark loops reach a steady periodic state; the backend extracts the
 verified per-period activity profile from the module simulator and evaluates
 the PDN's *exact periodic steady state* — the droop after the resonance has
 fully built up (M iterations in the paper's notation).  Thread/module phase
@@ -23,7 +32,9 @@ long time-domain transient.
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass
+from typing import Protocol, runtime_checkable
 
 import numpy as np
 
@@ -46,6 +57,10 @@ IDLE_PAD_CYCLES = 512
 
 #: Periods of steady activity tiled on the transient fallback path.
 FALLBACK_TILE_CYCLES = 20_000
+
+#: Default seed of the SMT loop-phase random walk (kept stable so seed
+#: benches reproduce; configurable via ``MeasurementPlatform(jitter_seed=)``).
+DEFAULT_JITTER_SEED = 0xD17D7
 
 
 @dataclass(frozen=True)
@@ -88,8 +103,55 @@ class Measurement:
         return 1.0 / (self.period_cycles * self.current.dt)
 
 
-class MeasurementPlatform:
-    """Closed-loop measurement of programs on a chip + PDN testbed."""
+@dataclass(frozen=True)
+class MeasurementStats:
+    """Aggregate counters a platform accumulates over its lifetime."""
+
+    measurements: int = 0
+    module_runs: int = 0
+    module_cache_hits: int = 0
+    sim_time_s: float = 0.0
+    pdn_time_s: float = 0.0
+    periodic_measurements: int = 0
+    jittered_measurements: int = 0
+    transient_measurements: int = 0
+
+
+@runtime_checkable
+class MeasurementBackend(Protocol):
+    """The swap-in-real-silicon seam of paper Fig. 5.
+
+    A backend knows *how* to turn a program into a voltage measurement —
+    cycle-level simulation here, a board plus oscilloscope on the paper's
+    testbed.  It must describe the machine it measures (``chip``) so the
+    layers above can size genomes, place threads, and filter opcodes, but
+    nothing above the platform may assume a simulator is underneath.
+    """
+
+    chip: ChipConfig
+
+    def measure_program(
+        self,
+        program: ThreadProgram,
+        threads: int,
+        *,
+        module_phases: list[int] | None = None,
+        supply_v: float | None = None,
+        smt_phase_cycles: int | None = None,
+    ) -> Measurement: ...
+
+    def measure_current(
+        self,
+        current: CurrentTrace,
+        *,
+        sensitivity: np.ndarray | None = None,
+        supply_v: float | None = None,
+        baseline_current_a: float | None = None,
+    ) -> Measurement: ...
+
+
+class SimulatorBackend:
+    """The software testbed: chip model + PDN solver (the default backend)."""
 
     def __init__(
         self,
@@ -97,6 +159,8 @@ class MeasurementPlatform:
         pdn: PdnParameters,
         *,
         warmup_iterations: int = DEFAULT_WARMUP_ITERATIONS,
+        jitter_seed: int = DEFAULT_JITTER_SEED,
+        jitter_step_cycles: int | None = None,
     ):
         if abs(pdn.vdd_nominal - chip.vdd) > 1e-9:
             raise ConfigurationError(
@@ -108,8 +172,39 @@ class MeasurementPlatform:
         self.chip = chip
         self.pdn = pdn
         self.warmup_iterations = warmup_iterations
+        self.jitter_seed = jitter_seed
+        if jitter_step_cycles is None:
+            jitter_step_cycles = self.JITTER_STEP_CYCLES
+        if jitter_step_cycles < 0:
+            raise ConfigurationError("jitter_step_cycles must be >= 0")
+        self.jitter_step_cycles = jitter_step_cycles
         self.chip_sim = ChipSimulator(chip)
         self._solvers: dict[float, TransientSolver] = {}
+        self._pdn_time_s = 0.0
+        self._path_counts = {"periodic": 0, "jittered": 0, "transient": 0}
+        self._measurements = 0
+
+    # ------------------------------------------------------------------
+    # Telemetry
+    # ------------------------------------------------------------------
+    def stats(self) -> MeasurementStats:
+        sim = self.chip_sim
+        return MeasurementStats(
+            measurements=self._measurements,
+            module_runs=sim.module_runs,
+            module_cache_hits=sim.module_cache_hits,
+            sim_time_s=sim.sim_time_s,
+            pdn_time_s=self._pdn_time_s,
+            periodic_measurements=self._path_counts["periodic"],
+            jittered_measurements=self._path_counts["jittered"],
+            transient_measurements=self._path_counts["transient"],
+        )
+
+    def _solve(self, solve_fn, *args, **kwargs) -> VoltageTrace:
+        start = time.perf_counter()
+        voltage = solve_fn(*args, **kwargs)
+        self._pdn_time_s += time.perf_counter() - start
+        return voltage
 
     # ------------------------------------------------------------------
     # Solvers per supply voltage (failure sweeps reuse module simulations)
@@ -181,6 +276,7 @@ class MeasurementPlatform:
         supply = self.chip.vdd if supply_v is None else supply_v
         if supply <= 0:
             raise ConfigurationError("supply voltage must be positive")
+        self._measurements += 1
         counts = spread_placement(self.chip, threads)
         traces = []
         for count in counts:
@@ -214,9 +310,12 @@ class MeasurementPlatform:
         iteration_cycles = active[0][0].steady_period(0) if active else None
         smt = any(count == 2 for count in counts)
         if all_periodic and not smt:
+            self._path_counts["periodic"] += 1
             return self._measure_periodic(active, supply, iteration_cycles)
         if all_periodic and smt:
+            self._path_counts["jittered"] += 1
             return self._measure_jittered(active, supply, iteration_cycles)
+        self._path_counts["transient"] += 1
         return self._measure_transient(active, supply)
 
     def _module_programs(
@@ -256,7 +355,7 @@ class MeasurementPlatform:
             total_current += np.roll(current, phase)
             np.maximum(total_sens, np.roll(sens, phase), out=total_sens)
         trace = CurrentTrace(total_current, self.chip.cycle_time_s)
-        voltage = self.solver_at(supply).steady_state_periodic(trace)
+        voltage = self._solve(self.solver_at(supply).steady_state_periodic, trace)
         return Measurement(
             voltage=voltage,
             sensitivity=total_sens,
@@ -291,13 +390,13 @@ class MeasurementPlatform:
         length = reps * period
         total_current = np.full(length, idle_level)
         total_sens = np.zeros(length)
-        rng = np.random.default_rng(0xD17D7)
-        for index, (_trace, (energy, sens, _p), count, phase) in enumerate(active):
+        rng = np.random.default_rng(self.jitter_seed)
+        for _trace, (energy, sens, _p), count, phase in active:
             current = self._current_from_energy(
                 energy, active_threads=count, supply_v=supply
             )
             steps = rng.integers(
-                -self.JITTER_STEP_CYCLES, self.JITTER_STEP_CYCLES + 1, size=reps
+                -self.jitter_step_cycles, self.jitter_step_cycles + 1, size=reps
             )
             offsets = phase + np.cumsum(steps)
             module_current = np.concatenate(
@@ -309,8 +408,9 @@ class MeasurementPlatform:
             total_current += module_current
             np.maximum(total_sens, module_sens, out=total_sens)
         trace = CurrentTrace(total_current, self.chip.cycle_time_s)
-        voltage = self.solver_at(supply).simulate(
-            trace, baseline_current_a=float(total_current.mean())
+        voltage = self._solve(
+            self.solver_at(supply).simulate,
+            trace, baseline_current_a=float(total_current.mean()),
         )
         return Measurement(
             voltage=voltage,
@@ -346,7 +446,8 @@ class MeasurementPlatform:
                 filled += take
             total_current[:start] += per_module_idle
         current_trace = CurrentTrace(total_current, self.chip.cycle_time_s)
-        voltage = self.solver_at(supply).simulate(
+        voltage = self._solve(
+            self.solver_at(supply).simulate,
             current_trace,
             baseline_current_a=self.chip.module_count * per_module_idle,
         )
@@ -377,11 +478,13 @@ class MeasurementPlatform:
         supply = self.chip.vdd if supply_v is None else supply_v
         if abs(current.dt - self.chip.cycle_time_s) > 1e-18:
             raise MeasurementError("current trace dt must match the chip clock")
+        self._measurements += 1
         baseline = (
             current.samples[0] if baseline_current_a is None else baseline_current_a
         )
-        voltage = self.solver_at(supply).simulate(
-            current, baseline_current_a=baseline
+        voltage = self._solve(
+            self.solver_at(supply).simulate,
+            current, baseline_current_a=baseline,
         )
         sens = (
             np.ones(len(current)) if sensitivity is None else
@@ -395,4 +498,154 @@ class MeasurementPlatform:
             current=current,
             period_cycles=None,
             supply_v=supply,
+        )
+
+
+class MeasurementPlatform:
+    """Closed-loop measurement of programs on a pluggable backend.
+
+    The two-argument form ``MeasurementPlatform(chip, pdn)`` builds the
+    default :class:`SimulatorBackend` (the software testbed).  Passing
+    ``backend=`` instead plugs in any :class:`MeasurementBackend` — the
+    paper's real-silicon path.  The facade validates arguments and keeps
+    the run-telemetry counters; simulator internals (``chip_sim``,
+    ``solver_at``, ``pdn``) remain reachable for the experiment harnesses
+    that introspect the software testbed.
+    """
+
+    def __init__(
+        self,
+        chip: ChipConfig | None = None,
+        pdn: PdnParameters | None = None,
+        *,
+        warmup_iterations: int = DEFAULT_WARMUP_ITERATIONS,
+        jitter_seed: int = DEFAULT_JITTER_SEED,
+        jitter_step_cycles: int | None = None,
+        backend: MeasurementBackend | None = None,
+    ):
+        if backend is None:
+            if chip is None or pdn is None:
+                raise ConfigurationError(
+                    "MeasurementPlatform needs either (chip, pdn) or backend="
+                )
+            backend = SimulatorBackend(
+                chip, pdn,
+                warmup_iterations=warmup_iterations,
+                jitter_seed=jitter_seed,
+                jitter_step_cycles=jitter_step_cycles,
+            )
+        elif chip is not None or pdn is not None:
+            raise ConfigurationError(
+                "pass either (chip, pdn) or backend=, not both"
+            )
+        self.backend = backend
+
+    # ------------------------------------------------------------------
+    # Machine description + simulator internals (when present)
+    # ------------------------------------------------------------------
+    @property
+    def chip(self) -> ChipConfig:
+        return self.backend.chip
+
+    def _simulator_attr(self, name: str):
+        try:
+            return getattr(self.backend, name)
+        except AttributeError:
+            raise ConfigurationError(
+                f"{name!r} requires the simulator backend; "
+                f"{type(self.backend).__name__} does not provide it"
+            ) from None
+
+    @property
+    def pdn(self):
+        return self._simulator_attr("pdn")
+
+    @property
+    def chip_sim(self):
+        return self._simulator_attr("chip_sim")
+
+    @property
+    def warmup_iterations(self) -> int:
+        return self._simulator_attr("warmup_iterations")
+
+    @property
+    def jitter_seed(self) -> int:
+        return self._simulator_attr("jitter_seed")
+
+    def solver_at(self, supply_v: float):
+        return self._simulator_attr("solver_at")(supply_v)
+
+    def _current_from_energy(self, energy_pj, *, active_threads, supply_v):
+        return self._simulator_attr("_current_from_energy")(
+            energy_pj, active_threads=active_threads, supply_v=supply_v
+        )
+
+    # ------------------------------------------------------------------
+    # Telemetry
+    # ------------------------------------------------------------------
+    def stats(self) -> MeasurementStats:
+        stats_fn = getattr(self.backend, "stats", None)
+        if stats_fn is None:
+            return MeasurementStats(measurements=self._fallback_measurements)
+        return stats_fn()
+
+    _fallback_measurements = 0
+
+    # ------------------------------------------------------------------
+    # Measurement
+    # ------------------------------------------------------------------
+    def measure_program(
+        self,
+        program: ThreadProgram,
+        threads: int,
+        *,
+        module_phases: list[int] | None = None,
+        supply_v: float | None = None,
+        smt_phase_cycles: int | None = None,
+    ) -> Measurement:
+        """Measure a homogeneous *threads*-way run of *program*.
+
+        See :meth:`SimulatorBackend.measure_program` for parameter
+        semantics; validation happens here so every backend gets the same
+        contract.
+        """
+        chip = self.backend.chip
+        if threads < 1:
+            raise ConfigurationError("threads must be >= 1")
+        if threads > chip.total_threads:
+            raise ConfigurationError(
+                f"threads must be <= {chip.total_threads} "
+                f"({chip.module.threads} per module x {chip.module_count} "
+                f"modules on {chip.name})"
+            )
+        if supply_v is not None and supply_v <= 0:
+            raise ConfigurationError("supply voltage must be positive")
+        if not hasattr(self.backend, "stats"):
+            self._fallback_measurements += 1
+        return self.backend.measure_program(
+            program,
+            threads,
+            module_phases=module_phases,
+            supply_v=supply_v,
+            smt_phase_cycles=smt_phase_cycles,
+        )
+
+    def measure_current(
+        self,
+        current: CurrentTrace,
+        *,
+        sensitivity: np.ndarray | None = None,
+        supply_v: float | None = None,
+        baseline_current_a: float | None = None,
+    ) -> Measurement:
+        """Measure an externally generated chip-current waveform."""
+        if supply_v is not None and supply_v <= 0:
+            raise ConfigurationError("supply voltage must be positive")
+        if not hasattr(self.backend, "stats"):
+            self._fallback_measurements += 1
+        return self.backend.measure_current(
+            current,
+            sensitivity=sensitivity,
+            supply_v=supply_v,
+            baseline_current_a=baseline_current_a,
         )

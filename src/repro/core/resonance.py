@@ -13,13 +13,16 @@ Phenom II experiment of Section V.C).
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass
+from typing import Sequence
 
 from repro.errors import SearchError
 from repro.isa.instruction import make_independent
 from repro.isa.kernels import ThreadProgram, build_kernel
 from repro.isa.opcodes import OpcodeTable
 from repro.core.platform import MeasurementPlatform
+from repro.core.telemetry import PhaseEvent, RunObserver, notify
 
 #: Loop-trip count for probe programs (steady state is what matters).
 _PROBE_ITERATIONS = 4096
@@ -89,6 +92,7 @@ def find_resonance(
     threads: int = 1,
     period_candidates: list[int] | None = None,
     hp_mnemonic: str | None = None,
+    observers: Sequence[RunObserver] = (),
 ) -> ResonanceSweepResult:
     """Sweep the loop length and return the worst-droop (resonant) shape.
 
@@ -121,12 +125,19 @@ def find_resonance(
         program = probe_program(
             pool, hp_count=hp_count, lp_nops=lp_nops, hp_mnemonic=hp_mnemonic
         )
+        probe_start = time.perf_counter()
         measurement = platform.measure_program(program, threads)
         point = ResonancePoint(
             lp_nops=lp_nops,
             period_cycles=measurement.period_cycles,
             droop_v=measurement.max_droop_v,
         )
+        notify(observers, PhaseEvent(
+            name="resonance-probe",
+            wall_s=time.perf_counter() - probe_start,
+            detail=f"period {period} cycles, "
+                   f"droop {point.droop_v * 1e3:.1f} mV",
+        ))
         points.append(point)
         if best is None or point.droop_v > best.droop_v:
             best = point

@@ -1,0 +1,213 @@
+"""Run telemetry: structured events from the AUDIT closed loop.
+
+On the paper's testbed every fitness call is a multi-second oscilloscope
+capture, so knowing *where the time goes* is the difference between an
+overnight run and a week.  The reproduction keeps the same discipline: the
+evaluation engine and the GA emit structured events (per evaluation, per
+generation, per loop phase) through the :class:`RunObserver` protocol, and
+the measurement platform keeps aggregate counters (simulator vs. PDN-solve
+time, cache hits, measurement path taken).
+
+Observers are deliberately dumb sinks: :class:`ConsoleObserver` narrates
+progress, :class:`JsonlObserver` appends machine-readable lines, and
+:class:`TelemetryCollector` aggregates counters for the end-of-run summary
+printed by ``repro bench-evals``.
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+from dataclasses import asdict, dataclass, field
+from typing import IO, Protocol, runtime_checkable
+
+from repro.analysis.report import format_kv_table
+
+
+# ----------------------------------------------------------------------
+# Events
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class EvaluationEvent:
+    """One genome scored by the evaluation engine."""
+
+    genome: str
+    fitness: float
+    wall_s: float
+    cached: bool
+    backend: str
+
+    kind = "evaluation"
+
+
+@dataclass(frozen=True)
+class GenerationEvent:
+    """One GA generation scored as a batch."""
+
+    generation: int
+    best_fitness: float
+    mean_fitness: float
+    evaluations_so_far: int
+    batch_size: int
+    batch_new: int
+    wall_s: float
+
+    kind = "generation"
+
+
+@dataclass(frozen=True)
+class PhaseEvent:
+    """One phase of the closed loop (resonance sweep, GA, final measure)."""
+
+    name: str
+    wall_s: float
+    detail: str = ""
+
+    kind = "phase"
+
+
+TelemetryEvent = EvaluationEvent | GenerationEvent | PhaseEvent
+
+
+def event_to_dict(event: TelemetryEvent) -> dict:
+    payload = asdict(event)
+    payload["kind"] = event.kind
+    return payload
+
+
+# ----------------------------------------------------------------------
+# Observer protocol + sinks
+# ----------------------------------------------------------------------
+@runtime_checkable
+class RunObserver(Protocol):
+    """Anything that wants to watch a closed-loop run."""
+
+    def on_event(self, event: TelemetryEvent) -> None: ...
+
+
+class ConsoleObserver:
+    """Narrates generations and phases to a stream (evaluations if verbose)."""
+
+    def __init__(self, stream: IO[str] | None = None, *, verbose: bool = False):
+        self.stream = stream if stream is not None else sys.stderr
+        self.verbose = verbose
+
+    def on_event(self, event: TelemetryEvent) -> None:
+        if isinstance(event, GenerationEvent):
+            self.stream.write(
+                f"[gen {event.generation:3d}] best {event.best_fitness:.5f}  "
+                f"mean {event.mean_fitness:.5f}  "
+                f"new {event.batch_new}/{event.batch_size}  "
+                f"{event.wall_s:.2f}s\n"
+            )
+        elif isinstance(event, PhaseEvent):
+            detail = f" ({event.detail})" if event.detail else ""
+            self.stream.write(f"[phase] {event.name}{detail}  {event.wall_s:.2f}s\n")
+        elif self.verbose and isinstance(event, EvaluationEvent):
+            tag = "cache" if event.cached else event.backend
+            self.stream.write(
+                f"[eval/{tag}] {event.fitness:.5f}  {event.wall_s * 1e3:.1f}ms\n"
+            )
+        self.stream.flush()
+
+
+class JsonlObserver:
+    """Appends one JSON object per event to a file (or open stream)."""
+
+    def __init__(self, path_or_stream):
+        if hasattr(path_or_stream, "write"):
+            self._stream = path_or_stream
+            self._owns = False
+        else:
+            self._stream = open(path_or_stream, "a")
+            self._owns = True
+
+    def on_event(self, event: TelemetryEvent) -> None:
+        self._stream.write(json.dumps(event_to_dict(event)) + "\n")
+        self._stream.flush()
+
+    def close(self) -> None:
+        if self._owns:
+            self._stream.close()
+
+    def __enter__(self) -> "JsonlObserver":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+
+@dataclass
+class TelemetryCollector:
+    """Aggregates events into the counters the summary table reports."""
+
+    evaluations: int = 0
+    cache_hits: int = 0
+    eval_wall_s: float = 0.0
+    generations: int = 0
+    phases: dict = field(default_factory=dict)
+
+    def on_event(self, event: TelemetryEvent) -> None:
+        if isinstance(event, EvaluationEvent):
+            if event.cached:
+                self.cache_hits += 1
+            else:
+                self.evaluations += 1
+                self.eval_wall_s += event.wall_s
+        elif isinstance(event, GenerationEvent):
+            self.generations += 1
+        elif isinstance(event, PhaseEvent):
+            self.phases[event.name] = self.phases.get(event.name, 0.0) + event.wall_s
+
+    # ------------------------------------------------------------------
+    @property
+    def fitness_requests(self) -> int:
+        return self.evaluations + self.cache_hits
+
+    @property
+    def cache_hit_rate(self) -> float:
+        total = self.fitness_requests
+        return self.cache_hits / total if total else 0.0
+
+    @property
+    def evals_per_second(self) -> float:
+        return self.evaluations / self.eval_wall_s if self.eval_wall_s > 0 else 0.0
+
+    def summary_table(self, platform_stats=None) -> str:
+        """The ``repro bench-evals`` report: throughput, caches, time split.
+
+        ``platform_stats`` is a :class:`repro.core.platform.MeasurementStats`
+        (or None when the run used a non-instrumented backend).
+        """
+        rows: list[tuple] = [
+            ("fitness evaluations", self.evaluations),
+            ("fitness cache hits", self.cache_hits),
+            ("fitness cache hit rate", f"{self.cache_hit_rate * 100:.1f} %"),
+            ("evaluation wall time", f"{self.eval_wall_s:.2f} s"),
+            ("evaluations / second", f"{self.evals_per_second:.1f}"),
+            ("generations", self.generations),
+        ]
+        for name, wall in sorted(self.phases.items()):
+            rows.append((f"phase: {name}", f"{wall:.2f} s"))
+        if platform_stats is not None:
+            s = platform_stats
+            module_total = s.module_runs + s.module_cache_hits
+            trace_rate = s.module_cache_hits / module_total if module_total else 0.0
+            rows += [
+                ("platform measurements", s.measurements),
+                ("module-simulator runs", s.module_runs),
+                ("module-trace cache hits", s.module_cache_hits),
+                ("module-trace hit rate", f"{trace_rate * 100:.1f} %"),
+                ("module-simulator time", f"{s.sim_time_s:.2f} s"),
+                ("PDN-solve time", f"{s.pdn_time_s:.2f} s"),
+                ("path: periodic", s.periodic_measurements),
+                ("path: jittered (SMT)", s.jittered_measurements),
+                ("path: transient", s.transient_measurements),
+            ]
+        return format_kv_table(rows, title="run telemetry")
+
+
+def notify(observers, event: TelemetryEvent) -> None:
+    """Fan one event out to every observer (helper shared by emitters)."""
+    for observer in observers:
+        observer.on_event(event)

@@ -53,15 +53,12 @@ def run_jitter_ablation(
     program = stressmark_program(sm_res(pool))
     droop_4t = platform.measure_program(program, 4).max_droop_v
 
-    original = MeasurementPlatform.JITTER_STEP_CYCLES
     droops = {}
-    try:
-        for step in steps:
-            MeasurementPlatform.JITTER_STEP_CYCLES = step
-            fresh = MeasurementPlatform(platform.chip, platform.pdn)
-            droops[step] = fresh.measure_program(program, 8).max_droop_v
-    finally:
-        MeasurementPlatform.JITTER_STEP_CYCLES = original
+    for step in steps:
+        fresh = MeasurementPlatform(
+            platform.chip, platform.pdn, jitter_step_cycles=step
+        )
+        droops[step] = fresh.measure_program(program, 8).max_droop_v
     return JitterAblationResult(droops_8t=droops, droop_4t=droop_4t)
 
 

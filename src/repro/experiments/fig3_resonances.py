@@ -11,7 +11,6 @@ from dataclasses import dataclass
 from repro.analysis.report import format_table
 from repro.core.platform import MeasurementPlatform
 from repro.pdn.impedance import ImpedanceSweep, sweep_impedance
-from repro.pdn.transient import VoltageTrace
 from repro.power.trace import square_wave
 
 

@@ -10,7 +10,7 @@ from __future__ import annotations
 import numpy as np
 
 from repro.core.ga import GaConfig
-from repro.core.platform import MeasurementPlatform, Measurement
+from repro.core.platform import DEFAULT_JITTER_SEED, MeasurementPlatform
 from repro.isa.kernels import ThreadProgram
 from repro.isa.opcodes import OpcodeTable, default_table
 from repro.measure.failure import FailureModel, voltage_at_failure
@@ -30,18 +30,30 @@ THREAD_CONFIGS: tuple[int, ...] = (1, 2, 4, 8)
 WORKLOAD_SEED = 20120212  # MICRO 2012
 
 
-def bulldozer_testbed(*, fp_throttle: int | None = None) -> MeasurementPlatform:
-    """The primary testbed: 4-module Bulldozer board, 100 MHz first droop."""
+def bulldozer_testbed(
+    *,
+    fp_throttle: int | None = None,
+    jitter_seed: int = DEFAULT_JITTER_SEED,
+) -> MeasurementPlatform:
+    """The primary testbed: 4-module Bulldozer board, 100 MHz first droop.
+
+    ``jitter_seed`` seeds the SMT loop-phase random walk (paper Section
+    V.A.2); the default keeps every seed bench byte-identical.
+    """
     chip = bulldozer_chip()
     if fp_throttle is not None:
         chip = chip.with_fp_throttle(fp_throttle)
-    return MeasurementPlatform(chip, bulldozer_pdn(vdd=chip.vdd))
+    return MeasurementPlatform(
+        chip, bulldozer_pdn(vdd=chip.vdd), jitter_seed=jitter_seed
+    )
 
 
-def phenom_testbed() -> MeasurementPlatform:
+def phenom_testbed(*, jitter_seed: int = DEFAULT_JITTER_SEED) -> MeasurementPlatform:
     """The secondary testbed: same board, Phenom II processor (Section V.C)."""
     chip = phenom_chip()
-    return MeasurementPlatform(chip, phenom_pdn(vdd=chip.vdd))
+    return MeasurementPlatform(
+        chip, phenom_pdn(vdd=chip.vdd), jitter_seed=jitter_seed
+    )
 
 
 def opcode_pool(platform: MeasurementPlatform) -> OpcodeTable:

@@ -10,6 +10,8 @@ and converts per-cycle energy into amperes via the chip's
 
 from __future__ import annotations
 
+import time
+
 import numpy as np
 
 from repro.errors import SchedulingError
@@ -31,6 +33,11 @@ class ChipSimulator:
         self._module_sim = ModuleSimulator(config)
         self._energy_model = EnergyModel(config.power, config.vdd, config.frequency_hz)
         self._cache: dict[tuple, ModuleTrace] = {}
+        #: Telemetry: distinct module simulations actually run, cache
+        #: short-circuits, and wall time spent inside the module simulator.
+        self.module_runs = 0
+        self.module_cache_hits = 0
+        self.sim_time_s = 0.0
 
     @property
     def dt(self) -> float:
@@ -51,8 +58,13 @@ class ChipSimulator:
         key = (tuple(programs), max_iterations)
         trace = self._cache.get(key)
         if trace is None:
+            start = time.perf_counter()
             trace = self._module_sim.run(list(programs), max_iterations=max_iterations)
+            self.sim_time_s += time.perf_counter() - start
+            self.module_runs += 1
             self._cache[key] = trace
+        else:
+            self.module_cache_hits += 1
         return trace
 
     def run_placement(

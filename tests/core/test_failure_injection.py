@@ -1,9 +1,8 @@
 """Failure-injection tests: the search stack must fail loudly and cleanly."""
 
-import numpy as np
 import pytest
 
-from repro.core.audit import AuditConfig, AuditRunner
+from repro.core.audit import AuditRunner
 from repro.core.ga import GaConfig, GeneticAlgorithm
 from repro.core.genome import GenomeSpace, StressmarkGenome
 from repro.core.platform import MeasurementPlatform

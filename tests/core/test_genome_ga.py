@@ -6,6 +6,7 @@ from hypothesis import given, settings
 from hypothesis import strategies as st
 
 from repro.core.codegen import genome_to_kernel, genome_to_program
+from repro.core.engine import EvaluationEngine, ParallelExecutor
 from repro.core.ga import GaConfig, GeneticAlgorithm
 from repro.core.genome import GenomeSpace, StressmarkGenome
 from repro.errors import SearchError
@@ -111,15 +112,22 @@ class TestCodegen:
             genome_to_program(genome, space, iterations=0)
 
 
+def toy_fitness(genome: StressmarkGenome) -> float:
+    """Module-level (hence picklable) copy of the toy fitness function."""
+    return genome.subblock.count("mulpd") + 0.001 * genome.lp_nops
+
+
 class FakeFitness:
     """Deterministic toy fitness: count of 'mulpd' slots plus lp bonus."""
 
     def __init__(self):
         self.calls = 0
+        self.seen: list[StressmarkGenome] = []
 
     def __call__(self, genome: StressmarkGenome) -> float:
         self.calls += 1
-        return genome.subblock.count("mulpd") + 0.001 * genome.lp_nops
+        self.seen.append(genome)
+        return toy_fitness(genome)
 
 
 class TestGeneticAlgorithm:
@@ -150,6 +158,33 @@ class TestGeneticAlgorithm:
         result = self.make_ga(fitness).run()
         assert fitness.calls == result.evaluations
 
+    def test_fitness_never_called_twice_per_genome(self):
+        fitness = FakeFitness()
+        self.make_ga(fitness, generations=25).run()
+        assert len(fitness.seen) == len(set(fitness.seen))
+
+    def test_evaluations_counts_unique_genomes(self):
+        fitness = FakeFitness()
+        result = self.make_ga(fitness, generations=25).run()
+        assert result.evaluations == len(set(fitness.seen))
+
+    def test_engine_as_fitness_matches_plain_callable(self):
+        plain = self.make_ga(FakeFitness(), seed=9).run()
+        engine = EvaluationEngine(toy_fitness)
+        via_engine = self.make_ga(engine, seed=9).run()
+        assert via_engine.best_genome == plain.best_genome
+        assert via_engine.best_fitness == plain.best_fitness
+        assert via_engine.evaluations == plain.evaluations
+
+    def test_serial_and_parallel_backends_agree(self):
+        serial = self.make_ga(EvaluationEngine(toy_fitness), seed=3).run()
+        with ParallelExecutor(2) as pool:
+            engine = EvaluationEngine(toy_fitness, executor=pool)
+            parallel = self.make_ga(engine, seed=3).run()
+        assert parallel.best_genome == serial.best_genome
+        assert parallel.best_fitness == serial.best_fitness
+        assert parallel.evaluations == serial.evaluations
+
     def test_seeded_runs_reproduce(self):
         a = self.make_ga(FakeFitness(), seed=5).run()
         b = self.make_ga(FakeFitness(), seed=5).run()
@@ -157,7 +192,9 @@ class TestGeneticAlgorithm:
         assert a.best_fitness == b.best_fitness
 
     def test_stagnation_stops_early(self):
-        constant = lambda genome: 1.0
+        def constant(genome):
+            return 1.0
+
         result = self.make_ga(constant, generations=100, patience=3).run()
         assert result.stopped_early
         assert len(result.history) <= 5

@@ -15,7 +15,6 @@ from repro.core.resonance import probe_program
 from repro.isa.opcodes import default_table
 from repro.pdn.elements import bulldozer_pdn
 from repro.uarch.config import bulldozer_chip
-from repro.workloads.stressmarks import a_res_canned, stressmark_program
 
 TABLE = default_table()
 

@@ -3,7 +3,6 @@
 Each test asserts the paper's qualitative *shape*, per DESIGN.md section 4.
 """
 
-import numpy as np
 import pytest
 
 from repro.core.resonance import probe_program

@@ -7,7 +7,7 @@ runs the full-size versions.
 
 import pytest
 
-from repro.experiments.fig9_droop_comparison import a_res_8t_canned, run_fig9
+from repro.experiments.fig9_droop_comparison import run_fig9
 from repro.experiments.fig10_histograms import run_fig10
 from repro.experiments.setup import bulldozer_testbed, phenom_testbed
 from repro.experiments.table1_failure import TABLE1_ORDER, run_table1

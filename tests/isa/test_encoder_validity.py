@@ -21,7 +21,7 @@ from repro.isa import (
     make_chain,
     make_independent,
 )
-from repro.isa.kernels import LoopKernel, build_kernel, nop_region
+from repro.isa.kernels import LoopKernel, nop_region
 from repro.workloads.stressmarks import (
     a_ex_canned,
     a_res_canned,

@@ -5,7 +5,7 @@ import pytest
 from repro.core.platform import MeasurementPlatform
 from repro.errors import IsaError
 from repro.isa import Instruction, default_table, make_independent
-from repro.isa.kernels import LoopKernel, build_kernel
+from repro.isa.kernels import build_kernel
 from repro.isa.registers import GPRS
 from repro.pdn.elements import bulldozer_pdn
 from repro.uarch.config import bulldozer_chip
