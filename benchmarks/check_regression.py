@@ -1,0 +1,214 @@
+#!/usr/bin/env python
+"""CI benchmark-regression gate for the AUDIT evaluation path.
+
+Runs the canonical short campaign (the same scenario as ``repro
+bench-evals``), captures throughput and determinism metrics, and compares
+them against a committed baseline JSON:
+
+* **determinism metrics** — max droop, best fitness, evaluation count,
+  resonance frequency — must match the baseline *exactly*: they are pure
+  simulation outputs, so any drift is a behaviour change, not noise;
+* **throughput** (evaluations/second) may wobble with the runner, but a
+  drop of more than ``--tolerance`` (default 15 %) fails the gate.
+
+Usage::
+
+    python benchmarks/check_regression.py                # gate against baseline
+    python benchmarks/check_regression.py --update       # re-baseline
+    python benchmarks/check_regression.py --out fresh.json
+    python benchmarks/check_regression.py --slowdown 2.0 # prove the gate trips
+
+``--slowdown N`` stretches every platform measurement by sleeping
+``(N - 1) x`` its own duration — droop and evaluation counts are untouched,
+only throughput drops, which is exactly what the gate must catch.
+
+Exit codes: 0 pass, 1 regression, 2 usage error / missing baseline.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO_ROOT / "src"))
+
+SCHEMA_VERSION = 1
+DEFAULT_BASELINE = Path(__file__).resolve().parent / "baselines" / "bulldozer.json"
+DEFAULT_SCENARIO = {
+    "chip": "bulldozer",
+    "threads": 4,
+    "population": 12,
+    "generations": 4,
+    "seed": 1,
+}
+EXACT_METRICS = ("max_droop_v", "best_fitness", "evaluations", "resonance_hz")
+
+
+class SlowdownBackend:
+    """Measurement backend that stretches wall time by a constant factor.
+
+    Sleeps ``(factor - 1) x`` the inner measurement's own duration, so the
+    synthetic regression scales with the real evaluation cost: results are
+    bit-identical, throughput is ``1/factor``.
+    """
+
+    def __init__(self, inner, factor: float):
+        self.inner = inner
+        self.chip = inner.chip
+        self.factor = factor
+
+    def _stretched(self, measure):
+        start = time.perf_counter()
+        result = measure()
+        time.sleep((self.factor - 1.0) * (time.perf_counter() - start))
+        return result
+
+    def measure_program(self, *args, **kwargs):
+        return self._stretched(
+            lambda: self.inner.measure_program(*args, **kwargs))
+
+    def measure_current(self, *args, **kwargs):
+        return self._stretched(
+            lambda: self.inner.measure_current(*args, **kwargs))
+
+    def stats(self):
+        return self.inner.stats()
+
+
+def collect_metrics(scenario: dict | None = None,
+                    slowdown: float = 1.0) -> dict:
+    """Run the bench campaign and return a baseline-shaped payload."""
+    from repro.core.audit import AuditConfig, AuditRunner
+    from repro.core.ga import GaConfig
+    from repro.core.platform import MeasurementPlatform
+    from repro.core.telemetry import TelemetryCollector
+    from repro.experiments.setup import bulldozer_testbed, phenom_testbed
+
+    scenario = dict(scenario or DEFAULT_SCENARIO)
+    testbed = {"bulldozer": bulldozer_testbed, "phenom": phenom_testbed}
+    platform = testbed[scenario["chip"]]()
+    if slowdown != 1.0:
+        platform = MeasurementPlatform(
+            backend=SlowdownBackend(platform.backend, slowdown))
+    collector = TelemetryCollector()
+    config = AuditConfig(
+        threads=scenario["threads"],
+        ga=GaConfig(
+            population_size=scenario["population"],
+            generations=scenario["generations"],
+            seed=scenario["seed"],
+            stagnation_patience=max(6, scenario["generations"]),
+        ),
+    )
+    runner = AuditRunner(platform, config=config, observers=[collector])
+    result = runner.run()
+    return {
+        "schema_version": SCHEMA_VERSION,
+        "scenario": scenario,
+        "metrics": {
+            "max_droop_v": result.max_droop_v,
+            "best_fitness": result.ga_result.best_fitness,
+            "evaluations": result.ga_result.evaluations,
+            "resonance_hz": result.resonance.resonance_hz,
+            "evals_per_second": collector.evals_per_second,
+            "eval_wall_s": collector.eval_wall_s,
+            "cache_hit_rate": collector.cache_hit_rate,
+        },
+    }
+
+
+def compare(baseline: dict, current: dict, tolerance: float = 0.15) -> list[str]:
+    """Return the list of regressions (empty = gate passes)."""
+    problems = []
+    if baseline.get("schema_version") != current.get("schema_version"):
+        problems.append(
+            f"schema version changed: baseline "
+            f"{baseline.get('schema_version')} vs current "
+            f"{current.get('schema_version')}; re-baseline with --update"
+        )
+        return problems
+    if baseline.get("scenario") != current.get("scenario"):
+        problems.append(
+            f"bench scenario changed: baseline {baseline.get('scenario')} "
+            f"vs current {current.get('scenario')}; re-baseline with --update"
+        )
+        return problems
+    base, cur = baseline["metrics"], current["metrics"]
+    for name in EXACT_METRICS:
+        if base[name] != cur[name]:
+            problems.append(
+                f"{name} changed: baseline {base[name]!r} -> {cur[name]!r} "
+                "(simulation outputs are deterministic; any drift is a "
+                "behaviour change)"
+            )
+    floor = base["evals_per_second"] * (1.0 - tolerance)
+    if cur["evals_per_second"] < floor:
+        drop = 1.0 - cur["evals_per_second"] / base["evals_per_second"]
+        problems.append(
+            f"throughput regressed {drop * 100:.1f} %: "
+            f"{base['evals_per_second']:.1f} -> "
+            f"{cur['evals_per_second']:.1f} evals/s "
+            f"(tolerance {tolerance * 100:.0f} %)"
+        )
+    return problems
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        description="benchmark-regression gate for the AUDIT evaluation path")
+    parser.add_argument("--baseline", type=Path, default=DEFAULT_BASELINE,
+                        help="baseline JSON to gate against")
+    parser.add_argument("--out", type=Path, default=None,
+                        help="also write the fresh metrics JSON here "
+                             "(the CI artifact)")
+    parser.add_argument("--update", action="store_true",
+                        help="overwrite the baseline with fresh metrics "
+                             "instead of gating")
+    parser.add_argument("--slowdown", type=float, default=1.0,
+                        help="stretch every measurement by this factor "
+                             "(gate self-test; 2.0 must fail)")
+    parser.add_argument("--tolerance", type=float, default=0.15,
+                        help="allowed fractional evals/sec drop "
+                             "(default 0.15)")
+    args = parser.parse_args(argv)
+    if args.slowdown < 1.0:
+        parser.error("--slowdown must be >= 1.0")
+
+    current = collect_metrics(slowdown=args.slowdown)
+    metrics = current["metrics"]
+    print(f"bench campaign: {metrics['evaluations']} evaluations, "
+          f"{metrics['evals_per_second']:.1f} evals/s, "
+          f"max droop {metrics['max_droop_v'] * 1e3:.2f} mV")
+
+    if args.out is not None:
+        args.out.parent.mkdir(parents=True, exist_ok=True)
+        args.out.write_text(json.dumps(current, indent=2) + "\n")
+        print(f"metrics written to {args.out}")
+
+    if args.update:
+        args.baseline.parent.mkdir(parents=True, exist_ok=True)
+        args.baseline.write_text(json.dumps(current, indent=2) + "\n")
+        print(f"baseline updated: {args.baseline}")
+        return 0
+
+    if not args.baseline.exists():
+        print(f"error: no baseline at {args.baseline}; create one with "
+              "--update", file=sys.stderr)
+        return 2
+    baseline = json.loads(args.baseline.read_text())
+    problems = compare(baseline, current, tolerance=args.tolerance)
+    if problems:
+        print(f"\nREGRESSION GATE FAILED ({len(problems)}):", file=sys.stderr)
+        for problem in problems:
+            print(f"  - {problem}", file=sys.stderr)
+        return 1
+    print("regression gate passed")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

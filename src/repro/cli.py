@@ -5,6 +5,9 @@ Usage (also available as ``python -m repro``)::
     python -m repro sweep --chip bulldozer
     python -m repro audit --threads 4 --mode resonant --asm-out a_res.asm
     python -m repro audit --workers 4 --progress --telemetry-out run.jsonl
+    python -m repro audit --generations 40 --checkpoint-dir campaign/
+    python -m repro audit --resume campaign/
+    python -m repro audit --eval-retries 3 --on-fault penalize
     python -m repro bench-evals --generations 6
     python -m repro experiment table1
     python -m repro list
@@ -18,11 +21,13 @@ import sys
 
 from repro.analysis.report import format_table
 from repro.core.audit import AuditConfig, AuditRunner, StressmarkMode
+from repro.core.checkpoint import CampaignCheckpoint
 from repro.core.engine import make_executor
+from repro.core.faults import FaultPolicy
 from repro.core.ga import GaConfig
 from repro.core.resonance import find_resonance
 from repro.core.telemetry import ConsoleObserver, JsonlObserver, TelemetryCollector
-from repro.errors import ConfigurationError, ReproError
+from repro.errors import CheckpointError, ConfigurationError, ReproError
 from repro.experiments.setup import bulldozer_testbed, phenom_testbed
 from repro.isa.encoder import encode_program
 from repro.isa.opcodes import default_table
@@ -192,7 +197,48 @@ def cmd_sweep(args) -> int:
     return 0
 
 
+def _fault_policy(args) -> FaultPolicy | None:
+    """A FaultPolicy from the campaign CLI flags (None = fail-fast)."""
+    if (args.eval_retries is None and args.eval_timeout is None
+            and args.on_fault is None):
+        return None
+    return FaultPolicy(
+        max_retries=args.eval_retries if args.eval_retries is not None else 2,
+        backoff_s=args.eval_backoff,
+        eval_timeout_s=args.eval_timeout,
+        on_exhaust=args.on_fault or "raise",
+    )
+
+
 def cmd_audit(args) -> int:
+    checkpoint = None
+    resume = False
+    if args.resume is not None:
+        # The stored campaign meta is authoritative: the run continues with
+        # the exact chip/config it started with, so the same seeds keep
+        # producing the same stressmark no matter what flags accompany
+        # --resume.
+        checkpoint = CampaignCheckpoint(args.resume)
+        meta = checkpoint.read_meta()
+        resume = True
+        args.chip = meta["chip"]
+        args.throttle = meta["throttle"]
+        args.threads = meta["threads"]
+        args.mode = meta["mode"]
+        args.population = meta["population"]
+        args.generations = meta["generations"]
+        args.seed = meta["seed"]
+    elif args.checkpoint_dir is not None:
+        checkpoint = CampaignCheckpoint(args.checkpoint_dir)
+        checkpoint.write_meta({
+            "chip": args.chip,
+            "throttle": args.throttle,
+            "threads": args.threads,
+            "mode": args.mode,
+            "population": args.population,
+            "generations": args.generations,
+            "seed": args.seed,
+        })
     platform = _platform(args.chip, args.throttle)
     mode = StressmarkMode(args.mode)
     config = AuditConfig(
@@ -211,9 +257,19 @@ def cmd_audit(args) -> int:
         executor=executor,
         observers=observers,
         platform_factory=_platform_factory(args.chip, args.throttle),
+        fault_policy=_fault_policy(args),
     )
+    if resume:
+        state = checkpoint.load()
+        if state is None:
+            raise CheckpointError(
+                f"nothing to resume in {args.resume!r}: no checkpointed "
+                "generation yet"
+            )
+        print(f"resuming campaign from generation {state.ga.generation} "
+              f"({state.ga.evaluations} evaluations banked)")
     try:
-        result = runner.run()
+        result = runner.run(checkpoint=checkpoint, resume=resume)
     finally:
         executor.close()
         if jsonl is not None:
@@ -324,6 +380,36 @@ def _add_telemetry_args(parser: argparse.ArgumentParser) -> None:
         help="append per-event telemetry as JSON lines to PATH")
 
 
+def _add_campaign_args(parser: argparse.ArgumentParser) -> None:
+    group = parser.add_mutually_exclusive_group()
+    group.add_argument(
+        "--checkpoint-dir", default=None, metavar="DIR",
+        help="write an atomic campaign snapshot (GA population, RNG state, "
+             "fitness cache) to DIR every generation")
+    group.add_argument(
+        "--resume", default=None, metavar="DIR",
+        help="resume the campaign checkpointed in DIR and keep "
+             "checkpointing there; run parameters come from the stored "
+             "meta, and the final stressmark is identical to an "
+             "uninterrupted run")
+    parser.add_argument(
+        "--eval-retries", type=int, default=None, metavar="N",
+        help="retry a faulting measurement up to N times before the "
+             "--on-fault action (enables the fault policy)")
+    parser.add_argument(
+        "--eval-backoff", type=float, default=0.0, metavar="SECONDS",
+        help="base backoff between retries (doubles per attempt)")
+    parser.add_argument(
+        "--eval-timeout", type=float, default=None, metavar="SECONDS",
+        help="watchdog budget per evaluation; slower attempts count as "
+             "faults (enables the fault policy)")
+    parser.add_argument(
+        "--on-fault", default=None, choices=("raise", "skip", "penalize"),
+        help="what to do with a genome once retries are exhausted: kill "
+             "the run, quarantine at -inf fitness, or quarantine at the "
+             "penalty fitness (enables the fault policy)")
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -350,6 +436,7 @@ def build_parser() -> argparse.ArgumentParser:
     audit.add_argument("--asm-out", default=None,
                        help="write the winning stressmark as NASM to a file")
     _add_telemetry_args(audit)
+    _add_campaign_args(audit)
     audit.add_argument("--telemetry", action="store_true",
                        help="print the run-telemetry summary table")
     audit.set_defaults(fn=cmd_audit)

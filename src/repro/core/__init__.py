@@ -11,6 +11,12 @@
 """
 
 from repro.core.audit import AuditConfig, AuditResult, AuditRunner, StressmarkMode
+from repro.core.checkpoint import (
+    CampaignCheckpoint,
+    CampaignState,
+    rng_from_state,
+    rng_state_to_jsonable,
+)
 from repro.core.codegen import genome_to_kernel, genome_to_program
 from repro.core.cost import DroopPerPowerCost, MaxDroopCost, SensitivePathCost
 from repro.core.dithering import (
@@ -30,7 +36,14 @@ from repro.core.engine import (
     StressmarkFitness,
     make_executor,
 )
-from repro.core.ga import GaConfig, GaResult, GenerationStats, GeneticAlgorithm
+from repro.core.faults import (
+    EvalOutcome,
+    FaultInjectingBackend,
+    FaultInjectionConfig,
+    FaultPolicy,
+    GuardedFitness,
+)
+from repro.core.ga import GaConfig, GaResult, GaSnapshot, GenerationStats, GeneticAlgorithm
 from repro.core.genome import GenomeSpace, StressmarkGenome
 from repro.core.platform import (
     Measurement,
@@ -46,8 +59,10 @@ from repro.core.resonance import (
     probe_program,
 )
 from repro.core.telemetry import (
+    CheckpointEvent,
     ConsoleObserver,
     EvaluationEvent,
+    FaultEvent,
     GenerationEvent,
     JsonlObserver,
     PhaseEvent,
@@ -59,7 +74,17 @@ __all__ = [
     "AuditConfig",
     "AuditResult",
     "AuditRunner",
+    "CampaignCheckpoint",
+    "CampaignState",
+    "CheckpointEvent",
     "ConsoleObserver",
+    "EvalOutcome",
+    "FaultEvent",
+    "FaultInjectingBackend",
+    "FaultInjectionConfig",
+    "FaultPolicy",
+    "GaSnapshot",
+    "GuardedFitness",
     "DitherSchedule",
     "DroopPerPowerCost",
     "EvaluationEngine",
@@ -89,6 +114,8 @@ __all__ = [
     "StressmarkMode",
     "TelemetryCollector",
     "make_executor",
+    "rng_from_state",
+    "rng_state_to_jsonable",
     "alignment_sweep_cycles",
     "alignment_sweep_seconds",
     "dither_schedules",

@@ -15,17 +15,19 @@ from dataclasses import dataclass, field
 from enum import Enum
 from typing import Callable, Sequence
 
-from repro.errors import SearchError
+from repro.errors import CheckpointError, SearchError
 from repro.isa.kernels import LoopKernel, ThreadProgram
 from repro.isa.opcodes import OpcodeTable, default_table
+from repro.core.checkpoint import CampaignCheckpoint
 from repro.core.codegen import DEFAULT_ITERATIONS, genome_to_kernel
 from repro.core.cost import MaxDroopCost
 from repro.core.engine import EvaluationEngine, FitnessExecutor
-from repro.core.ga import GaConfig, GaResult, GeneticAlgorithm
+from repro.core.faults import FaultPolicy, RetryingMeasurements
+from repro.core.ga import GaConfig, GaResult, GaSnapshot, GeneticAlgorithm
 from repro.core.genome import GenomeSpace, StressmarkGenome
 from repro.core.platform import Measurement, MeasurementPlatform
 from repro.core.resonance import ResonanceSweepResult, find_resonance
-from repro.core.telemetry import PhaseEvent, RunObserver, notify
+from repro.core.telemetry import CheckpointEvent, PhaseEvent, RunObserver, notify
 
 
 class StressmarkMode(str, Enum):
@@ -101,6 +103,7 @@ class AuditRunner:
         executor: FitnessExecutor | None = None,
         observers: Sequence[RunObserver] = (),
         platform_factory: Callable[[], MeasurementPlatform] | None = None,
+        fault_policy: FaultPolicy | None = None,
     ):
         self.platform = platform
         full_table = table or default_table()
@@ -112,6 +115,7 @@ class AuditRunner:
         self.executor = executor
         self.observers = tuple(observers)
         self.platform_factory = platform_factory
+        self.fault_policy = fault_policy
 
     # ------------------------------------------------------------------
     def build_space(self, resonance: ResonanceSweepResult) -> GenomeSpace:
@@ -180,6 +184,7 @@ class AuditRunner:
             executor=self.executor,
             observers=self.observers,
             platform_factory=self.platform_factory,
+            fault_policy=self.fault_policy,
         )
 
     # ------------------------------------------------------------------
@@ -188,12 +193,35 @@ class AuditRunner:
         *,
         name: str | None = None,
         seeds: list[StressmarkGenome] | None = None,
+        checkpoint: CampaignCheckpoint | None = None,
+        resume: bool = False,
     ) -> AuditResult:
-        """Execute the complete AUDIT flow and return the best stressmark."""
+        """Execute the complete AUDIT flow and return the best stressmark.
+
+        With ``checkpoint``, a :class:`~repro.core.checkpoint
+        .CampaignCheckpoint` snapshot (GA state + fitness cache) is written
+        atomically at every generation boundary.  With ``resume=True`` the
+        newest snapshot in that store is restored first and the campaign
+        continues from it — same seeds, same final stressmark as an
+        uninterrupted run, because both the GA's RNG stream and the
+        evaluator's memoised fitness values survive the restart.  (The
+        resonance sweep is deterministic and cheap relative to the GA, so
+        it is simply re-run.)
+        """
         cfg = self.config
+        if resume and checkpoint is None:
+            raise CheckpointError("resume=True needs a checkpoint store")
+        # GA evaluations are guarded inside the engine; the sweep and the
+        # final verification measure directly, so guard them here too.
+        measure_platform = self.platform
+        if self.fault_policy is not None:
+            measure_platform = RetryingMeasurements(
+                self.platform, self.fault_policy,
+                observers=self.observers, label="closed-loop-measurement",
+            )
         sweep_start = time.perf_counter()
         resonance = find_resonance(
-            self.platform,
+            measure_platform,
             self.table,
             threads=1,
             period_candidates=list(range(8, 133, cfg.lp_sweep_step)),
@@ -214,10 +242,41 @@ class AuditRunner:
             config=cfg.ga,
             observers=self.observers,
         )
+        resume_snapshot: GaSnapshot | None = None
+        if resume:
+            state = checkpoint.load()
+            if state is None:
+                raise CheckpointError(
+                    f"nothing to resume in {checkpoint.directory} "
+                    "(no state.json; did the campaign checkpoint at least "
+                    "one generation?)"
+                )
+            resume_snapshot = state.ga
+            engine.restore_cache(
+                state.fitness_cache,
+                cache_hits=state.cache_hits,
+                evaluations=state.ga.evaluations,
+            )
+        checkpoint_fn = None
+        if checkpoint is not None:
+            def checkpoint_fn(snapshot: GaSnapshot) -> None:
+                save_start = time.perf_counter()
+                path = checkpoint.save(
+                    snapshot,
+                    fitness_cache=engine.cache_snapshot(),
+                    cache_hits=engine.cache_hits,
+                )
+                notify(self.observers, CheckpointEvent(
+                    generation=snapshot.generation,
+                    path=str(path),
+                    wall_s=time.perf_counter() - save_start,
+                ))
         if seeds is None:
             seeds = self.default_seeds(space, resonance)
         ga_start = time.perf_counter()
-        ga_result = ga.run(seeds=seeds)
+        ga_result = ga.run(
+            seeds=seeds, resume=resume_snapshot, checkpoint_fn=checkpoint_fn
+        )
         notify(self.observers, PhaseEvent(
             name="ga-search",
             wall_s=time.perf_counter() - ga_start,
@@ -230,7 +289,7 @@ class AuditRunner:
         kernel = genome_to_kernel(ga_result.best_genome, space, name=label)
         program = ThreadProgram(kernel, DEFAULT_ITERATIONS)
         final_start = time.perf_counter()
-        measurement = self.platform.measure_program(program, cfg.threads)
+        measurement = measure_platform.measure_program(program, cfg.threads)
         notify(self.observers, PhaseEvent(
             name="final-measurement",
             wall_s=time.perf_counter() - final_start,

@@ -1,0 +1,271 @@
+"""Crash-safe campaign checkpoints: atomic snapshots, exact resume.
+
+A hardware AUDIT campaign is an overnight process on a machine that can
+thermal-throttle, wedge, or reboot (paper Section IV); losing eight hours
+of oscilloscope captures to a power blip is not acceptable.  This module
+makes the software campaign equally durable:
+
+* :func:`rng_state_to_jsonable` / :func:`rng_from_state` round-trip a
+  ``numpy.random.Generator`` through plain JSON types, bit-exactly — the
+  foundation of "same seeds ⇒ same final stressmark" across a crash.
+* :class:`CampaignCheckpoint` persists one campaign under a directory:
+  ``meta.json`` (written once, describes the run), ``state.json``
+  (rewritten atomically every generation via ``os.replace``), and
+  ``journal.jsonl`` (append-only, one line per checkpoint, for
+  observability).  A SIGKILL mid-write leaves the previous ``state.json``
+  intact, so the newest *complete* snapshot is always loadable.
+
+The state snapshot carries the GA's :class:`~repro.core.ga.GaSnapshot`
+(population, RNG state, best-so-far, stagnation counter, history) plus the
+evaluation engine's fitness cache and counters.  Fitness values survive
+JSON exactly (Python serialises floats via shortest round-trip repr), so a
+resumed campaign replays the remaining generations bit-identically.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+from dataclasses import asdict, dataclass
+from pathlib import Path
+from typing import Callable
+
+import numpy as np
+
+from repro.core.ga import GaSnapshot, GenerationStats
+from repro.core.genome import StressmarkGenome
+from repro.errors import CheckpointError
+
+#: Bumped when the on-disk snapshot layout changes incompatibly.
+STATE_VERSION = 1
+
+
+# ----------------------------------------------------------------------
+# RNG state round-tripping
+# ----------------------------------------------------------------------
+def _jsonable(value):
+    """Coerce numpy scalars (and containers of them) to plain JSON types."""
+    if isinstance(value, dict):
+        return {key: _jsonable(item) for key, item in value.items()}
+    if isinstance(value, (list, tuple)):
+        return [_jsonable(item) for item in value]
+    if isinstance(value, np.ndarray):
+        return [_jsonable(item) for item in value.tolist()]
+    if isinstance(value, np.integer):
+        return int(value)
+    if isinstance(value, np.floating):
+        return float(value)
+    return value
+
+
+def rng_state_to_jsonable(rng: np.random.Generator) -> dict:
+    """The generator's full bit-generator state as plain JSON types."""
+    return _jsonable(rng.bit_generator.state)
+
+
+def rng_from_state(state: dict) -> np.random.Generator:
+    """Rebuild a generator that continues exactly where *state* was taken.
+
+    Works for any numpy bit generator (PCG64, Philox, SFC64, MT19937): the
+    state dict names its own class.
+    """
+    name = state.get("bit_generator")
+    try:
+        cls = getattr(np.random, name)
+    except (TypeError, AttributeError):
+        raise CheckpointError(f"unknown bit generator {name!r}") from None
+    bit_generator = cls()
+    bit_generator.state = state
+    return np.random.Generator(bit_generator)
+
+
+# ----------------------------------------------------------------------
+# Genome codecs (StressmarkGenome by default; any codec pair plugs in)
+# ----------------------------------------------------------------------
+def encode_stressmark_genome(genome: StressmarkGenome) -> dict:
+    return {"subblock": list(genome.subblock), "lp_nops": int(genome.lp_nops)}
+
+
+def decode_stressmark_genome(payload: dict) -> StressmarkGenome:
+    return StressmarkGenome(
+        subblock=tuple(payload["subblock"]), lp_nops=int(payload["lp_nops"])
+    )
+
+
+# ----------------------------------------------------------------------
+# Atomic file primitives
+# ----------------------------------------------------------------------
+def atomic_write_json(path: Path, payload) -> None:
+    """Write *payload* as JSON so readers never observe a torn file.
+
+    The bytes land in a sibling temp file which is fsynced and then
+    ``os.replace``d over the target — atomic on POSIX, so a crash at any
+    instant leaves either the old complete file or the new complete file.
+    """
+    tmp = path.with_name(path.name + ".tmp")
+    with open(tmp, "w") as handle:
+        json.dump(payload, handle)
+        handle.flush()
+        os.fsync(handle.fileno())
+    os.replace(tmp, path)
+
+
+# ----------------------------------------------------------------------
+# The campaign state (GA snapshot + engine cache)
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class CampaignState:
+    """One complete, resumable campaign snapshot."""
+
+    ga: GaSnapshot
+    fitness_cache: dict
+    cache_hits: int
+
+
+class CampaignCheckpoint:
+    """Atomic on-disk store for one campaign under *directory*.
+
+    ``save`` is called once per GA generation; ``load`` returns the newest
+    complete snapshot (or ``None`` for a fresh directory).  ``meta.json``
+    holds whatever run description the caller provides — the CLI stores
+    chip/config so ``repro audit --resume DIR`` can rebuild the exact
+    campaign without re-specifying flags.
+    """
+
+    META_FILE = "meta.json"
+    STATE_FILE = "state.json"
+    JOURNAL_FILE = "journal.jsonl"
+
+    def __init__(
+        self,
+        directory,
+        *,
+        encode_genome: Callable = encode_stressmark_genome,
+        decode_genome: Callable = decode_stressmark_genome,
+    ):
+        self.directory = Path(directory)
+        self.encode_genome = encode_genome
+        self.decode_genome = decode_genome
+        try:
+            self.directory.mkdir(parents=True, exist_ok=True)
+        except OSError as error:
+            raise CheckpointError(
+                f"cannot create checkpoint directory {directory!r}: {error}"
+            ) from error
+
+    # ------------------------------------------------------------------
+    @property
+    def state_path(self) -> Path:
+        return self.directory / self.STATE_FILE
+
+    @property
+    def meta_path(self) -> Path:
+        return self.directory / self.META_FILE
+
+    @property
+    def journal_path(self) -> Path:
+        return self.directory / self.JOURNAL_FILE
+
+    def has_state(self) -> bool:
+        return self.state_path.exists()
+
+    # ------------------------------------------------------------------
+    # Meta
+    # ------------------------------------------------------------------
+    def write_meta(self, meta: dict) -> None:
+        atomic_write_json(self.meta_path, meta)
+
+    def read_meta(self) -> dict:
+        try:
+            with open(self.meta_path) as handle:
+                return json.load(handle)
+        except FileNotFoundError:
+            raise CheckpointError(
+                f"no campaign meta at {self.meta_path} "
+                "(was this directory written by --checkpoint-dir?)"
+            ) from None
+        except json.JSONDecodeError as error:
+            raise CheckpointError(
+                f"corrupt campaign meta {self.meta_path}: {error}"
+            ) from error
+
+    # ------------------------------------------------------------------
+    # State
+    # ------------------------------------------------------------------
+    def save(self, snapshot: GaSnapshot, *, fitness_cache: dict | None = None,
+             cache_hits: int = 0) -> Path:
+        """Atomically persist one generation-boundary snapshot."""
+        enc = self.encode_genome
+        cache = fitness_cache or {}
+        payload = {
+            "version": STATE_VERSION,
+            "generation": snapshot.generation,
+            "population": [enc(g) for g in snapshot.population],
+            "rng_state": _jsonable(snapshot.rng_state),
+            "best_genome": enc(snapshot.best_genome),
+            "best_fitness": snapshot.best_fitness,
+            "stale": snapshot.stale,
+            "history": [asdict(h) for h in snapshot.history],
+            "evaluations": snapshot.evaluations,
+            "cache_hits": cache_hits,
+            "fitness_cache": [[enc(g), value] for g, value in cache.items()],
+            "saved_at": time.time(),
+        }
+        atomic_write_json(self.state_path, payload)
+        with open(self.journal_path, "a") as journal:
+            journal.write(json.dumps({
+                "generation": snapshot.generation,
+                "best_fitness": snapshot.best_fitness,
+                "evaluations": snapshot.evaluations,
+                "cached_genomes": len(cache),
+                "saved_at": payload["saved_at"],
+            }) + "\n")
+        return self.state_path
+
+    def load(self) -> CampaignState | None:
+        """The newest complete snapshot, or ``None`` for a fresh directory."""
+        try:
+            with open(self.state_path) as handle:
+                payload = json.load(handle)
+        except FileNotFoundError:
+            return None
+        except json.JSONDecodeError as error:
+            raise CheckpointError(
+                f"corrupt checkpoint state {self.state_path}: {error} "
+                "(atomic writes should make this impossible; was the file "
+                "edited by hand?)"
+            ) from error
+        version = payload.get("version")
+        if version != STATE_VERSION:
+            raise CheckpointError(
+                f"checkpoint state version {version!r} is not supported "
+                f"(expected {STATE_VERSION})"
+            )
+        dec = self.decode_genome
+        try:
+            snapshot = GaSnapshot(
+                generation=int(payload["generation"]),
+                population=tuple(dec(g) for g in payload["population"]),
+                rng_state=payload["rng_state"],
+                best_genome=dec(payload["best_genome"]),
+                best_fitness=float(payload["best_fitness"]),
+                stale=int(payload["stale"]),
+                history=tuple(
+                    GenerationStats(**h) for h in payload["history"]
+                ),
+                evaluations=int(payload["evaluations"]),
+            )
+            cache = {
+                dec(genome): float(value)
+                for genome, value in payload["fitness_cache"]
+            }
+        except (KeyError, TypeError, ValueError) as error:
+            raise CheckpointError(
+                f"malformed checkpoint state {self.state_path}: {error}"
+            ) from error
+        return CampaignState(
+            ga=snapshot,
+            fitness_cache=cache,
+            cache_hits=int(payload.get("cache_hits", 0)),
+        )

@@ -35,8 +35,9 @@ from typing import Callable, Generic, Hashable, Protocol, Sequence, TypeVar
 
 from repro.core.codegen import DEFAULT_ITERATIONS, genome_to_program
 from repro.core.cost import MaxDroopCost
+from repro.core.faults import EvalOutcome, FaultPolicy, GuardedFitness
 from repro.core.platform import MeasurementPlatform
-from repro.core.telemetry import EvaluationEvent, RunObserver, notify
+from repro.core.telemetry import EvaluationEvent, FaultEvent, RunObserver, notify
 from repro.errors import ConfigurationError
 
 G = TypeVar("G", bound=Hashable)
@@ -97,7 +98,20 @@ class ParallelExecutor:
         # One chunk per worker per batch: amortises the per-chunk pickle of
         # ``fn`` (which carries the platform spec) without starving workers.
         chunksize = max(1, -(-len(items) // self.workers))
-        return list(self._pool.map(fn, items, chunksize=chunksize))
+        try:
+            return list(self._pool.map(fn, items, chunksize=chunksize))
+        except BaseException:
+            # A worker exception mid-batch must not leak the pool: cancel
+            # what has not started and shut the processes down before the
+            # error propagates (callers rarely get to call close() on the
+            # exception path).
+            self._abort()
+            raise
+
+    def _abort(self) -> None:
+        if self._pool is not None:
+            self._pool.shutdown(wait=False, cancel_futures=True)
+            self._pool = None
 
     def close(self) -> None:
         if self._pool is not None:
@@ -213,6 +227,12 @@ class EvaluationEngine(Generic[G]):
     plain fitness callable was accepted.  Fitness values are memoised by
     genome; cache hits are free and reported as telemetry, exactly like the
     measurement reuse that matters on the paper's hardware testbed.
+
+    With a :class:`~repro.core.faults.FaultPolicy`, evaluation faults are
+    retried (with backoff, worker-side) and genomes whose measurements keep
+    failing are **quarantined** — assigned the policy's exhausted fitness
+    instead of killing the campaign — with every retry and quarantine
+    surfaced as :class:`~repro.core.telemetry.FaultEvent` telemetry.
     """
 
     def __init__(
@@ -222,14 +242,20 @@ class EvaluationEngine(Generic[G]):
         executor: FitnessExecutor | None = None,
         observers: Sequence[RunObserver] = (),
         platform: MeasurementPlatform | None = None,
+        fault_policy: FaultPolicy | None = None,
     ):
         self.fitness = fitness
         self.executor = executor if executor is not None else SerialExecutor()
         self.observers = tuple(observers)
         self.platform = platform
+        self.fault_policy = fault_policy
         self._cache: dict[G, float] = {}
         self.evaluations = 0
         self.cache_hits = 0
+        self.retries = 0
+        self.quarantines = 0
+        self.timeouts = 0
+        self.quarantined: set[G] = set()
         self._check_executor()
 
     @classmethod
@@ -244,6 +270,7 @@ class EvaluationEngine(Generic[G]):
         observers: Sequence[RunObserver] = (),
         platform_factory: Callable[[], MeasurementPlatform] | None = None,
         iterations: int = DEFAULT_ITERATIONS,
+        fault_policy: FaultPolicy | None = None,
     ) -> "EvaluationEngine":
         """The full AUDIT pipeline over *platform* for genomes in *space*."""
         fitness = StressmarkFitness(
@@ -255,7 +282,8 @@ class EvaluationEngine(Generic[G]):
             iterations=iterations,
         )
         return cls(
-            fitness, executor=executor, observers=observers, platform=platform
+            fitness, executor=executor, observers=observers, platform=platform,
+            fault_policy=fault_policy,
         )
 
     def _check_executor(self) -> None:
@@ -287,8 +315,18 @@ class EvaluationEngine(Generic[G]):
                 fresh.append(genome)
                 seen.add(genome)
         if fresh:
-            results = self.executor.map(_TimedFitness(self.fitness), fresh)
-            for genome, (value, wall_s) in zip(fresh, results):
+            if self.fault_policy is None:
+                timed = self.executor.map(_TimedFitness(self.fitness), fresh)
+                outcomes = [
+                    EvalOutcome(value=value, wall_s=wall_s, attempts=1)
+                    for value, wall_s in timed
+                ]
+            else:
+                outcomes = self.executor.map(
+                    GuardedFitness(self.fitness, self.fault_policy), fresh
+                )
+            for genome, outcome in zip(fresh, outcomes):
+                value = self._record_outcome(genome, outcome)
                 self._cache[genome] = value
                 self.evaluations += 1
                 notify(
@@ -296,7 +334,7 @@ class EvaluationEngine(Generic[G]):
                     EvaluationEvent(
                         genome=_genome_label(genome),
                         fitness=value,
-                        wall_s=wall_s,
+                        wall_s=outcome.wall_s,
                         cached=False,
                         backend=self.executor.name,
                     ),
@@ -320,6 +358,49 @@ class EvaluationEngine(Generic[G]):
                 )
             out.append(value)
         return out
+
+    # ------------------------------------------------------------------
+    def _record_outcome(self, genome: G, outcome: EvalOutcome) -> float:
+        """Fold one evaluation outcome into counters + fault telemetry."""
+        self.retries += max(0, outcome.attempts - 1)
+        self.timeouts += sum(1 for fault in outcome.faults if fault.timeout)
+        label = _genome_label(genome)
+        for i, fault in enumerate(outcome.faults):
+            final_failure = outcome.exhausted and i == len(outcome.faults) - 1
+            notify(
+                self.observers,
+                FaultEvent(
+                    genome=label,
+                    error=fault.error,
+                    attempt=i + 1,
+                    action="quarantine" if final_failure else "retry",
+                    timeout=fault.timeout,
+                ),
+            )
+        if outcome.exhausted:
+            self.quarantines += 1
+            self.quarantined.add(genome)
+            return self.fault_policy.exhausted_fitness()
+        return float(outcome.value)
+
+    # ------------------------------------------------------------------
+    # Checkpoint support
+    # ------------------------------------------------------------------
+    def cache_snapshot(self) -> dict[G, float]:
+        """A copy of the genome → fitness cache (for campaign checkpoints)."""
+        return dict(self._cache)
+
+    def restore_cache(
+        self,
+        cache: dict[G, float],
+        *,
+        cache_hits: int = 0,
+        evaluations: int = 0,
+    ) -> None:
+        """Restore a checkpointed fitness cache and its counters."""
+        self._cache.update(cache)
+        self.cache_hits = cache_hits
+        self.evaluations = evaluations
 
     # ------------------------------------------------------------------
     def platform_stats(self):

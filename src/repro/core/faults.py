@@ -1,0 +1,400 @@
+"""Fault tolerance for long AUDIT campaigns: policy, guard, and chaos.
+
+The paper's closed loop runs unattended for hours against a flaky physical
+target (Section IV): measurements hang, the scope misfires, thermal events
+corrupt a capture.  FIRESTARTER-style stress campaigns treat those as
+routine, not fatal.  This module gives the evaluation engine the same
+discipline:
+
+* :class:`FaultPolicy` — declarative per-evaluation fault handling:
+  how many retries, what backoff, a watchdog budget, and what to do when a
+  genome's measurement keeps failing (``raise`` / ``skip`` / ``penalize``).
+* :class:`GuardedFitness` — wraps any fitness callable so a backend fault
+  becomes a retried attempt instead of a dead campaign.  Picklable, so the
+  retry loop runs *inside* process-pool workers.
+* :class:`FaultInjectingBackend` — a deterministic, seeded chaos wrapper
+  around any :class:`~repro.core.platform.MeasurementBackend`: injects
+  exceptions, simulated hangs, and corrupt (non-finite) droop measurements
+  at configurable rates, so full campaigns can be tested under fault load.
+
+Corrupt measurements are modelled as non-finite droop: the guard treats a
+non-finite fitness value as a fault in its own right, which is exactly how
+a production loop defends against a mis-triggered scope capture.
+"""
+
+from __future__ import annotations
+
+import math
+import time
+from dataclasses import dataclass, field
+from typing import Callable
+
+import numpy as np
+
+from repro.errors import ConfigurationError, MeasurementError
+
+#: Valid ``FaultPolicy.on_exhaust`` actions.
+EXHAUST_ACTIONS = ("raise", "skip", "penalize")
+
+
+class InjectedFaultError(MeasurementError):
+    """A fault deliberately injected by :class:`FaultInjectingBackend`."""
+
+
+class InjectedHangError(MeasurementError):
+    """A simulated hang (watchdog-killed measurement) from the chaos wrapper."""
+
+
+class CorruptMeasurementError(MeasurementError):
+    """A measurement produced a non-finite fitness value."""
+
+
+class EvaluationTimeoutError(MeasurementError):
+    """An evaluation exceeded the policy's watchdog budget."""
+
+
+class QuarantineExhaustedError(MeasurementError):
+    """A genome's evaluation kept failing and the policy says to raise."""
+
+
+# ----------------------------------------------------------------------
+# Policy
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class FaultPolicy:
+    """How the evaluation engine reacts to a failing measurement.
+
+    ``eval_timeout_s`` is a cooperative watchdog: an attempt whose wall time
+    exceeds it is discarded and counted as a timeout fault (on the paper's
+    testbed, the watchdog kills the capture and the value never arrives).
+    ``on_exhaust`` decides the fate of a genome once every attempt failed:
+
+    * ``"raise"``  — propagate the last error and kill the run (default,
+      the pre-fault-tolerance behaviour);
+    * ``"skip"``   — assign ``-inf`` fitness so the genome can never win
+      selection, and quarantine it;
+    * ``"penalize"`` — assign ``penalty_fitness`` and quarantine it.
+    """
+
+    max_retries: int = 2
+    backoff_s: float = 0.0
+    backoff_factor: float = 2.0
+    eval_timeout_s: float | None = None
+    on_exhaust: str = "raise"
+    penalty_fitness: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.max_retries < 0:
+            raise ConfigurationError("max_retries must be >= 0")
+        if self.backoff_s < 0:
+            raise ConfigurationError("backoff_s must be >= 0")
+        if self.backoff_factor < 1.0:
+            raise ConfigurationError("backoff_factor must be >= 1")
+        if self.eval_timeout_s is not None and self.eval_timeout_s <= 0:
+            raise ConfigurationError("eval_timeout_s must be positive")
+        if self.on_exhaust not in EXHAUST_ACTIONS:
+            raise ConfigurationError(
+                f"on_exhaust must be one of {EXHAUST_ACTIONS}, "
+                f"got {self.on_exhaust!r}"
+            )
+
+    def exhausted_fitness(self) -> float:
+        """The fitness assigned to a quarantined genome (skip/penalize)."""
+        if self.on_exhaust == "skip":
+            return float("-inf")
+        return float(self.penalty_fitness)
+
+
+# ----------------------------------------------------------------------
+# Guarded evaluation
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class FaultRecord:
+    """One failed evaluation attempt."""
+
+    error: str
+    timeout: bool = False
+
+
+@dataclass(frozen=True)
+class EvalOutcome:
+    """What one guarded evaluation produced.
+
+    ``value`` is ``None`` when every attempt failed and the policy said not
+    to raise; ``faults`` records each failed attempt in order.
+    """
+
+    value: float | None
+    wall_s: float
+    attempts: int
+    faults: tuple[FaultRecord, ...] = ()
+
+    @property
+    def exhausted(self) -> bool:
+        return self.value is None
+
+
+class GuardedFitness:
+    """Retry-with-backoff wrapper turning faults into :class:`EvalOutcome`.
+
+    Picklable (provided the wrapped fitness is), so process-pool workers
+    retry locally instead of shipping failures back and forth.  With
+    ``on_exhaust="raise"`` the final error propagates unchanged — exactly
+    the pre-policy behaviour, just ``max_retries`` attempts later.
+    """
+
+    def __init__(self, fitness: Callable, policy: FaultPolicy):
+        self.fitness = fitness
+        self.policy = policy
+
+    def __call__(self, genome) -> EvalOutcome:
+        policy = self.policy
+        faults: list[FaultRecord] = []
+        start = time.perf_counter()
+        attempts = policy.max_retries + 1
+        for attempt in range(attempts):
+            attempt_start = time.perf_counter()
+            try:
+                value = float(self.fitness(genome))
+                if not math.isfinite(value):
+                    raise CorruptMeasurementError(
+                        f"measurement produced non-finite fitness {value!r}"
+                    )
+                wall = time.perf_counter() - attempt_start
+                if (policy.eval_timeout_s is not None
+                        and wall > policy.eval_timeout_s):
+                    raise EvaluationTimeoutError(
+                        f"evaluation took {wall:.3f}s "
+                        f"(watchdog budget {policy.eval_timeout_s}s)"
+                    )
+                return EvalOutcome(
+                    value=value,
+                    wall_s=time.perf_counter() - start,
+                    attempts=attempt + 1,
+                    faults=tuple(faults),
+                )
+            except Exception as error:
+                faults.append(FaultRecord(
+                    error=f"{type(error).__name__}: {error}",
+                    timeout=isinstance(error, EvaluationTimeoutError),
+                ))
+                if attempt + 1 >= attempts:
+                    if policy.on_exhaust == "raise":
+                        raise
+                    break
+                if policy.backoff_s > 0:
+                    time.sleep(
+                        policy.backoff_s * policy.backoff_factor ** attempt
+                    )
+        return EvalOutcome(
+            value=None,
+            wall_s=time.perf_counter() - start,
+            attempts=attempts,
+            faults=tuple(faults),
+        )
+
+
+class RetryingMeasurements:
+    """Measurement-level retry proxy for loop phases outside the engine.
+
+    The engine guards GA fitness evaluations, but the closed loop also
+    measures during the resonance sweep and the final verification — a
+    fault there would still kill the campaign.  This proxy retries each
+    individual measurement per the policy (validating that the droop is
+    finite, like the guard does) and re-raises once attempts are
+    exhausted: a sweep probe has no genome to quarantine, and with
+    per-measurement retries an exhausted probe means the backend is down,
+    not flaky.  Everything else (``chip``, ``stats`` …) passes through.
+    """
+
+    def __init__(self, platform, policy: FaultPolicy, *, observers=(),
+                 label: str = "measurement"):
+        self._platform = platform
+        self._policy = policy
+        self._observers = tuple(observers)
+        self._label = label
+
+    def __getattr__(self, name):
+        return getattr(self._platform, name)
+
+    def measure_program(self, *args, **kwargs):
+        return self._retry(
+            lambda: self._platform.measure_program(*args, **kwargs)
+        )
+
+    def measure_current(self, *args, **kwargs):
+        return self._retry(
+            lambda: self._platform.measure_current(*args, **kwargs)
+        )
+
+    def _retry(self, measure):
+        from repro.core.telemetry import FaultEvent, notify
+
+        policy = self._policy
+        attempts = policy.max_retries + 1
+        for attempt in range(attempts):
+            try:
+                measurement = measure()
+                droop = measurement.max_droop_v
+                if not math.isfinite(droop):
+                    raise CorruptMeasurementError(
+                        f"measurement produced non-finite droop {droop!r}"
+                    )
+                return measurement
+            except Exception as error:
+                final = attempt + 1 >= attempts
+                notify(self._observers, FaultEvent(
+                    genome=self._label,
+                    error=f"{type(error).__name__}: {error}",
+                    attempt=attempt + 1,
+                    action="quarantine" if final else "retry",
+                    timeout=isinstance(error, EvaluationTimeoutError),
+                ))
+                if final:
+                    raise
+                if policy.backoff_s > 0:
+                    time.sleep(
+                        policy.backoff_s * policy.backoff_factor ** attempt
+                    )
+        raise AssertionError("unreachable")
+
+
+# ----------------------------------------------------------------------
+# Chaos: deterministic fault injection around any backend
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class FaultInjectionConfig:
+    """Rates and shape of injected faults (all rates are per measurement)."""
+
+    seed: int = 0
+    exception_rate: float = 0.0
+    hang_rate: float = 0.0
+    hang_s: float = 0.005
+    corrupt_rate: float = 0.0
+
+    def __post_init__(self) -> None:
+        for name in ("exception_rate", "hang_rate", "corrupt_rate"):
+            rate = getattr(self, name)
+            if not 0.0 <= rate <= 1.0:
+                raise ConfigurationError(f"{name} must be in [0, 1]")
+        total = self.exception_rate + self.hang_rate + self.corrupt_rate
+        if total > 1.0:
+            raise ConfigurationError("fault rates must sum to <= 1")
+        if self.hang_s < 0:
+            raise ConfigurationError("hang_s must be >= 0")
+
+
+@dataclass
+class FaultInjectionCounts:
+    """How many of each fault kind the wrapper has injected."""
+
+    calls: int = 0
+    exceptions: int = 0
+    hangs: int = 0
+    corruptions: int = 0
+
+    @property
+    def injected(self) -> int:
+        return self.exceptions + self.hangs + self.corruptions
+
+
+@dataclass
+class FaultInjectingBackend:
+    """Deterministic chaos wrapper around any measurement backend.
+
+    Fault decisions come from a private seeded RNG drawn once per
+    measurement call, so a given seed produces the same fault schedule
+    every run — chaos tests stay reproducible.  Non-faulted calls pass
+    through untouched, which is what lets the chaos tests assert that
+    fitness values of non-faulted genomes are bit-identical to a clean run.
+
+    Corruption replaces the voltage trace with NaNs (a mis-triggered scope
+    capture); the guarded fitness detects the non-finite droop and retries.
+    """
+
+    inner: object
+    config: FaultInjectionConfig = field(default_factory=FaultInjectionConfig)
+    counts: FaultInjectionCounts = field(default_factory=FaultInjectionCounts)
+
+    def __post_init__(self) -> None:
+        self.chip = self.inner.chip
+        self._rng = np.random.default_rng(self.config.seed)
+
+    # ------------------------------------------------------------------
+    def _draw_fault(self) -> str | None:
+        cfg = self.config
+        self.counts.calls += 1
+        draw = float(self._rng.random())
+        if draw < cfg.exception_rate:
+            self.counts.exceptions += 1
+            return "exception"
+        if draw < cfg.exception_rate + cfg.hang_rate:
+            self.counts.hangs += 1
+            return "hang"
+        if draw < cfg.exception_rate + cfg.hang_rate + cfg.corrupt_rate:
+            self.counts.corruptions += 1
+            return "corrupt"
+        return None
+
+    def _corrupt(self, measurement):
+        from repro.pdn.transient import VoltageTrace
+
+        voltage = measurement.voltage
+        samples = np.full(len(voltage.samples), np.nan)
+        bad = VoltageTrace(samples, voltage.dt, vdd_nominal=voltage.vdd_nominal)
+        return type(measurement)(
+            voltage=bad,
+            sensitivity=measurement.sensitivity,
+            current=measurement.current,
+            period_cycles=measurement.period_cycles,
+            supply_v=measurement.supply_v,
+            iteration_cycles=measurement.iteration_cycles,
+        )
+
+    def _apply(self, fault: str | None, measure):
+        if fault == "exception":
+            raise InjectedFaultError(
+                f"injected backend exception (call {self.counts.calls})"
+            )
+        if fault == "hang":
+            if self.config.hang_s:
+                time.sleep(self.config.hang_s)
+            raise InjectedHangError(
+                f"injected backend hang, watchdog fired "
+                f"(call {self.counts.calls})"
+            )
+        measurement = measure()
+        if fault == "corrupt":
+            return self._corrupt(measurement)
+        return measurement
+
+    # ------------------------------------------------------------------
+    # MeasurementBackend protocol
+    # ------------------------------------------------------------------
+    def measure_program(self, program, threads, *, module_phases=None,
+                        supply_v=None, smt_phase_cycles=None):
+        fault = self._draw_fault()
+        return self._apply(fault, lambda: self.inner.measure_program(
+            program, threads,
+            module_phases=module_phases,
+            supply_v=supply_v,
+            smt_phase_cycles=smt_phase_cycles,
+        ))
+
+    def measure_current(self, current, *, sensitivity=None, supply_v=None,
+                        baseline_current_a=None):
+        fault = self._draw_fault()
+        return self._apply(fault, lambda: self.inner.measure_current(
+            current,
+            sensitivity=sensitivity,
+            supply_v=supply_v,
+            baseline_current_a=baseline_current_a,
+        ))
+
+    def stats(self):
+        stats_fn = getattr(self.inner, "stats", None)
+        if stats_fn is None:
+            from repro.core.platform import MeasurementStats
+
+            return MeasurementStats(measurements=self.counts.calls)
+        return stats_fn()

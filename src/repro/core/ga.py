@@ -86,6 +86,28 @@ class GaResult(Generic[G]):
     stopped_early: bool
 
 
+@dataclass(frozen=True)
+class GaSnapshot(Generic[G]):
+    """Everything needed to continue a run from a generation boundary.
+
+    Captured at the *top* of each generation, before that generation is
+    scored: the population about to be evaluated, the full RNG state, and
+    the search bookkeeping.  Restoring a snapshot and re-running replays
+    the remaining generations exactly — a crash mid-generation re-scores
+    that generation from scratch (cache-served for anything already
+    measured) and lands on the identical :class:`GaResult`.
+    """
+
+    generation: int
+    population: tuple[G, ...]
+    rng_state: dict
+    best_genome: G
+    best_fitness: float
+    stale: int
+    history: tuple[GenerationStats, ...]
+    evaluations: int
+
+
 class _MemoisedFitness(Generic[G]):
     """Adapts a plain fitness callable to the batch-evaluator protocol."""
 
@@ -151,28 +173,69 @@ class GeneticAlgorithm(Generic[G]):
         return best
 
     # ------------------------------------------------------------------
-    def run(self, *, seeds: list[G] | None = None) -> GaResult[G]:
+    def run(
+        self,
+        *,
+        seeds: list[G] | None = None,
+        resume: GaSnapshot[G] | None = None,
+        checkpoint_fn: Callable[[GaSnapshot[G]], None] | None = None,
+    ) -> GaResult[G]:
         """Run to the generation budget or until droop stagnates.
 
         ``seeds`` pre-populate the initial generation (paper Fig. 5's
         "Initial Seed Entries" — existing benchmarks or stressmarks that
         speed up convergence).
+
+        ``checkpoint_fn`` is called with a :class:`GaSnapshot` at the top
+        of every generation (before it is scored); ``resume`` restores one
+        such snapshot and continues from that generation, reproducing the
+        uninterrupted run exactly as long as the evaluator is deterministic.
         """
         cfg = self.config
-        rng = np.random.default_rng(cfg.seed)
-        population: list[G] = list(seeds or [])[: cfg.population_size]
-        while len(population) < cfg.population_size:
-            population.append(self._random_fn(rng))
-
-        history: list[GenerationStats] = []
-        self._score_population(population)
-        # Python max (not np.argmax): NaN fitness must never win selection.
-        best_genome = max(population, key=self._fitness)
-        best_fitness = self._fitness(best_genome)
-        stale = 0
+        if resume is not None:
+            # The state dict names its own bit generator; rebuild the same
+            # kind so the stream continues bit-exactly.
+            bit_generator_name = resume.rng_state.get("bit_generator", "PCG64")
+            rng = np.random.Generator(getattr(np.random, bit_generator_name)())
+            rng.bit_generator.state = resume.rng_state
+            population = list(resume.population)
+            history = list(resume.history)
+            best_genome = resume.best_genome
+            best_fitness = resume.best_fitness
+            stale = resume.stale
+            start_generation = resume.generation
+            if len(population) != cfg.population_size:
+                raise SearchError(
+                    f"snapshot population has {len(population)} genomes, "
+                    f"config wants {cfg.population_size}"
+                )
+        else:
+            rng = np.random.default_rng(cfg.seed)
+            population = list(seeds or [])[: cfg.population_size]
+            while len(population) < cfg.population_size:
+                population.append(self._random_fn(rng))
+            history = []
+            self._score_population(population)
+            # Python max (not np.argmax): NaN fitness must never win
+            # selection.
+            best_genome = max(population, key=self._fitness)
+            best_fitness = self._fitness(best_genome)
+            stale = 0
+            start_generation = 0
         stopped_early = False
 
-        for generation in range(cfg.generations):
+        for generation in range(start_generation, cfg.generations):
+            if checkpoint_fn is not None:
+                checkpoint_fn(GaSnapshot(
+                    generation=generation,
+                    population=tuple(population),
+                    rng_state=rng.bit_generator.state,
+                    best_genome=best_genome,
+                    best_fitness=best_fitness,
+                    stale=stale,
+                    history=tuple(history),
+                    evaluations=self._evaluator.evaluations,
+                ))
             gen_start = time.perf_counter()
             evals_before = self._evaluator.evaluations
             scores = self._score_population(population)

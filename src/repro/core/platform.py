@@ -548,13 +548,19 @@ class MeasurementPlatform:
         return self.backend.chip
 
     def _simulator_attr(self, name: str):
-        try:
-            return getattr(self.backend, name)
-        except AttributeError:
-            raise ConfigurationError(
-                f"{name!r} requires the simulator backend; "
-                f"{type(self.backend).__name__} does not provide it"
-            ) from None
+        # Walk wrapper backends (fault injection, instrumentation shims):
+        # anything exposing ``inner`` delegates what it does not override,
+        # so the experiment harnesses keep working on a wrapped simulator.
+        backend = self.backend
+        while backend is not None:
+            try:
+                return getattr(backend, name)
+            except AttributeError:
+                backend = getattr(backend, "inner", None)
+        raise ConfigurationError(
+            f"{name!r} requires the simulator backend; "
+            f"{type(self.backend).__name__} does not provide it"
+        )
 
     @property
     def pdn(self):

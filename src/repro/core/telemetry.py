@@ -66,7 +66,35 @@ class PhaseEvent:
     kind = "phase"
 
 
-TelemetryEvent = EvaluationEvent | GenerationEvent | PhaseEvent
+@dataclass(frozen=True)
+class FaultEvent:
+    """One failed evaluation attempt (retried or quarantined)."""
+
+    genome: str
+    error: str
+    attempt: int
+    action: str
+    """``"retry"`` when another attempt follows, ``"quarantine"`` when the
+    policy gave up on the genome."""
+    timeout: bool = False
+
+    kind = "fault"
+
+
+@dataclass(frozen=True)
+class CheckpointEvent:
+    """One campaign snapshot written to the checkpoint store."""
+
+    generation: int
+    path: str
+    wall_s: float
+
+    kind = "checkpoint"
+
+
+TelemetryEvent = (
+    EvaluationEvent | GenerationEvent | PhaseEvent | FaultEvent | CheckpointEvent
+)
 
 
 def event_to_dict(event: TelemetryEvent) -> dict:
@@ -103,6 +131,19 @@ class ConsoleObserver:
         elif isinstance(event, PhaseEvent):
             detail = f" ({event.detail})" if event.detail else ""
             self.stream.write(f"[phase] {event.name}{detail}  {event.wall_s:.2f}s\n")
+        elif isinstance(event, FaultEvent):
+            # Quarantines always narrate (a genome just lost its fitness);
+            # transient retried faults only in verbose mode.
+            if event.action == "quarantine" or self.verbose:
+                self.stream.write(
+                    f"[fault/{event.action}] attempt {event.attempt}: "
+                    f"{event.error}\n"
+                )
+        elif isinstance(event, CheckpointEvent):
+            self.stream.write(
+                f"[checkpoint] gen {event.generation:3d} -> {event.path}  "
+                f"{event.wall_s * 1e3:.1f}ms\n"
+            )
         elif self.verbose and isinstance(event, EvaluationEvent):
             tag = "cache" if event.cached else event.backend
             self.stream.write(
@@ -146,6 +187,11 @@ class TelemetryCollector:
     eval_wall_s: float = 0.0
     generations: int = 0
     phases: dict = field(default_factory=dict)
+    fault_retries: int = 0
+    quarantines: int = 0
+    timeouts: int = 0
+    checkpoints: int = 0
+    checkpoint_wall_s: float = 0.0
 
     def on_event(self, event: TelemetryEvent) -> None:
         if isinstance(event, EvaluationEvent):
@@ -158,6 +204,16 @@ class TelemetryCollector:
             self.generations += 1
         elif isinstance(event, PhaseEvent):
             self.phases[event.name] = self.phases.get(event.name, 0.0) + event.wall_s
+        elif isinstance(event, FaultEvent):
+            if event.action == "quarantine":
+                self.quarantines += 1
+            else:
+                self.fault_retries += 1
+            if event.timeout:
+                self.timeouts += 1
+        elif isinstance(event, CheckpointEvent):
+            self.checkpoints += 1
+            self.checkpoint_wall_s += event.wall_s
 
     # ------------------------------------------------------------------
     @property
@@ -186,7 +242,16 @@ class TelemetryCollector:
             ("evaluation wall time", f"{self.eval_wall_s:.2f} s"),
             ("evaluations / second", f"{self.evals_per_second:.1f}"),
             ("generations", self.generations),
+            ("fault retries", self.fault_retries),
+            ("quarantined genomes", self.quarantines),
         ]
+        if self.timeouts:
+            rows.append(("evaluation timeouts", self.timeouts))
+        if self.checkpoints:
+            rows.append(("checkpoints written", self.checkpoints))
+            rows.append(
+                ("checkpoint wall time", f"{self.checkpoint_wall_s:.2f} s")
+            )
         for name, wall in sorted(self.phases.items()):
             rows.append((f"phase: {name}", f"{wall:.2f} s"))
         if platform_stats is not None:

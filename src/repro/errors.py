@@ -35,5 +35,9 @@ class SearchError(ReproError):
     """A GA / AUDIT search was configured or driven incorrectly."""
 
 
+class CheckpointError(ReproError):
+    """A campaign checkpoint could not be written, read, or resumed."""
+
+
 class WorkloadError(ReproError):
     """A benchmark or stressmark definition is invalid."""

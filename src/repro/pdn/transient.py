@@ -60,13 +60,18 @@ class VoltageTrace:
 
     @property
     def max_droop_v(self) -> float:
-        """Worst undershoot below nominal (positive number, volts)."""
-        return max(0.0, self.vdd_nominal - self.min_v)
+        """Worst undershoot below nominal (positive number, volts).
+
+        NaN samples yield a NaN droop (``np.maximum`` propagates, Python's
+        ``max`` would not): a corrupt capture must poison the value, never
+        silently read as "no droop".
+        """
+        return float(np.maximum(0.0, self.vdd_nominal - self.min_v))
 
     @property
     def max_overshoot_v(self) -> float:
         """Worst overshoot above nominal (positive number, volts)."""
-        return max(0.0, self.max_v - self.vdd_nominal)
+        return float(np.maximum(0.0, self.max_v - self.vdd_nominal))
 
     @property
     def worst_droop_index(self) -> int:

@@ -1,0 +1,219 @@
+"""Tests for the campaign checkpoint store and RNG round-tripping."""
+
+import json
+import os
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.checkpoint import (
+    CampaignCheckpoint,
+    atomic_write_json,
+    decode_stressmark_genome,
+    encode_stressmark_genome,
+    rng_from_state,
+    rng_state_to_jsonable,
+)
+from repro.core.ga import GaSnapshot, GenerationStats
+from repro.core.genome import StressmarkGenome
+from repro.errors import CheckpointError
+
+
+# ----------------------------------------------------------------------
+# RNG state round-tripping (property tests)
+# ----------------------------------------------------------------------
+class TestRngRoundTrip:
+    @given(seed=st.integers(0, 2**63 - 1), warmup=st.integers(0, 200))
+    @settings(max_examples=60, deadline=None)
+    def test_save_load_draw_equals_uninterrupted_draw(self, seed, warmup):
+        """The checkpoint contract: resuming the stream is invisible."""
+        rng = np.random.default_rng(seed)
+        rng.random(warmup)  # advance to an arbitrary point
+        state = rng_state_to_jsonable(rng)
+
+        control = np.random.default_rng(seed)
+        control.random(warmup)
+
+        resumed = rng_from_state(state)
+        assert np.array_equal(resumed.random(64), control.random(64))
+        assert np.array_equal(
+            resumed.integers(0, 1 << 30, size=64),
+            control.integers(0, 1 << 30, size=64),
+        )
+        assert np.array_equal(
+            resumed.standard_normal(17), control.standard_normal(17)
+        )
+
+    @given(seed=st.integers(0, 2**63 - 1))
+    @settings(max_examples=30, deadline=None)
+    def test_state_survives_json(self, seed):
+        """The jsonable state must actually be JSON, bit-exactly."""
+        rng = np.random.default_rng(seed)
+        rng.integers(0, 7, size=13)  # mixed draws engage has_uint32 paths
+        rng.random(3)
+        state = json.loads(json.dumps(rng_state_to_jsonable(rng)))
+        resumed = rng_from_state(state)
+        control = np.random.Generator(type(rng.bit_generator)())
+        control.bit_generator.state = rng.bit_generator.state
+        assert np.array_equal(resumed.random(32), control.random(32))
+
+    def test_other_bit_generators_round_trip(self):
+        for cls in (np.random.PCG64, np.random.Philox, np.random.SFC64):
+            rng = np.random.Generator(cls(42))
+            rng.random(5)
+            resumed = rng_from_state(
+                json.loads(json.dumps(rng_state_to_jsonable(rng)))
+            )
+            assert resumed.random() == rng.random()
+
+    def test_unknown_bit_generator_rejected(self):
+        with pytest.raises(CheckpointError):
+            rng_from_state({"bit_generator": "NotAGenerator"})
+        with pytest.raises(CheckpointError):
+            rng_from_state({})
+
+
+# ----------------------------------------------------------------------
+# Genome codec
+# ----------------------------------------------------------------------
+class TestGenomeCodec:
+    def test_round_trip(self):
+        genome = StressmarkGenome(subblock=("mulpd", "nop", "addpd"), lp_nops=17)
+        payload = json.loads(json.dumps(encode_stressmark_genome(genome)))
+        assert decode_stressmark_genome(payload) == genome
+
+
+# ----------------------------------------------------------------------
+# Atomic writes
+# ----------------------------------------------------------------------
+class TestAtomicWrite:
+    def test_replaces_previous_content_completely(self, tmp_path):
+        path = tmp_path / "state.json"
+        atomic_write_json(path, {"generation": 1, "long_padding": "x" * 4096})
+        atomic_write_json(path, {"generation": 2})
+        assert json.loads(path.read_text()) == {"generation": 2}
+        assert not path.with_name("state.json.tmp").exists()
+
+    def test_never_leaves_a_torn_target(self, tmp_path):
+        """Even if the temp write dies, the target stays whole."""
+        path = tmp_path / "state.json"
+        atomic_write_json(path, {"generation": 1})
+        # Simulate a crash between temp-write and replace: a stale tmp file
+        # must not confuse the next writer.
+        tmp = path.with_name("state.json.tmp")
+        tmp.write_text("{ torn")
+        atomic_write_json(path, {"generation": 2})
+        assert json.loads(path.read_text()) == {"generation": 2}
+
+
+# ----------------------------------------------------------------------
+# The store
+# ----------------------------------------------------------------------
+def snapshot(generation=3, evaluations=40):
+    rng = np.random.default_rng(11)
+    rng.random(5)
+    genomes = tuple(
+        StressmarkGenome(subblock=("mulpd",) * 4, lp_nops=i) for i in range(4)
+    )
+    return GaSnapshot(
+        generation=generation,
+        population=genomes,
+        rng_state=rng.bit_generator.state,
+        best_genome=genomes[2],
+        best_fitness=0.0391,
+        stale=1,
+        history=(
+            GenerationStats(generation=0, best_fitness=0.03,
+                            mean_fitness=0.01, evaluations_so_far=12),
+            GenerationStats(generation=1, best_fitness=0.0391,
+                            mean_fitness=0.02, evaluations_so_far=24),
+        ),
+        evaluations=evaluations,
+    )
+
+
+class TestCampaignCheckpoint:
+    def test_fresh_directory_has_nothing_to_load(self, tmp_path):
+        store = CampaignCheckpoint(tmp_path / "campaign")
+        assert store.load() is None
+        assert not store.has_state()
+
+    def test_save_load_round_trips_everything(self, tmp_path):
+        store = CampaignCheckpoint(tmp_path)
+        snap = snapshot()
+        cache = {genome: 0.01 * i for i, genome in enumerate(snap.population)}
+        store.save(snap, fitness_cache=cache, cache_hits=7)
+
+        state = store.load()
+        assert state.ga.generation == snap.generation
+        assert state.ga.population == snap.population
+        assert state.ga.best_genome == snap.best_genome
+        assert state.ga.best_fitness == snap.best_fitness
+        assert state.ga.stale == snap.stale
+        assert state.ga.history == snap.history
+        assert state.ga.evaluations == snap.evaluations
+        assert state.fitness_cache == cache
+        assert state.cache_hits == 7
+        # RNG stream continues exactly.
+        original = np.random.Generator(np.random.PCG64())
+        original.bit_generator.state = snap.rng_state
+        resumed = np.random.Generator(np.random.PCG64())
+        resumed.bit_generator.state = state.ga.rng_state
+        assert resumed.random() == original.random()
+
+    def test_save_overwrites_atomically_and_journals(self, tmp_path):
+        store = CampaignCheckpoint(tmp_path)
+        for generation in range(3):
+            store.save(snapshot(generation=generation),
+                       fitness_cache={}, cache_hits=0)
+        assert store.load().ga.generation == 2
+        journal = [json.loads(line)
+                   for line in store.journal_path.read_text().splitlines()]
+        assert [line["generation"] for line in journal] == [0, 1, 2]
+
+    def test_meta_round_trips(self, tmp_path):
+        store = CampaignCheckpoint(tmp_path)
+        meta = {"chip": "bulldozer", "seed": 1, "generations": 40}
+        store.write_meta(meta)
+        assert store.read_meta() == meta
+
+    def test_missing_meta_is_a_clean_error(self, tmp_path):
+        with pytest.raises(CheckpointError):
+            CampaignCheckpoint(tmp_path).read_meta()
+
+    def test_corrupt_state_is_a_clean_error(self, tmp_path):
+        store = CampaignCheckpoint(tmp_path)
+        store.state_path.write_text("{ not json")
+        with pytest.raises(CheckpointError):
+            store.load()
+
+    def test_wrong_version_rejected(self, tmp_path):
+        store = CampaignCheckpoint(tmp_path)
+        store.save(snapshot(), fitness_cache={}, cache_hits=0)
+        payload = json.loads(store.state_path.read_text())
+        payload["version"] = 999
+        store.state_path.write_text(json.dumps(payload))
+        with pytest.raises(CheckpointError):
+            store.load()
+
+    def test_unwritable_directory_is_a_clean_error(self, tmp_path):
+        if os.geteuid() == 0:
+            pytest.skip("root ignores directory permissions")
+        blocked = tmp_path / "blocked"
+        blocked.mkdir()
+        blocked.chmod(0o400)
+        try:
+            with pytest.raises(CheckpointError):
+                CampaignCheckpoint(blocked / "campaign")
+        finally:
+            blocked.chmod(0o700)
+
+    def test_infinity_fitness_survives(self, tmp_path):
+        """Quarantined (skip-policy) genomes carry -inf through JSON."""
+        store = CampaignCheckpoint(tmp_path)
+        snap = snapshot()
+        cache = {snap.population[0]: float("-inf")}
+        store.save(snap, fitness_cache=cache, cache_hits=0)
+        assert store.load().fitness_cache == cache

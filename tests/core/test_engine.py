@@ -54,6 +54,10 @@ def sleepy_fitness(genome):
     return counting_fitness(genome)
 
 
+def exploding_fitness(genome):
+    raise ValueError("boom in worker")
+
+
 def tiny_platform():
     chip = bulldozer_chip()
     return MeasurementPlatform(chip, bulldozer_pdn(vdd=chip.vdd))
@@ -173,6 +177,29 @@ class TestParallelExecutor:
 
         assert parallel_values == serial_values
         assert parallel_wall < serial_wall
+
+    def test_failed_map_releases_the_pool(self):
+        """A worker exception must not leak the process pool.
+
+        The executor is reused across GA generations, so an evaluation
+        error used to strand live worker processes until interpreter exit;
+        now the pool is torn down on the way out and rebuilt lazily if the
+        caller survives the exception.
+        """
+        space = small_space()
+        rng = np.random.default_rng(5)
+        genomes = [space.random_genome(rng) for _ in range(4)]
+        pool = ParallelExecutor(2)
+        try:
+            with pytest.raises(ValueError):
+                pool.map(exploding_fitness, genomes)
+            assert pool._pool is None  # shut down, not leaked
+            # And the executor recovers for the next batch.
+            assert pool.map(counting_fitness, genomes) == [
+                counting_fitness(g) for g in genomes
+            ]
+        finally:
+            pool.close()
 
 
 # ----------------------------------------------------------------------

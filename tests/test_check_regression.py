@@ -1,0 +1,128 @@
+"""Tests for the CI benchmark-regression gate comparator."""
+
+import copy
+import importlib.util
+import json
+from pathlib import Path
+
+import pytest
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+SCRIPT = REPO_ROOT / "benchmarks" / "check_regression.py"
+BASELINE = REPO_ROOT / "benchmarks" / "baselines" / "bulldozer.json"
+
+
+@pytest.fixture(scope="module")
+def gate():
+    spec = importlib.util.spec_from_file_location("check_regression", SCRIPT)
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    return module
+
+
+@pytest.fixture()
+def baseline(gate):
+    return {
+        "schema_version": gate.SCHEMA_VERSION,
+        "scenario": dict(gate.DEFAULT_SCENARIO),
+        "metrics": {
+            "max_droop_v": 0.08127,
+            "best_fitness": 0.08127,
+            "evaluations": 41,
+            "resonance_hz": 2.3e6,
+            "evals_per_second": 10.0,
+            "eval_wall_s": 4.1,
+            "cache_hit_rate": 0.3,
+        },
+    }
+
+
+class TestCompare:
+    def test_identical_metrics_pass(self, gate, baseline):
+        assert gate.compare(baseline, copy.deepcopy(baseline)) == []
+
+    def test_throughput_wobble_within_tolerance_passes(self, gate, baseline):
+        current = copy.deepcopy(baseline)
+        current["metrics"]["evals_per_second"] = 9.0  # -10 %
+        assert gate.compare(baseline, current, tolerance=0.15) == []
+
+    def test_throughput_improvement_passes(self, gate, baseline):
+        current = copy.deepcopy(baseline)
+        current["metrics"]["evals_per_second"] = 20.0
+        assert gate.compare(baseline, current) == []
+
+    def test_2x_slowdown_fails(self, gate, baseline):
+        current = copy.deepcopy(baseline)
+        current["metrics"]["evals_per_second"] = 5.0
+        problems = gate.compare(baseline, current, tolerance=0.15)
+        assert len(problems) == 1
+        assert "throughput regressed 50.0 %" in problems[0]
+
+    @pytest.mark.parametrize("metric", [
+        "max_droop_v", "best_fitness", "evaluations", "resonance_hz",
+    ])
+    def test_any_determinism_drift_fails(self, gate, baseline, metric):
+        current = copy.deepcopy(baseline)
+        current["metrics"][metric] = current["metrics"][metric] * 1.000001
+        problems = gate.compare(baseline, current)
+        assert len(problems) == 1
+        assert metric in problems[0]
+
+    def test_tiny_droop_change_fails_even_inside_throughput_band(
+        self, gate, baseline
+    ):
+        """Droop has no tolerance band: exact or fail."""
+        current = copy.deepcopy(baseline)
+        current["metrics"]["max_droop_v"] += 1e-9
+        assert gate.compare(baseline, current, tolerance=1.0)
+
+    def test_scenario_change_demands_rebaseline(self, gate, baseline):
+        current = copy.deepcopy(baseline)
+        current["scenario"]["population"] = 24
+        problems = gate.compare(baseline, current)
+        assert len(problems) == 1
+        assert "--update" in problems[0]
+
+    def test_schema_change_demands_rebaseline(self, gate, baseline):
+        current = copy.deepcopy(baseline)
+        current["schema_version"] = 999
+        problems = gate.compare(baseline, current)
+        assert len(problems) == 1
+        assert "--update" in problems[0]
+
+
+class TestCommittedBaseline:
+    def test_baseline_exists_and_matches_schema(self, gate):
+        payload = json.loads(BASELINE.read_text())
+        assert payload["schema_version"] == gate.SCHEMA_VERSION
+        assert payload["scenario"] == gate.DEFAULT_SCENARIO
+        for metric in gate.EXACT_METRICS + ("evals_per_second",):
+            assert metric in payload["metrics"]
+
+    def test_baseline_droop_is_plausible(self):
+        metrics = json.loads(BASELINE.read_text())["metrics"]
+        assert 0.01 < metrics["max_droop_v"] < 0.3
+        assert metrics["evaluations"] > 0
+
+
+@pytest.mark.slow
+class TestEndToEnd:
+    def test_slowdown_leaves_results_identical_but_throughput_lower(
+        self, gate
+    ):
+        scenario = {"chip": "bulldozer", "threads": 2, "population": 6,
+                    "generations": 2, "seed": 1}
+        clean = gate.collect_metrics(scenario)
+        slowed = gate.collect_metrics(scenario, slowdown=3.0)
+        for metric in gate.EXACT_METRICS:
+            assert clean["metrics"][metric] == slowed["metrics"][metric]
+        assert (slowed["metrics"]["evals_per_second"]
+                < clean["metrics"]["evals_per_second"])
+        assert gate.compare(clean, slowed)  # the gate trips
+
+    def test_fresh_run_matches_committed_determinism_metrics(self, gate):
+        """The committed baseline reproduces bit-exactly on this machine."""
+        committed = json.loads(BASELINE.read_text())
+        fresh = gate.collect_metrics(committed["scenario"])
+        for metric in gate.EXACT_METRICS:
+            assert fresh["metrics"][metric] == committed["metrics"][metric]

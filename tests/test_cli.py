@@ -85,3 +85,80 @@ class TestCommands:
         code = main(["audit", "--chip", "phenom", "--throttle", "1"])
         assert code == 1
         assert "error:" in capsys.readouterr().err
+
+
+class TestCampaignFlags:
+    AUDIT = ["audit", "--threads", "2", "--population", "6",
+             "--generations", "2", "--seed", "1"]
+
+    def test_checkpoint_and_resume_are_mutually_exclusive(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(
+                ["audit", "--checkpoint-dir", "a", "--resume", "a"])
+
+    def test_fault_flag_defaults(self):
+        args = build_parser().parse_args(["audit"])
+        assert args.eval_retries is None
+        assert args.eval_timeout is None
+        assert args.on_fault is None
+        assert args.eval_backoff == 0.0
+
+    def test_checkpoint_dir_writes_meta_and_state(self, tmp_path, capsys):
+        campaign = tmp_path / "campaign"
+        code = main([*self.AUDIT, "--checkpoint-dir", str(campaign)])
+        assert code == 0
+        import json
+
+        meta = json.loads((campaign / "meta.json").read_text())
+        assert meta["chip"] == "bulldozer"
+        assert meta["population"] == 6
+        assert meta["seed"] == 1
+        state = json.loads((campaign / "state.json").read_text())
+        assert state["generation"] == 1  # last generation boundary
+        capsys.readouterr()
+
+    def test_resume_reproduces_the_uninterrupted_run(self, tmp_path, capsys):
+        assert main(self.AUDIT) == 0
+        control = capsys.readouterr().out
+
+        campaign = tmp_path / "campaign"
+        assert main([*self.AUDIT, "--checkpoint-dir", str(campaign)]) == 0
+        capsys.readouterr()
+        # Resume overrides its own flags from the stored meta, so even a
+        # contradictory command line continues the original campaign; the
+        # banked generations are replayed from the fitness cache.
+        code = main(["audit", "--population", "99", "--seed", "42",
+                     "--resume", str(campaign)])
+        assert code == 0
+        resumed = capsys.readouterr().out
+        assert "resuming campaign from generation 1" in resumed
+
+        def summary(out):
+            return [line for line in out.splitlines()
+                    if line.startswith(("GA evaluations:", "A-Res droop"))]
+
+        assert summary(resumed) == summary(control)
+
+    def test_resume_empty_directory_fails_cleanly(self, tmp_path, capsys):
+        code = main(["audit", "--resume", str(tmp_path / "nothing")])
+        assert code == 1
+        assert "error:" in capsys.readouterr().err
+
+    def test_fault_flags_build_a_policy(self, capsys):
+        code = main([*self.AUDIT, "--eval-retries", "3",
+                     "--on-fault", "penalize", "--telemetry"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "fault retries" in out
+        assert "quarantined genomes" in out
+
+    def test_no_fault_flags_means_no_policy(self):
+        from repro.cli import _fault_policy
+
+        args = build_parser().parse_args(["audit"])
+        assert _fault_policy(args) is None
+        args = build_parser().parse_args(["audit", "--on-fault", "skip"])
+        policy = _fault_policy(args)
+        assert policy is not None
+        assert policy.on_exhaust == "skip"
+        assert policy.max_retries == 2
