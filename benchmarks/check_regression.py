@@ -6,10 +6,12 @@ bench-evals``), captures throughput and determinism metrics, and compares
 them against a committed baseline JSON:
 
 * **determinism metrics** — max droop, best fitness, evaluation count,
-  resonance frequency — must match the baseline *exactly*: they are pure
+  resonance frequency, and the qualification verdict/robustness of the
+  winning stressmark — must match the baseline *exactly*: they are pure
   simulation outputs, so any drift is a behaviour change, not noise;
-* **throughput** (evaluations/second) may wobble with the runner, but a
-  drop of more than ``--tolerance`` (default 15 %) fails the gate.
+* **throughput** (campaign and qualification evaluations/second) may
+  wobble with the runner, but a drop of more than ``--tolerance``
+  (default 15 %) fails the gate.
 
 Usage::
 
@@ -36,7 +38,7 @@ from pathlib import Path
 REPO_ROOT = Path(__file__).resolve().parent.parent
 sys.path.insert(0, str(REPO_ROOT / "src"))
 
-SCHEMA_VERSION = 1
+SCHEMA_VERSION = 2
 DEFAULT_BASELINE = Path(__file__).resolve().parent / "baselines" / "bulldozer.json"
 DEFAULT_SCENARIO = {
     "chip": "bulldozer",
@@ -45,7 +47,10 @@ DEFAULT_SCENARIO = {
     "generations": 4,
     "seed": 1,
 }
-EXACT_METRICS = ("max_droop_v", "best_fitness", "evaluations", "resonance_hz")
+EXACT_METRICS = ("max_droop_v", "best_fitness", "evaluations", "resonance_hz",
+                 "qualify_verdict", "qualify_robustness",
+                 "qualify_evaluations")
+THROUGHPUT_METRICS = ("evals_per_second", "qualify_evals_per_second")
 
 
 class SlowdownBackend:
@@ -85,6 +90,7 @@ def collect_metrics(scenario: dict | None = None,
     from repro.core.audit import AuditConfig, AuditRunner
     from repro.core.ga import GaConfig
     from repro.core.platform import MeasurementPlatform
+    from repro.core.qualify import QualifyConfig, StressmarkQualifier
     from repro.core.telemetry import TelemetryCollector
     from repro.experiments.setup import bulldozer_testbed, phenom_testbed
 
@@ -106,6 +112,12 @@ def collect_metrics(scenario: dict | None = None,
     )
     runner = AuditRunner(platform, config=config, observers=[collector])
     result = runner.run()
+    qualifier = StressmarkQualifier(
+        platform,
+        threads=scenario["threads"],
+        config=QualifyConfig(seed=scenario["seed"]),
+    )
+    report = qualifier.qualify_program(result.program(), name=result.name)
     return {
         "schema_version": SCHEMA_VERSION,
         "scenario": scenario,
@@ -117,6 +129,11 @@ def collect_metrics(scenario: dict | None = None,
             "evals_per_second": collector.evals_per_second,
             "eval_wall_s": collector.eval_wall_s,
             "cache_hit_rate": collector.cache_hit_rate,
+            "qualify_verdict": report.verdict,
+            "qualify_robustness": report.robustness,
+            "qualify_evaluations": report.evaluations,
+            "qualify_evals_per_second": (
+                report.evaluations / report.wall_s if report.wall_s else 0.0),
         },
     }
 
@@ -145,15 +162,15 @@ def compare(baseline: dict, current: dict, tolerance: float = 0.15) -> list[str]
                 "(simulation outputs are deterministic; any drift is a "
                 "behaviour change)"
             )
-    floor = base["evals_per_second"] * (1.0 - tolerance)
-    if cur["evals_per_second"] < floor:
-        drop = 1.0 - cur["evals_per_second"] / base["evals_per_second"]
-        problems.append(
-            f"throughput regressed {drop * 100:.1f} %: "
-            f"{base['evals_per_second']:.1f} -> "
-            f"{cur['evals_per_second']:.1f} evals/s "
-            f"(tolerance {tolerance * 100:.0f} %)"
-        )
+    for name in THROUGHPUT_METRICS:
+        floor = base[name] * (1.0 - tolerance)
+        if cur[name] < floor:
+            drop = 1.0 - cur[name] / base[name]
+            problems.append(
+                f"{name} regressed {drop * 100:.1f} %: "
+                f"{base[name]:.1f} -> {cur[name]:.1f} evals/s "
+                f"(tolerance {tolerance * 100:.0f} %)"
+            )
     return problems
 
 
@@ -183,6 +200,10 @@ def main(argv: list[str] | None = None) -> int:
     print(f"bench campaign: {metrics['evaluations']} evaluations, "
           f"{metrics['evals_per_second']:.1f} evals/s, "
           f"max droop {metrics['max_droop_v'] * 1e3:.2f} mV")
+    print(f"qualification: {metrics['qualify_verdict']} "
+          f"(robustness {metrics['qualify_robustness']:.2f}, "
+          f"{metrics['qualify_evaluations']} evaluations, "
+          f"{metrics['qualify_evals_per_second']:.1f} evals/s)")
 
     if args.out is not None:
         args.out.parent.mkdir(parents=True, exist_ok=True)

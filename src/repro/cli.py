@@ -8,29 +8,66 @@ Usage (also available as ``python -m repro``)::
     python -m repro audit --generations 40 --checkpoint-dir campaign/
     python -m repro audit --resume campaign/
     python -m repro audit --eval-retries 3 --on-fault penalize
+    python -m repro audit --qualify --checkpoint-dir campaign/
+    python -m repro qualify a-res --threads 4
     python -m repro bench-evals --generations 6
     python -m repro experiment table1
     python -m repro list
+
+Exit codes: 0 success, 1 run error, 2 bad configuration, 3 fault policy
+exhausted, 4 invariant violation (corrupt numerics), 70 internal crash
+(a ``crash_report.json`` is written next to the checkpoint, or in the
+working directory).
 """
 
 from __future__ import annotations
 
 import argparse
 import functools
+import json
 import sys
+import time
+import traceback
+from pathlib import Path
 
 from repro.analysis.report import format_table
 from repro.core.audit import AuditConfig, AuditRunner, StressmarkMode
-from repro.core.checkpoint import CampaignCheckpoint
+from repro.core.checkpoint import CampaignCheckpoint, validate_campaign_meta
 from repro.core.engine import make_executor
-from repro.core.faults import FaultPolicy
+from repro.core.faults import FaultPolicy, QuarantineExhaustedError
 from repro.core.ga import GaConfig
+from repro.core.qualify import (
+    QualificationCheckpoint,
+    QualifyConfig,
+    StressmarkQualifier,
+)
 from repro.core.resonance import find_resonance
-from repro.core.telemetry import ConsoleObserver, JsonlObserver, TelemetryCollector
-from repro.errors import CheckpointError, ConfigurationError, ReproError
+from repro.core.telemetry import (
+    ConsoleObserver,
+    JsonlObserver,
+    RecentEventsObserver,
+    TelemetryCollector,
+)
+from repro.errors import (
+    CheckpointError,
+    ConfigurationError,
+    InvariantViolation,
+    ReproError,
+)
 from repro.experiments.setup import bulldozer_testbed, phenom_testbed
 from repro.isa.encoder import encode_program
 from repro.isa.opcodes import default_table
+
+#: Process exit codes (``sysexits``-adjacent; 70 = EX_SOFTWARE).
+EXIT_OK = 0
+EXIT_FAILURE = 1
+EXIT_CONFIG = 2
+EXIT_FAULTS = 3
+EXIT_INVARIANT = 4
+EXIT_CRASH = 70
+
+#: Flight recorder for crash reports; reset per ``main`` invocation.
+_flight_recorder = RecentEventsObserver()
 
 
 def _platform(chip: str, throttle: int | None = None):
@@ -50,7 +87,7 @@ def _platform_factory(chip: str, throttle: int | None = None):
 
 def _observers(args):
     """Telemetry sinks selected by CLI flags; returns (observers, jsonl)."""
-    observers = []
+    observers = [_flight_recorder]
     jsonl = None
     if getattr(args, "progress", False):
         observers.append(ConsoleObserver())
@@ -160,6 +197,13 @@ def _run_sec5_sim():
                                                       default_table()))
 
 
+def _run_sec5_qualify():
+    from repro.experiments import sec5_qualification as mod
+
+    return mod.report(mod.run_sec5_qualification(bulldozer_testbed(),
+                                                 default_table()))
+
+
 EXPERIMENTS = {
     "fig3": ("PDN resonances, frequency + time domain", _run_fig3),
     "fig4": ("excitation vs resonance", _run_fig4),
@@ -175,6 +219,8 @@ EXPERIMENTS = {
     "sec5a1": ("barrier release skew", _run_sec5a1),
     "sec5a5": ("NOP vs ADD loop analysis", _run_sec5a5),
     "sec5-sim": ("simulator vs hardware insights", _run_sec5_sim),
+    "sec5-qualify": ("qualified stressmarks: droop vs robustness vs failure",
+                     _run_sec5_qualify),
 }
 
 
@@ -219,7 +265,8 @@ def cmd_audit(args) -> int:
         # producing the same stressmark no matter what flags accompany
         # --resume.
         checkpoint = CampaignCheckpoint(args.resume)
-        meta = checkpoint.read_meta()
+        meta = validate_campaign_meta(checkpoint.read_meta(),
+                                      path=checkpoint.meta_path)
         resume = True
         args.chip = meta["chip"]
         args.throttle = meta["throttle"]
@@ -259,6 +306,12 @@ def cmd_audit(args) -> int:
         platform_factory=_platform_factory(args.chip, args.throttle),
         fault_policy=_fault_policy(args),
     )
+    qualify_config = None
+    qualify_checkpoint = None
+    if args.qualify:
+        qualify_config = QualifyConfig(seed=args.seed)
+        if checkpoint is not None:
+            qualify_checkpoint = QualificationCheckpoint(checkpoint.directory)
     if resume:
         state = checkpoint.load()
         if state is None:
@@ -269,7 +322,9 @@ def cmd_audit(args) -> int:
         print(f"resuming campaign from generation {state.ga.generation} "
               f"({state.ga.evaluations} evaluations banked)")
     try:
-        result = runner.run(checkpoint=checkpoint, resume=resume)
+        result = runner.run(checkpoint=checkpoint, resume=resume,
+                            qualify=qualify_config,
+                            qualify_checkpoint=qualify_checkpoint)
     finally:
         executor.close()
         if jsonl is not None:
@@ -278,6 +333,17 @@ def cmd_audit(args) -> int:
     print(f"GA evaluations: {result.ga_result.evaluations}")
     print(f"{result.name} droop at {args.threads}T: "
           f"{result.max_droop_v * 1e3:.1f} mV")
+    if result.qualification is not None:
+        qual = result.qualification
+        print("\n" + qual.chosen_report.summary_table())
+        if qual.demoted:
+            print(f"GA winner demoted as {qual.winner_report.verdict}; "
+                  f"promoted {qual.chosen_report.stressmark} "
+                  f"({qual.verdict}, robustness "
+                  f"{qual.chosen_report.robustness:.2f})")
+        else:
+            print(f"qualification: {qual.verdict} "
+                  f"(robustness {qual.chosen_report.robustness:.2f})")
     asm = encode_program(result.program(), name=result.name.lower().replace("-", "_"))
     if args.asm_out:
         with open(args.asm_out, "w") as handle:
@@ -288,6 +354,76 @@ def cmd_audit(args) -> int:
     if args.telemetry:
         print("\n" + collector.summary_table(platform.stats()))
     return 0
+
+
+#: Canned stressmarks ``repro qualify`` can re-measure by name.
+CANNED_STRESSMARKS = ("a-res", "a-ex", "sm-res", "sm1", "sm2", "joseph-brooks")
+
+
+def _canned_kernel(name: str, pool):
+    from repro.workloads import stressmarks as sm
+
+    builders = {
+        "a-res": sm.a_res_canned,
+        "a-ex": sm.a_ex_canned,
+        "sm-res": sm.sm_res,
+        "sm1": sm.sm1,
+        "sm2": sm.sm2,
+        "joseph-brooks": sm.joseph_brooks,
+    }
+    try:
+        builder = builders[name]
+    except KeyError:
+        raise ConfigurationError(
+            f"unknown stressmark {name!r} "
+            f"(expected one of {', '.join(CANNED_STRESSMARKS)})"
+        ) from None
+    return builder(pool)
+
+
+def cmd_qualify(args) -> int:
+    """Qualify one canned stressmark: perturbation sweep + verdict."""
+    platform = _platform(args.chip)
+    pool = default_table().supported_on(platform.chip.extensions)
+    from repro.workloads.stressmarks import stressmark_program
+
+    program = stressmark_program(_canned_kernel(args.stressmark, pool))
+    config = QualifyConfig(
+        seed=args.seed,
+        jitter_repeats=args.jitter_repeats,
+        supply_span_v=args.supply_span,
+        supply_points=args.supply_points,
+        pdn_tolerance=args.pdn_tolerance,
+    )
+    observers, jsonl = _observers(args)
+    collector = TelemetryCollector()
+    observers.append(collector)
+    executor = make_executor(args.workers)
+    checkpoint = (QualificationCheckpoint(args.checkpoint_dir)
+                  if args.checkpoint_dir else None)
+    qualifier = StressmarkQualifier(
+        platform,
+        threads=args.threads,
+        config=config,
+        executor=executor,
+        observers=observers,
+        platform_factory=_platform_factory(args.chip),
+        checkpoint=checkpoint,
+    )
+    try:
+        report = qualifier.qualify_program(program, name=args.stressmark)
+    finally:
+        executor.close()
+        if jsonl is not None:
+            jsonl.close()
+    print(report.summary_table())
+    print(f"\nverdict: {report.verdict} "
+          f"(robustness {report.robustness:.2f}, "
+          f"{report.evaluations} evaluations, "
+          f"{report.cache_hits} cache hits, {report.wall_s:.1f}s)")
+    if args.telemetry:
+        print("\n" + collector.summary_table(platform.stats()))
+    return EXIT_OK
 
 
 def cmd_bench_evals(args) -> int:
@@ -439,7 +575,40 @@ def build_parser() -> argparse.ArgumentParser:
     _add_campaign_args(audit)
     audit.add_argument("--telemetry", action="store_true",
                        help="print the run-telemetry summary table")
+    audit.add_argument(
+        "--qualify", action="store_true",
+        help="qualify the GA winner under perturbations (jitter seeds, SMT "
+             "offsets, supply span, PDN tolerances); an ARTIFACT winner is "
+             "demoted for the best-qualified runner-up")
     audit.set_defaults(fn=cmd_audit)
+
+    qualify = sub.add_parser(
+        "qualify",
+        help="re-measure a canned stressmark under perturbations and "
+             "render a PASS/FRAGILE/ARTIFACT verdict",
+    )
+    qualify.add_argument("stressmark", choices=CANNED_STRESSMARKS)
+    qualify.add_argument("--chip", default="bulldozer",
+                         choices=("bulldozer", "phenom"))
+    qualify.add_argument("--threads", type=int, default=4)
+    qualify.add_argument("--seed", type=int, default=0,
+                         help="seed of the perturbation grid")
+    qualify.add_argument("--jitter-repeats", type=int, default=4,
+                         help="SMT jitter reseeds to sweep")
+    qualify.add_argument("--supply-span", type=float, default=0.05,
+                         metavar="VOLTS",
+                         help="supply sweep half-width around nominal Vdd")
+    qualify.add_argument("--supply-points", type=int, default=5)
+    qualify.add_argument("--pdn-tolerance", type=float, default=0.10,
+                         help="relative R/L/C/ESR component tolerance")
+    qualify.add_argument(
+        "--checkpoint-dir", default=None, metavar="DIR",
+        help="persist measured perturbations to DIR after every axis; "
+             "rerunning resumes from the banked measurements")
+    qualify.add_argument("--telemetry", action="store_true",
+                         help="print the run-telemetry summary table")
+    _add_telemetry_args(qualify)
+    qualify.set_defaults(fn=cmd_qualify)
 
     bench = sub.add_parser(
         "bench-evals",
@@ -477,14 +646,65 @@ def build_parser() -> argparse.ArgumentParser:
     return parser
 
 
+def _crash_report(args, error: BaseException) -> str | None:
+    """Write ``crash_report.json`` for an unhandled exception.
+
+    The report lands next to the campaign checkpoint when one is
+    configured (the natural place to look after an overnight run died),
+    otherwise in the working directory.  It carries the parsed CLI args,
+    the traceback, and the tail of the telemetry event stream — enough
+    to reconstruct what the run was doing when it went down.
+    """
+    directory = (getattr(args, "checkpoint_dir", None)
+                 or getattr(args, "resume", None) or ".")
+    path = Path(directory) / "crash_report.json"
+    payload = {
+        "command": getattr(args, "command", None),
+        "args": {
+            key: value for key, value in vars(args).items()
+            if isinstance(value, (str, int, float, bool, type(None)))
+        },
+        "error": f"{type(error).__name__}: {error}",
+        "traceback": traceback.format_exc(),
+        "recent_events": _flight_recorder.tail(),
+        "written_at": time.time(),
+    }
+    try:
+        path.parent.mkdir(parents=True, exist_ok=True)
+        with open(path, "w") as handle:
+            json.dump(payload, handle, indent=2)
+    except OSError:
+        return None  # never let the crash reporter mask the crash
+    return str(path)
+
+
 def main(argv: list[str] | None = None) -> int:
+    global _flight_recorder
+    _flight_recorder = RecentEventsObserver()
     parser = build_parser()
     args = parser.parse_args(argv)
     try:
         return args.fn(args)
+    except ConfigurationError as error:
+        print(f"configuration error: {error}", file=sys.stderr)
+        return EXIT_CONFIG
+    except QuarantineExhaustedError as error:
+        print(f"fault policy exhausted: {error}", file=sys.stderr)
+        return EXIT_FAULTS
+    except InvariantViolation as error:
+        print(f"invariant violation: {error}", file=sys.stderr)
+        return EXIT_INVARIANT
     except ReproError as error:
         print(f"error: {error}", file=sys.stderr)
-        return 1
+        return EXIT_FAILURE
+    except KeyboardInterrupt:
+        raise
+    except Exception as error:  # noqa: BLE001 — last-resort crash report
+        report = _crash_report(args, error)
+        where = f" (crash report: {report})" if report else ""
+        print(f"internal error: {type(error).__name__}: {error}{where}",
+              file=sys.stderr)
+        return EXIT_CRASH
 
 
 if __name__ == "__main__":

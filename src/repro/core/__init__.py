@@ -10,12 +10,19 @@
 * :mod:`~repro.core.resonance` — automatic resonance detection.
 """
 
-from repro.core.audit import AuditConfig, AuditResult, AuditRunner, StressmarkMode
+from repro.core.audit import (
+    AuditConfig,
+    AuditResult,
+    AuditRunner,
+    CampaignQualification,
+    StressmarkMode,
+)
 from repro.core.checkpoint import (
     CampaignCheckpoint,
     CampaignState,
     rng_from_state,
     rng_state_to_jsonable,
+    validate_campaign_meta,
 )
 from repro.core.codegen import genome_to_kernel, genome_to_program
 from repro.core.cost import DroopPerPowerCost, MaxDroopCost, SensitivePathCost
@@ -42,6 +49,7 @@ from repro.core.faults import (
     FaultInjectionConfig,
     FaultPolicy,
     GuardedFitness,
+    fault_record_from,
 )
 from repro.core.ga import GaConfig, GaResult, GaSnapshot, GenerationStats, GeneticAlgorithm
 from repro.core.genome import GenomeSpace, StressmarkGenome
@@ -51,6 +59,19 @@ from repro.core.platform import (
     MeasurementPlatform,
     MeasurementStats,
     SimulatorBackend,
+)
+from repro.core.qualify import (
+    ARTIFACT,
+    FRAGILE,
+    NOMINAL,
+    PASS,
+    AxisDistribution,
+    Perturbation,
+    QualificationCheckpoint,
+    QualificationFitness,
+    QualificationReport,
+    QualifyConfig,
+    StressmarkQualifier,
 )
 from repro.core.resonance import (
     ResonancePoint,
@@ -64,21 +85,28 @@ from repro.core.telemetry import (
     EvaluationEvent,
     FaultEvent,
     GenerationEvent,
+    InvariantEvent,
     JsonlObserver,
     PhaseEvent,
+    QualificationEvent,
+    RecentEventsObserver,
     RunObserver,
     TelemetryCollector,
 )
 
 __all__ = [
+    "ARTIFACT",
     "AuditConfig",
     "AuditResult",
     "AuditRunner",
+    "AxisDistribution",
     "CampaignCheckpoint",
+    "CampaignQualification",
     "CampaignState",
     "CheckpointEvent",
     "ConsoleObserver",
     "EvalOutcome",
+    "FRAGILE",
     "FaultEvent",
     "FaultInjectingBackend",
     "FaultInjectionConfig",
@@ -95,14 +123,24 @@ __all__ = [
     "GenerationStats",
     "GeneticAlgorithm",
     "GenomeSpace",
+    "InvariantEvent",
     "JsonlObserver",
     "MaxDroopCost",
     "Measurement",
     "MeasurementBackend",
     "MeasurementPlatform",
     "MeasurementStats",
+    "NOMINAL",
+    "PASS",
     "ParallelExecutor",
+    "Perturbation",
     "PhaseEvent",
+    "QualificationCheckpoint",
+    "QualificationEvent",
+    "QualificationFitness",
+    "QualificationReport",
+    "QualifyConfig",
+    "RecentEventsObserver",
     "ResonancePoint",
     "ResonanceSweepResult",
     "RunObserver",
@@ -112,10 +150,13 @@ __all__ = [
     "StressmarkFitness",
     "StressmarkGenome",
     "StressmarkMode",
+    "StressmarkQualifier",
     "TelemetryCollector",
+    "fault_record_from",
     "make_executor",
     "rng_from_state",
     "rng_state_to_jsonable",
+    "validate_campaign_meta",
     "alignment_sweep_cycles",
     "alignment_sweep_seconds",
     "dither_schedules",

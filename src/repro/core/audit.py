@@ -26,6 +26,15 @@ from repro.core.faults import FaultPolicy, RetryingMeasurements
 from repro.core.ga import GaConfig, GaResult, GaSnapshot, GeneticAlgorithm
 from repro.core.genome import GenomeSpace, StressmarkGenome
 from repro.core.platform import Measurement, MeasurementPlatform
+from repro.core.qualify import (
+    ARTIFACT,
+    FRAGILE,
+    PASS,
+    QualificationCheckpoint,
+    QualificationReport,
+    QualifyConfig,
+    StressmarkQualifier,
+)
 from repro.core.resonance import ResonanceSweepResult, find_resonance
 from repro.core.telemetry import CheckpointEvent, PhaseEvent, RunObserver, notify
 
@@ -69,6 +78,36 @@ class AuditConfig:
 
 
 @dataclass(frozen=True)
+class CampaignQualification:
+    """Qualification outcome of a campaign's winner (plus any fallbacks).
+
+    ``reports[0]`` is always the GA winner; further entries are the
+    runner-ups qualified after an ARTIFACT verdict, in fitness order.
+    ``chosen`` indexes the candidate the campaign finally promoted —
+    nonzero means the GA winner was demoted as a measurement artifact.
+    """
+
+    reports: tuple
+    chosen: int
+
+    @property
+    def winner_report(self) -> QualificationReport:
+        return self.reports[0]
+
+    @property
+    def chosen_report(self) -> QualificationReport:
+        return self.reports[self.chosen]
+
+    @property
+    def demoted(self) -> bool:
+        return self.chosen != 0
+
+    @property
+    def verdict(self) -> str:
+        return self.chosen_report.verdict
+
+
+@dataclass(frozen=True)
 class AuditResult:
     """Everything an AUDIT run produces."""
 
@@ -80,6 +119,7 @@ class AuditResult:
     resonance: ResonanceSweepResult
     ga_result: GaResult
     threads: int
+    qualification: CampaignQualification | None = None
 
     @property
     def max_droop_v(self) -> float:
@@ -195,6 +235,8 @@ class AuditRunner:
         seeds: list[StressmarkGenome] | None = None,
         checkpoint: CampaignCheckpoint | None = None,
         resume: bool = False,
+        qualify: QualifyConfig | None = None,
+        qualify_checkpoint: QualificationCheckpoint | None = None,
     ) -> AuditResult:
         """Execute the complete AUDIT flow and return the best stressmark.
 
@@ -207,6 +249,13 @@ class AuditRunner:
         evaluator's memoised fitness values survive the restart.  (The
         resonance sweep is deterministic and cheap relative to the GA, so
         it is simply re-run.)
+
+        With ``qualify``, the GA winner is qualified under perturbations
+        (see :class:`~repro.core.qualify.StressmarkQualifier`); an
+        ARTIFACT winner is demoted and the best-qualified runner-up from
+        the engine's fitness cache is promoted in its place — graceful
+        degradation of the campaign result instead of shipping an
+        artifact.
         """
         cfg = self.config
         if resume and checkpoint is None:
@@ -295,13 +344,117 @@ class AuditRunner:
             wall_s=time.perf_counter() - final_start,
             detail=f"{label} at {cfg.threads}T",
         ))
+        genome = ga_result.best_genome
+        qualification = None
+        if qualify is not None:
+            qual_start = time.perf_counter()
+            qualification, genome, kernel = self._qualify_winner(
+                engine=engine,
+                space=space,
+                winner=genome,
+                label=label,
+                kernel=kernel,
+                config=qualify,
+                checkpoint=qualify_checkpoint,
+            )
+            if qualification.demoted:
+                measurement = measure_platform.measure_program(
+                    ThreadProgram(kernel, DEFAULT_ITERATIONS), cfg.threads
+                )
+            notify(self.observers, PhaseEvent(
+                name="qualification",
+                wall_s=time.perf_counter() - qual_start,
+                detail=(
+                    f"{qualification.verdict}"
+                    + (", winner demoted" if qualification.demoted else "")
+                ),
+            ))
         return AuditResult(
             name=label,
             kernel=kernel,
-            genome=ga_result.best_genome,
+            genome=genome,
             space=space,
             measurement=measurement,
             resonance=resonance,
             ga_result=ga_result,
             threads=cfg.threads,
+            qualification=qualification,
         )
+
+    # ------------------------------------------------------------------
+    def _qualify_winner(
+        self,
+        *,
+        engine: EvaluationEngine,
+        space: GenomeSpace,
+        winner: StressmarkGenome,
+        label: str,
+        kernel: LoopKernel,
+        config: QualifyConfig,
+        checkpoint: QualificationCheckpoint | None,
+    ) -> tuple[CampaignQualification, StressmarkGenome, LoopKernel]:
+        """Qualify the winner; on ARTIFACT, try the best runner-ups.
+
+        Runner-ups come from the engine's fitness cache (every genome the
+        campaign ever measured) in fitness order, quarantined genomes
+        excluded.  The first PASS stops the search; otherwise the best
+        verdict (ties broken by robustness, then fitness rank) wins.
+        """
+        qualifier = StressmarkQualifier(
+            self.platform,
+            threads=self.config.threads,
+            config=config,
+            cost=self.cost,
+            executor=self.executor,
+            observers=self.observers,
+            platform_factory=self.platform_factory,
+            fault_policy=self.fault_policy,
+            checkpoint=checkpoint,
+        )
+        genomes = [winner]
+        reports = [qualifier.qualify_program(
+            ThreadProgram(kernel, DEFAULT_ITERATIONS), name=label,
+        )]
+        if reports[0].verdict == ARTIFACT and config.max_fallbacks > 0:
+            runner_ups = sorted(
+                (
+                    (g, fitness)
+                    for g, fitness in engine.cache_snapshot().items()
+                    if g != winner and g not in engine.quarantined
+                ),
+                key=lambda item: item[1],
+                reverse=True,
+            )
+            for rank, (genome, _fitness) in enumerate(
+                runner_ups[: config.max_fallbacks], start=1
+            ):
+                fallback_name = f"{label}-runnerup{rank}"
+                fallback_kernel = genome_to_kernel(
+                    genome, space, name=fallback_name
+                )
+                report = qualifier.qualify_program(
+                    ThreadProgram(fallback_kernel, DEFAULT_ITERATIONS),
+                    name=fallback_name,
+                )
+                genomes.append(genome)
+                reports.append(report)
+                if report.verdict == PASS:
+                    break
+        verdict_rank = {PASS: 0, FRAGILE: 1, ARTIFACT: 2}
+        chosen = min(
+            range(len(reports)),
+            key=lambda i: (
+                verdict_rank[reports[i].verdict],
+                -reports[i].robustness,
+                i,
+            ),
+        )
+        qualification = CampaignQualification(
+            reports=tuple(reports), chosen=chosen,
+        )
+        if chosen != 0:
+            genome = genomes[chosen]
+            kernel = genome_to_kernel(genome, space, name=label)
+        else:
+            genome = winner
+        return qualification, genome, kernel

@@ -40,6 +40,21 @@ from repro.errors import CheckpointError
 #: Bumped when the on-disk snapshot layout changes incompatibly.
 STATE_VERSION = 1
 
+#: Bumped when the campaign meta layout changes incompatibly.
+META_VERSION = 1
+
+#: Campaign meta fields the CLI needs to rebuild a run, with their types.
+#: ``None`` in the type tuple marks the field as nullable.
+CAMPAIGN_META_FIELDS = {
+    "chip": (str,),
+    "throttle": (int, None),
+    "threads": (int,),
+    "mode": (str,),
+    "population": (int,),
+    "generations": (int,),
+    "seed": (int,),
+}
+
 
 # ----------------------------------------------------------------------
 # RNG state round-tripping
@@ -174,12 +189,12 @@ class CampaignCheckpoint:
     # Meta
     # ------------------------------------------------------------------
     def write_meta(self, meta: dict) -> None:
-        atomic_write_json(self.meta_path, meta)
+        atomic_write_json(self.meta_path, {"meta_version": META_VERSION, **meta})
 
     def read_meta(self) -> dict:
         try:
             with open(self.meta_path) as handle:
-                return json.load(handle)
+                payload = json.load(handle)
         except FileNotFoundError:
             raise CheckpointError(
                 f"no campaign meta at {self.meta_path} "
@@ -189,6 +204,19 @@ class CampaignCheckpoint:
             raise CheckpointError(
                 f"corrupt campaign meta {self.meta_path}: {error}"
             ) from error
+        if not isinstance(payload, dict):
+            raise CheckpointError(
+                f"corrupt campaign meta {self.meta_path}: expected a JSON "
+                f"object, found {type(payload).__name__}"
+            )
+        # Pre-versioning directories carry no stamp; accept them as current.
+        version = payload.pop("meta_version", META_VERSION)
+        if version != META_VERSION:
+            raise CheckpointError(
+                f"campaign meta version {version!r} in {self.meta_path} is "
+                f"not supported (expected {META_VERSION})"
+            )
+        return payload
 
     # ------------------------------------------------------------------
     # State
@@ -236,12 +264,18 @@ class CampaignCheckpoint:
                 "(atomic writes should make this impossible; was the file "
                 "edited by hand?)"
             ) from error
+        if not isinstance(payload, dict):
+            raise CheckpointError(
+                f"malformed checkpoint state {self.state_path}: expected a "
+                f"JSON object, found {type(payload).__name__}"
+            )
         version = payload.get("version")
         if version != STATE_VERSION:
             raise CheckpointError(
-                f"checkpoint state version {version!r} is not supported "
-                f"(expected {STATE_VERSION})"
+                f"checkpoint state version {version!r} in {self.state_path} "
+                f"is not supported (expected {STATE_VERSION})"
             )
+        self._check_state_fields(payload)
         dec = self.decode_genome
         try:
             snapshot = GaSnapshot(
@@ -269,3 +303,82 @@ class CampaignCheckpoint:
             fitness_cache=cache,
             cache_hits=int(payload.get("cache_hits", 0)),
         )
+
+    # ------------------------------------------------------------------
+    def _check_state_fields(self, payload: dict) -> None:
+        """Reject truncated or hand-edited snapshots with a named field.
+
+        Decoding alone surfaces *some* type errors, but e.g. a stringified
+        ``rng_state`` would only explode generations later when the GA
+        resumes its stream.  Check shapes up front so the error names the
+        file and the first bad field.
+        """
+        if "best_genome" not in payload:
+            raise CheckpointError(
+                f"malformed checkpoint state {self.state_path}: missing "
+                "field 'best_genome' (truncated or hand-edited?)"
+            )
+        # The genome encoding is codec-defined (any JSON value), so only
+        # the store's own fields are type-checked.
+        expected = {
+            "generation": int,
+            "population": list,
+            "rng_state": dict,
+            "best_fitness": (int, float),
+            "stale": int,
+            "history": list,
+            "evaluations": int,
+            "fitness_cache": list,
+        }
+        for name, kinds in expected.items():
+            if name not in payload:
+                raise CheckpointError(
+                    f"malformed checkpoint state {self.state_path}: missing "
+                    f"field {name!r} (truncated or hand-edited?)"
+                )
+            value = payload[name]
+            if not isinstance(value, kinds) or isinstance(value, bool):
+                wanted = kinds[0] if isinstance(kinds, tuple) else kinds
+                raise CheckpointError(
+                    f"malformed checkpoint state {self.state_path}: field "
+                    f"{name!r} should be {wanted.__name__}, found "
+                    f"{type(value).__name__}"
+                )
+        for entry in payload["fitness_cache"]:
+            if not isinstance(entry, list) or len(entry) != 2:
+                raise CheckpointError(
+                    f"malformed checkpoint state {self.state_path}: "
+                    "fitness_cache entries must be [genome, fitness] pairs"
+                )
+        if "bit_generator" not in payload["rng_state"]:
+            raise CheckpointError(
+                f"malformed checkpoint state {self.state_path}: rng_state "
+                "has no bit_generator"
+            )
+
+
+def validate_campaign_meta(meta: dict, *, path) -> dict:
+    """Check the CLI's campaign meta fields exist with the right types.
+
+    ``read_meta`` accepts any JSON object (the store is generic); a resume,
+    however, feeds these fields straight into :class:`AuditConfig`, so a
+    hand-edited ``meta.json`` must fail here with the file named rather
+    than as a confusing downstream crash.
+    """
+    for name, kinds in CAMPAIGN_META_FIELDS.items():
+        if name not in meta:
+            raise CheckpointError(
+                f"campaign meta {path} is missing field {name!r} "
+                "(was this directory written by --checkpoint-dir?)"
+            )
+        value = meta[name]
+        nullable = None in kinds
+        types = tuple(k for k in kinds if k is not None)
+        if value is None and nullable:
+            continue
+        if not isinstance(value, types) or isinstance(value, bool):
+            raise CheckpointError(
+                f"campaign meta {path} field {name!r} should be "
+                f"{types[0].__name__}, found {type(value).__name__}"
+            )
+    return meta

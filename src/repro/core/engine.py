@@ -37,7 +37,13 @@ from repro.core.codegen import DEFAULT_ITERATIONS, genome_to_program
 from repro.core.cost import MaxDroopCost
 from repro.core.faults import EvalOutcome, FaultPolicy, GuardedFitness
 from repro.core.platform import MeasurementPlatform
-from repro.core.telemetry import EvaluationEvent, FaultEvent, RunObserver, notify
+from repro.core.telemetry import (
+    EvaluationEvent,
+    FaultEvent,
+    InvariantEvent,
+    RunObserver,
+    notify,
+)
 from repro.errors import ConfigurationError
 
 G = TypeVar("G", bound=Hashable)
@@ -154,6 +160,10 @@ class StressmarkFitness(Generic[G]):
     process), so the callable ships only the genome space, thread count,
     and cost function.
     """
+
+    #: Parallel executors need the factory (see ``_check_executor``); any
+    #: platform-bound fitness class sets this marker.
+    requires_platform_factory = True
 
     def __init__(
         self,
@@ -289,8 +299,8 @@ class EvaluationEngine(Generic[G]):
     def _check_executor(self) -> None:
         if (
             getattr(self.executor, "workers", 1) > 1
-            and isinstance(self.fitness, StressmarkFitness)
-            and self.fitness.platform_factory is None
+            and getattr(self.fitness, "requires_platform_factory", False)
+            and getattr(self.fitness, "platform_factory", None) is None
         ):
             raise ConfigurationError(
                 "parallel evaluation needs a picklable platform_factory "
@@ -367,6 +377,16 @@ class EvaluationEngine(Generic[G]):
         label = _genome_label(genome)
         for i, fault in enumerate(outcome.faults):
             final_failure = outcome.exhausted and i == len(outcome.faults) - 1
+            if fault.invariant:
+                notify(
+                    self.observers,
+                    InvariantEvent(
+                        guard=fault.invariant,
+                        layer=fault.layer,
+                        error=fault.error,
+                        genome=label,
+                    ),
+                )
             notify(
                 self.observers,
                 FaultEvent(

@@ -31,7 +31,7 @@ from typing import Callable
 
 import numpy as np
 
-from repro.errors import ConfigurationError, MeasurementError
+from repro.errors import ConfigurationError, InvariantViolation, MeasurementError
 
 #: Valid ``FaultPolicy.on_exhaust`` actions.
 EXHAUST_ACTIONS = ("raise", "skip", "penalize")
@@ -54,7 +54,12 @@ class EvaluationTimeoutError(MeasurementError):
 
 
 class QuarantineExhaustedError(MeasurementError):
-    """A genome's evaluation kept failing and the policy says to raise."""
+    """A genome's evaluation kept failing and the policy says to raise.
+
+    Always raised ``from`` the last underlying error, so ``__cause__``
+    carries the original fault; the CLI maps this class to its own exit
+    code (fault budget exhausted, as opposed to a single hard error).
+    """
 
 
 # ----------------------------------------------------------------------
@@ -110,10 +115,28 @@ class FaultPolicy:
 # ----------------------------------------------------------------------
 @dataclass(frozen=True)
 class FaultRecord:
-    """One failed evaluation attempt."""
+    """One failed evaluation attempt.
+
+    ``invariant``/``layer`` are set when the failure was a runtime
+    invariant guard firing (corrupt numerics), so telemetry can emit an
+    :class:`~repro.core.telemetry.InvariantEvent` alongside the fault.
+    """
 
     error: str
     timeout: bool = False
+    invariant: str = ""
+    layer: str = ""
+
+
+def fault_record_from(error: Exception) -> FaultRecord:
+    """Build the :class:`FaultRecord` describing *error*."""
+    is_invariant = isinstance(error, InvariantViolation)
+    return FaultRecord(
+        error=f"{type(error).__name__}: {error}",
+        timeout=isinstance(error, EvaluationTimeoutError),
+        invariant=error.guard if is_invariant else "",
+        layer=error.layer if is_invariant else "",
+    )
 
 
 @dataclass(frozen=True)
@@ -139,8 +162,10 @@ class GuardedFitness:
 
     Picklable (provided the wrapped fitness is), so process-pool workers
     retry locally instead of shipping failures back and forth.  With
-    ``on_exhaust="raise"`` the final error propagates unchanged — exactly
-    the pre-policy behaviour, just ``max_retries`` attempts later.
+    ``on_exhaust="raise"`` exhaustion raises
+    :class:`QuarantineExhaustedError` *from* the final error (the original
+    fault stays reachable as ``__cause__``), so callers can tell "the
+    fault budget ran out" apart from a first-attempt hard error.
     """
 
     def __init__(self, fitness: Callable, policy: FaultPolicy):
@@ -174,13 +199,13 @@ class GuardedFitness:
                     faults=tuple(faults),
                 )
             except Exception as error:
-                faults.append(FaultRecord(
-                    error=f"{type(error).__name__}: {error}",
-                    timeout=isinstance(error, EvaluationTimeoutError),
-                ))
+                faults.append(fault_record_from(error))
                 if attempt + 1 >= attempts:
                     if policy.on_exhaust == "raise":
-                        raise
+                        raise QuarantineExhaustedError(
+                            f"evaluation failed on all {attempts} attempts; "
+                            f"last error: {type(error).__name__}: {error}"
+                        ) from error
                     break
                 if policy.backoff_s > 0:
                     time.sleep(
@@ -201,10 +226,11 @@ class RetryingMeasurements:
     measures during the resonance sweep and the final verification — a
     fault there would still kill the campaign.  This proxy retries each
     individual measurement per the policy (validating that the droop is
-    finite, like the guard does) and re-raises once attempts are
-    exhausted: a sweep probe has no genome to quarantine, and with
-    per-measurement retries an exhausted probe means the backend is down,
-    not flaky.  Everything else (``chip``, ``stats`` …) passes through.
+    finite, like the guard does) and raises
+    :class:`QuarantineExhaustedError` once attempts are exhausted: a sweep
+    probe has no genome to quarantine, and with per-measurement retries an
+    exhausted probe means the backend is down, not flaky.  Everything else
+    (``chip``, ``stats`` …) passes through.
     """
 
     def __init__(self, platform, policy: FaultPolicy, *, observers=(),
@@ -228,7 +254,7 @@ class RetryingMeasurements:
         )
 
     def _retry(self, measure):
-        from repro.core.telemetry import FaultEvent, notify
+        from repro.core.telemetry import FaultEvent, InvariantEvent, notify
 
         policy = self._policy
         attempts = policy.max_retries + 1
@@ -243,6 +269,13 @@ class RetryingMeasurements:
                 return measurement
             except Exception as error:
                 final = attempt + 1 >= attempts
+                if isinstance(error, InvariantViolation):
+                    notify(self._observers, InvariantEvent(
+                        guard=error.guard,
+                        layer=error.layer,
+                        error=str(error),
+                        genome=self._label,
+                    ))
                 notify(self._observers, FaultEvent(
                     genome=self._label,
                     error=f"{type(error).__name__}: {error}",
@@ -251,7 +284,10 @@ class RetryingMeasurements:
                     timeout=isinstance(error, EvaluationTimeoutError),
                 ))
                 if final:
-                    raise
+                    raise QuarantineExhaustedError(
+                        f"{self._label} failed on all {attempts} attempts; "
+                        f"last error: {type(error).__name__}: {error}"
+                    ) from error
                 if policy.backoff_s > 0:
                     time.sleep(
                         policy.backoff_s * policy.backoff_factor ** attempt
@@ -262,15 +298,26 @@ class RetryingMeasurements:
 # ----------------------------------------------------------------------
 # Chaos: deterministic fault injection around any backend
 # ----------------------------------------------------------------------
+#: Valid ``FaultInjectionConfig.corrupt_mode`` shapes.
+CORRUPT_MODES = ("nan", "inf", "truncate")
+
+
 @dataclass(frozen=True)
 class FaultInjectionConfig:
-    """Rates and shape of injected faults (all rates are per measurement)."""
+    """Rates and shape of injected faults (all rates are per measurement).
+
+    ``corrupt_mode`` picks the corruption shape: ``"nan"`` (mis-triggered
+    capture, all-NaN voltage), ``"inf"`` (railed ADC, +inf samples), or
+    ``"truncate"`` (capture cut short, voltage trace half the length of
+    the current trace).  Each shape trips a different invariant guard.
+    """
 
     seed: int = 0
     exception_rate: float = 0.0
     hang_rate: float = 0.0
     hang_s: float = 0.005
     corrupt_rate: float = 0.0
+    corrupt_mode: str = "nan"
 
     def __post_init__(self) -> None:
         for name in ("exception_rate", "hang_rate", "corrupt_rate"):
@@ -282,6 +329,11 @@ class FaultInjectionConfig:
             raise ConfigurationError("fault rates must sum to <= 1")
         if self.hang_s < 0:
             raise ConfigurationError("hang_s must be >= 0")
+        if self.corrupt_mode not in CORRUPT_MODES:
+            raise ConfigurationError(
+                f"corrupt_mode must be one of {CORRUPT_MODES}, "
+                f"got {self.corrupt_mode!r}"
+            )
 
 
 @dataclass
@@ -308,8 +360,10 @@ class FaultInjectingBackend:
     through untouched, which is what lets the chaos tests assert that
     fitness values of non-faulted genomes are bit-identical to a clean run.
 
-    Corruption replaces the voltage trace with NaNs (a mis-triggered scope
-    capture); the guarded fitness detects the non-finite droop and retries.
+    Corruption mangles the voltage trace per ``config.corrupt_mode`` (NaN
+    fill, +inf fill, or truncation); the platform's invariant guards catch
+    it as an :class:`~repro.errors.InvariantViolation` and the fault
+    policy retries.
     """
 
     inner: object
@@ -340,7 +394,14 @@ class FaultInjectingBackend:
         from repro.pdn.transient import VoltageTrace
 
         voltage = measurement.voltage
-        samples = np.full(len(voltage.samples), np.nan)
+        mode = self.config.corrupt_mode
+        if mode == "truncate":
+            keep = max(1, len(voltage.samples) // 2)
+            samples = voltage.samples[:keep]
+        elif mode == "inf":
+            samples = np.full(len(voltage.samples), np.inf)
+        else:
+            samples = np.full(len(voltage.samples), np.nan)
         bad = VoltageTrace(samples, voltage.dt, vdd_nominal=voltage.vdd_nominal)
         return type(measurement)(
             voltage=bad,

@@ -47,6 +47,7 @@ from repro.pdn.transient import TransientSolver, VoltageTrace
 from repro.power.trace import CurrentTrace
 from repro.uarch.chip import ChipSimulator
 from repro.uarch.config import ChipConfig
+from repro.validation.invariants import check_measurement
 
 #: Iterations simulated per module run: enough for any kernel that will
 #: stabilise to do so and leave >= 3 repetitions for verification.
@@ -628,13 +629,15 @@ class MeasurementPlatform:
             raise ConfigurationError("supply voltage must be positive")
         if not hasattr(self.backend, "stats"):
             self._fallback_measurements += 1
-        return self.backend.measure_program(
+        measurement = self.backend.measure_program(
             program,
             threads,
             module_phases=module_phases,
             supply_v=supply_v,
             smt_phase_cycles=smt_phase_cycles,
         )
+        check_measurement(measurement)
+        return measurement
 
     def measure_current(
         self,
@@ -649,9 +652,11 @@ class MeasurementPlatform:
             raise ConfigurationError("supply voltage must be positive")
         if not hasattr(self.backend, "stats"):
             self._fallback_measurements += 1
-        return self.backend.measure_current(
+        measurement = self.backend.measure_current(
             current,
             sensitivity=sensitivity,
             supply_v=supply_v,
             baseline_current_a=baseline_current_a,
         )
+        check_measurement(measurement)
+        return measurement

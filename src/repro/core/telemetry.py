@@ -92,8 +92,41 @@ class CheckpointEvent:
     kind = "checkpoint"
 
 
+@dataclass(frozen=True)
+class InvariantEvent:
+    """One runtime invariant guard fired on corrupt numerics."""
+
+    guard: str
+    layer: str
+    error: str
+    genome: str = ""
+
+    kind = "invariant"
+
+
+@dataclass(frozen=True)
+class QualificationEvent:
+    """One qualification step: a perturbation axis scored, or the verdict."""
+
+    stressmark: str
+    axis: str
+    """Perturbation axis (``jitter``/``smt``/``supply``/``pdn``) or
+    ``"verdict"`` for the final summary event."""
+    samples: int
+    min_droop_v: float
+    max_droop_v: float
+    retention: float
+    """Worst droop retention on this axis relative to nominal (1.0 = the
+    droop survives the perturbation unchanged)."""
+    verdict: str = ""
+    wall_s: float = 0.0
+
+    kind = "qualification"
+
+
 TelemetryEvent = (
     EvaluationEvent | GenerationEvent | PhaseEvent | FaultEvent | CheckpointEvent
+    | InvariantEvent | QualificationEvent
 )
 
 
@@ -144,12 +177,49 @@ class ConsoleObserver:
                 f"[checkpoint] gen {event.generation:3d} -> {event.path}  "
                 f"{event.wall_s * 1e3:.1f}ms\n"
             )
+        elif isinstance(event, InvariantEvent):
+            self.stream.write(
+                f"[invariant/{event.layer}] {event.guard}: {event.error}\n"
+            )
+        elif isinstance(event, QualificationEvent):
+            if event.axis == "verdict":
+                self.stream.write(
+                    f"[qualify] {event.stressmark}: {event.verdict} "
+                    f"(robustness {event.retention:.2f})  {event.wall_s:.2f}s\n"
+                )
+            else:
+                self.stream.write(
+                    f"[qualify/{event.axis}] {event.samples} samples  droop "
+                    f"[{event.min_droop_v * 1e3:.2f}, "
+                    f"{event.max_droop_v * 1e3:.2f}] mV  "
+                    f"retention {event.retention:.2f}\n"
+                )
         elif self.verbose and isinstance(event, EvaluationEvent):
             tag = "cache" if event.cached else event.backend
             self.stream.write(
                 f"[eval/{tag}] {event.fitness:.5f}  {event.wall_s * 1e3:.1f}ms\n"
             )
         self.stream.flush()
+
+
+class RecentEventsObserver:
+    """Keeps the last *limit* events (as dicts) for crash reports.
+
+    The CLI installs one of these alongside the user-requested observers
+    so an unhandled exception can dump the tail of the event stream into
+    ``crash_report.json`` — the flight recorder of a failed run.
+    """
+
+    def __init__(self, limit: int = 100):
+        from collections import deque
+
+        self._events: deque = deque(maxlen=limit)
+
+    def on_event(self, event: TelemetryEvent) -> None:
+        self._events.append(event_to_dict(event))
+
+    def tail(self) -> list[dict]:
+        return list(self._events)
 
 
 class JsonlObserver:
@@ -192,6 +262,11 @@ class TelemetryCollector:
     timeouts: int = 0
     checkpoints: int = 0
     checkpoint_wall_s: float = 0.0
+    invariant_violations: int = 0
+    invariant_guards: dict = field(default_factory=dict)
+    qualification_axes: int = 0
+    qualification_wall_s: float = 0.0
+    qualification_verdicts: dict = field(default_factory=dict)
 
     def on_event(self, event: TelemetryEvent) -> None:
         if isinstance(event, EvaluationEvent):
@@ -214,6 +289,18 @@ class TelemetryCollector:
         elif isinstance(event, CheckpointEvent):
             self.checkpoints += 1
             self.checkpoint_wall_s += event.wall_s
+        elif isinstance(event, InvariantEvent):
+            self.invariant_violations += 1
+            key = f"{event.layer}/{event.guard}"
+            self.invariant_guards[key] = self.invariant_guards.get(key, 0) + 1
+        elif isinstance(event, QualificationEvent):
+            if event.axis == "verdict":
+                self.qualification_wall_s += event.wall_s
+                self.qualification_verdicts[event.verdict] = (
+                    self.qualification_verdicts.get(event.verdict, 0) + 1
+                )
+            else:
+                self.qualification_axes += 1
 
     # ------------------------------------------------------------------
     @property
@@ -247,6 +334,19 @@ class TelemetryCollector:
         ]
         if self.timeouts:
             rows.append(("evaluation timeouts", self.timeouts))
+        if self.invariant_violations:
+            rows.append(("invariant violations", self.invariant_violations))
+            for key, count in sorted(self.invariant_guards.items()):
+                rows.append((f"  guard {key}", count))
+        if self.qualification_verdicts:
+            verdicts = ", ".join(
+                f"{v}: {n}" for v, n in sorted(self.qualification_verdicts.items())
+            )
+            rows.append(("qualification verdicts", verdicts))
+            rows.append(("qualification axes", self.qualification_axes))
+            rows.append(
+                ("qualification wall time", f"{self.qualification_wall_s:.2f} s")
+            )
         if self.checkpoints:
             rows.append(("checkpoints written", self.checkpoints))
             rows.append(

@@ -31,6 +31,25 @@ class MeasurementError(ReproError):
     """An oscilloscope / measurement operation was misused."""
 
 
+class InvariantViolation(MeasurementError):
+    """A runtime invariant guard caught corrupt numerics mid-measurement.
+
+    Raised by the always-on guards in :mod:`repro.validation` (wired into
+    the chip simulator, the PDN transient solver, and the measurement
+    platform) so that non-finite or physically impossible values surface as
+    a structured fault — routed through the
+    :class:`~repro.core.faults.FaultPolicy` — instead of scoring as
+    fitness.  ``guard`` names the specific invariant (e.g.
+    ``"voltage-finite"``) and ``layer`` the stack layer that fired
+    (``"platform"``, ``"pdn"``, ``"uarch"``).
+    """
+
+    def __init__(self, guard: str, layer: str, message: str):
+        super().__init__(f"[{layer}/{guard}] {message}")
+        self.guard = guard
+        self.layer = layer
+
+
 class SearchError(ReproError):
     """A GA / AUDIT search was configured or driven incorrectly."""
 

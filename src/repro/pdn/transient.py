@@ -29,6 +29,7 @@ from scipy import signal
 from repro.errors import PdnError
 from repro.pdn.network import PdnNetwork
 from repro.power.trace import CurrentTrace
+from repro.validation.invariants import check_current_samples, check_voltage_samples
 
 
 @dataclass(frozen=True)
@@ -152,11 +153,15 @@ class TransientSolver:
             raise PdnError(
                 f"trace dt {load.dt!r} does not match solver dt {self.dt!r}"
             )
+        if not np.isfinite(baseline_current_a):
+            raise PdnError("baseline current must be finite")
+        check_current_samples(load.samples, layer="pdn")
         vdd = self.network.params.vdd_nominal
         deviation = load.samples - baseline_current_a
         response = signal.sosfilt(self._sos, deviation)
         dc = self.network.dc_droop(baseline_current_a)
         volts = vdd - dc + response
+        check_voltage_samples(volts, supply_v=vdd, layer="pdn")
         return VoltageTrace(volts, self.dt, vdd)
 
     def steady_state_periodic(self, period_load: CurrentTrace) -> VoltageTrace:
@@ -170,6 +175,7 @@ class TransientSolver:
         if abs(period_load.dt - self.dt) > 1e-18:
             raise PdnError("trace dt does not match solver dt")
         samples = period_load.samples
+        check_current_samples(samples, layer="pdn")
         n = len(samples)
         spectrum = np.fft.rfft(samples)
         harmonics = np.fft.rfftfreq(n, d=self.dt)
@@ -177,7 +183,9 @@ class TransientSolver:
         v_spectrum = h * spectrum
         deviation = np.fft.irfft(v_spectrum, n=n)
         vdd = self.network.params.vdd_nominal
-        return VoltageTrace(vdd + deviation, self.dt, vdd)
+        volts = vdd + deviation
+        check_voltage_samples(volts, supply_v=vdd, layer="pdn")
+        return VoltageTrace(volts, self.dt, vdd)
 
     def impulse_response(self, samples: int) -> np.ndarray:
         """Discrete impulse response (volts per amp), for analysis/tests."""

@@ -20,6 +20,7 @@ from repro.power.energy import EnergyModel
 from repro.power.trace import CurrentTrace
 from repro.uarch.config import ChipConfig
 from repro.uarch.module import ModuleSimulator, ModuleTrace
+from repro.validation.invariants import check_module_trace
 
 #: A placement maps each module to the programs on its threads; ``None``
 #: entries are idle modules.
@@ -62,6 +63,9 @@ class ChipSimulator:
             trace = self._module_sim.run(list(programs), max_iterations=max_iterations)
             self.sim_time_s += time.perf_counter() - start
             self.module_runs += 1
+            # Guard once per fresh simulation; cache hits re-serve a trace
+            # that already passed.
+            check_module_trace(trace)
             self._cache[key] = trace
         else:
             self.module_cache_hits += 1

@@ -1,0 +1,29 @@
+"""Always-on runtime invariant guards for the measurement stack.
+
+The guards in :mod:`repro.validation.invariants` are cheap finite-value,
+bounds, and consistency checks wired into the chip simulator, the PDN
+transient solver, and the measurement platform.  They turn corrupt
+numerics into a structured :class:`~repro.errors.InvariantViolation`
+(routed through the fault policy) instead of letting NaN/Inf or truncated
+traces score as fitness.
+"""
+
+from repro.validation.invariants import (
+    GUARD_CATALOG,
+    check_current_samples,
+    check_measurement,
+    check_module_trace,
+    check_sensitivity,
+    check_time_axis,
+    check_voltage_samples,
+)
+
+__all__ = [
+    "GUARD_CATALOG",
+    "check_current_samples",
+    "check_measurement",
+    "check_module_trace",
+    "check_sensitivity",
+    "check_time_axis",
+    "check_voltage_samples",
+]

@@ -1,0 +1,146 @@
+"""The invariant-guard catalog: cheap checks between simulation layers.
+
+Every guard is a pure function over the arrays a layer is about to hand
+upward; on failure it raises :class:`~repro.errors.InvariantViolation`
+with a stable ``guard`` name and the ``layer`` that fired, so telemetry
+and the fault policy can attribute the corruption.  Guards are *always
+on* — they cost a few vectorised passes over traces that each took a PDN
+solve or a pipeline simulation to produce, so the overhead is noise.
+
+Catalog (guard name → what it protects):
+
+================== ====================================================
+``voltage-finite``   every voltage sample is a finite float
+``voltage-bounds``   voltage stays within [0, 2 x supply] — a droop equal
+                     to the full rail is a solver blow-up, not physics
+``current-finite``   every current sample is a finite float
+``current-bounds``   load current is never negative (modules sink, the
+                     model has no regeneration path)
+``sensitivity``      per-cycle sensitivity weights are finite and >= 0
+``trace-length``     voltage, current, and sensitivity traces agree on
+                     length — a truncated capture must not score
+``time-axis``        sample intervals are positive and agree across the
+                     traces of one measurement (uniform monotonic time)
+``module-energy``    per-cycle switching energy is finite and >= 0
+``module-length``    a module's energy/sensitivity arrays agree on length
+``module-activity``  an executed module dissipated *some* energy — an
+                     all-zero energy trace means the accounting broke
+================== ====================================================
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import InvariantViolation
+
+#: guard name -> (layer it usually fires at, one-line description).
+GUARD_CATALOG: dict[str, tuple[str, str]] = {
+    "voltage-finite": ("platform", "voltage samples are finite"),
+    "voltage-bounds": ("platform", "voltage within [0, 2 x supply]"),
+    "current-finite": ("platform", "current samples are finite"),
+    "current-bounds": ("platform", "load current is non-negative"),
+    "sensitivity": ("platform", "sensitivity weights finite and >= 0"),
+    "trace-length": ("platform", "voltage/current/sensitivity lengths agree"),
+    "time-axis": ("platform", "positive dt, equal across traces"),
+    "module-energy": ("uarch", "per-cycle energy finite and >= 0"),
+    "module-length": ("uarch", "energy/sensitivity lengths agree"),
+    "module-activity": ("uarch", "an executed module dissipated energy"),
+}
+
+
+def _fail(guard: str, layer: str, message: str) -> None:
+    raise InvariantViolation(guard, layer, message)
+
+
+def check_current_samples(samples: np.ndarray, *, layer: str) -> None:
+    """Load current must be finite and non-negative."""
+    samples = np.asarray(samples)
+    if not np.isfinite(samples).all():
+        bad = int(np.count_nonzero(~np.isfinite(samples)))
+        _fail("current-finite", layer,
+              f"{bad}/{samples.size} current samples are not finite")
+    if samples.size and float(samples.min()) < 0.0:
+        _fail("current-bounds", layer,
+              f"negative load current {float(samples.min()):.3g} A")
+
+
+def check_voltage_samples(
+    samples: np.ndarray, *, supply_v: float, layer: str
+) -> None:
+    """Voltage must be finite and within [0, 2 x supply]."""
+    samples = np.asarray(samples)
+    if not np.isfinite(samples).all():
+        bad = int(np.count_nonzero(~np.isfinite(samples)))
+        _fail("voltage-finite", layer,
+              f"{bad}/{samples.size} voltage samples are not finite")
+    if samples.size:
+        lo, hi = float(samples.min()), float(samples.max())
+        if lo < 0.0 or hi > 2.0 * supply_v:
+            _fail("voltage-bounds", layer,
+                  f"voltage [{lo:.3g}, {hi:.3g}] V escapes "
+                  f"[0, {2.0 * supply_v:.3g}] V at supply {supply_v:.3g} V")
+
+
+def check_sensitivity(sensitivity: np.ndarray, *, layer: str) -> None:
+    """Per-cycle sensitivity weights must be finite and non-negative."""
+    sensitivity = np.asarray(sensitivity)
+    if not np.isfinite(sensitivity).all():
+        bad = int(np.count_nonzero(~np.isfinite(sensitivity)))
+        _fail("sensitivity", layer,
+              f"{bad}/{sensitivity.size} sensitivity weights are not finite")
+    if sensitivity.size and float(sensitivity.min()) < 0.0:
+        _fail("sensitivity", layer,
+              f"negative sensitivity weight {float(sensitivity.min()):.3g}")
+
+
+def check_time_axis(*dts: float, layer: str) -> None:
+    """Sample intervals must be positive and agree across traces."""
+    for dt in dts:
+        if not (np.isfinite(dt) and dt > 0.0):
+            _fail("time-axis", layer, f"non-positive sample interval {dt!r}")
+    if dts and any(abs(dt - dts[0]) > 1e-18 for dt in dts[1:]):
+        _fail("time-axis", layer,
+              f"sample intervals disagree across traces: {dts!r}")
+
+
+def check_module_trace(trace) -> None:
+    """Guard a fresh :class:`~repro.uarch.module.ModuleTrace`."""
+    energy = np.asarray(trace.energy_pj)
+    sens = np.asarray(trace.sensitivity)
+    if not np.isfinite(energy).all():
+        bad = int(np.count_nonzero(~np.isfinite(energy)))
+        _fail("module-energy", "uarch",
+              f"{bad}/{energy.size} energy samples are not finite")
+    if energy.size and float(energy.min()) < 0.0:
+        _fail("module-energy", "uarch",
+              f"negative per-cycle energy {float(energy.min()):.3g} pJ")
+    if len(energy) != len(sens):
+        _fail("module-length", "uarch",
+              f"energy trace has {len(energy)} cycles but sensitivity "
+              f"has {len(sens)}")
+    check_sensitivity(sens, layer="uarch")
+    if energy.size and float(energy.sum()) <= 0.0:
+        _fail("module-activity", "uarch",
+              "module executed a program but dissipated zero energy")
+
+
+def check_measurement(measurement) -> None:
+    """Guard a complete platform :class:`~repro.core.platform.Measurement`.
+
+    Runs at the platform facade on whatever the backend returned, so a
+    corrupt capture — simulated or real — is rejected before any cost
+    function can turn it into a finite fitness.
+    """
+    voltage = measurement.voltage
+    current = measurement.current
+    sens = np.asarray(measurement.sensitivity)
+    check_time_axis(voltage.dt, current.dt, layer="platform")
+    if not (len(voltage) == len(current) == len(sens)):
+        _fail("trace-length", "platform",
+              f"trace lengths disagree: voltage {len(voltage)}, "
+              f"current {len(current)}, sensitivity {len(sens)}")
+    check_voltage_samples(
+        voltage.samples, supply_v=measurement.supply_v, layer="platform")
+    check_current_samples(current.samples, layer="platform")
+    check_sensitivity(sens, layer="platform")

@@ -15,6 +15,7 @@ from repro.core.checkpoint import (
     encode_stressmark_genome,
     rng_from_state,
     rng_state_to_jsonable,
+    validate_campaign_meta,
 )
 from repro.core.ga import GaSnapshot, GenerationStats
 from repro.core.genome import StressmarkGenome
@@ -217,3 +218,119 @@ class TestCampaignCheckpoint:
         cache = {snap.population[0]: float("-inf")}
         store.save(snap, fitness_cache=cache, cache_hits=0)
         assert store.load().fitness_cache == cache
+
+
+# ----------------------------------------------------------------------
+# Loader validation: truncated / hand-edited files fail by name
+# ----------------------------------------------------------------------
+class TestStateValidation:
+    def corrupt(self, tmp_path, mutate):
+        store = CampaignCheckpoint(tmp_path)
+        store.save(snapshot(), fitness_cache={}, cache_hits=0)
+        payload = json.loads(store.state_path.read_text())
+        mutate(payload)
+        store.state_path.write_text(json.dumps(payload))
+        return store
+
+    def test_missing_field_names_file_and_field(self, tmp_path):
+        store = self.corrupt(tmp_path, lambda p: p.pop("rng_state"))
+        with pytest.raises(CheckpointError) as excinfo:
+            store.load()
+        assert "rng_state" in str(excinfo.value)
+        assert str(store.state_path) in str(excinfo.value)
+
+    @pytest.mark.parametrize("field, bad", [
+        ("generation", "three"),
+        ("population", {"not": "a list"}),
+        ("rng_state", "PCG64"),
+        ("best_fitness", "0.04"),
+        ("history", 7),
+        ("evaluations", True),
+        ("fitness_cache", "cache"),
+    ])
+    def test_wrong_typed_field_rejected(self, tmp_path, field, bad):
+        store = self.corrupt(tmp_path, lambda p: p.update({field: bad}))
+        with pytest.raises(CheckpointError) as excinfo:
+            store.load()
+        assert field in str(excinfo.value)
+
+    def test_non_object_state_rejected(self, tmp_path):
+        store = CampaignCheckpoint(tmp_path)
+        store.state_path.write_text("[1, 2, 3]")
+        with pytest.raises(CheckpointError):
+            store.load()
+
+    def test_malformed_cache_entry_rejected(self, tmp_path):
+        store = self.corrupt(
+            tmp_path, lambda p: p.update({"fitness_cache": [["only-genome"]]})
+        )
+        with pytest.raises(CheckpointError) as excinfo:
+            store.load()
+        assert "fitness_cache" in str(excinfo.value)
+
+    def test_rng_state_without_bit_generator_rejected(self, tmp_path):
+        store = self.corrupt(
+            tmp_path, lambda p: p.update({"rng_state": {"state": {}}})
+        )
+        with pytest.raises(CheckpointError) as excinfo:
+            store.load()
+        assert "bit_generator" in str(excinfo.value)
+
+
+class TestMetaValidation:
+    def test_meta_version_mismatch_rejected(self, tmp_path):
+        store = CampaignCheckpoint(tmp_path)
+        store.write_meta({"chip": "bulldozer"})
+        payload = json.loads(store.meta_path.read_text())
+        payload["meta_version"] = 99
+        store.meta_path.write_text(json.dumps(payload))
+        with pytest.raises(CheckpointError) as excinfo:
+            store.read_meta()
+        assert str(store.meta_path) in str(excinfo.value)
+
+    def test_legacy_meta_without_version_is_accepted(self, tmp_path):
+        store = CampaignCheckpoint(tmp_path)
+        store.meta_path.write_text(json.dumps({"chip": "phenom"}))
+        assert store.read_meta() == {"chip": "phenom"}
+
+    def test_non_object_meta_rejected(self, tmp_path):
+        store = CampaignCheckpoint(tmp_path)
+        store.meta_path.write_text('"a string"')
+        with pytest.raises(CheckpointError):
+            store.read_meta()
+
+
+class TestValidateCampaignMeta:
+    GOOD = {
+        "chip": "bulldozer", "throttle": None, "threads": 4,
+        "mode": "resonant", "population": 16, "generations": 10, "seed": 1,
+    }
+
+    def test_good_meta_passes_through(self):
+        assert validate_campaign_meta(dict(self.GOOD), path="meta.json") \
+            == self.GOOD
+
+    def test_nullable_throttle_accepts_int(self):
+        meta = dict(self.GOOD, throttle=2)
+        assert validate_campaign_meta(meta, path="meta.json") == meta
+
+    def test_missing_field_names_field_and_path(self):
+        meta = dict(self.GOOD)
+        del meta["seed"]
+        with pytest.raises(CheckpointError) as excinfo:
+            validate_campaign_meta(meta, path="campaign/meta.json")
+        assert "seed" in str(excinfo.value)
+        assert "campaign/meta.json" in str(excinfo.value)
+
+    @pytest.mark.parametrize("field, bad", [
+        ("chip", 7),
+        ("threads", "4"),
+        ("mode", None),
+        ("population", True),
+        ("throttle", "off"),
+    ])
+    def test_wrong_type_rejected(self, field, bad):
+        meta = dict(self.GOOD, **{field: bad})
+        with pytest.raises(CheckpointError) as excinfo:
+            validate_campaign_meta(meta, path="meta.json")
+        assert field in str(excinfo.value)

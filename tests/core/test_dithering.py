@@ -138,3 +138,86 @@ class TestAlignmentDroop:
         response = self._response(period=16)
         offsets, _droop = worst_case_alignment(response, cores=2, vdd=1.2, delta=3)
         assert offsets[0] % 4 == 0
+
+
+class TestDitheringEdgeCases:
+    """Boundary conditions: exact mode, a single core, period wrap-around."""
+
+    def _response(self, period=16, depth=0.05, vdd=1.2):
+        t = np.arange(period)
+        return vdd - depth * np.cos(2 * np.pi * t / period)
+
+    # -- delta = 0 is the exact algorithm, explicitly -------------------
+    def test_delta_zero_is_the_default_exact_mode(self):
+        exact = dither_schedules(cores=3, period_cycles=24, m_cycles=96)
+        explicit = dither_schedules(cores=3, period_cycles=24, m_cycles=96,
+                                    delta=0)
+        assert exact == explicit
+        assert alignment_sweep_cycles(
+            cores=3, period_cycles=24, m_cycles=96, delta=0
+        ) == alignment_sweep_cycles(cores=3, period_cycles=24, m_cycles=96)
+
+    def test_delta_zero_divides_any_period(self):
+        # The (L+H) % (delta+1) constraint is vacuous in exact mode: odd
+        # and prime periods are fine.
+        for period in (7, 13, 25):
+            schedules = dither_schedules(cores=2, period_cycles=period,
+                                         m_cycles=4, delta=0)
+            assert schedules[1].pad_cycles == 1
+
+    def test_delta_zero_sweep_is_exhaustive_for_two_cores(self):
+        period, m = 5, 10
+        schedules = dither_schedules(cores=2, period_cycles=period,
+                                     m_cycles=m, delta=0)
+        total = alignment_sweep_cycles(cores=2, period_cycles=period,
+                                       m_cycles=m, delta=0)
+        seen = visited_alignments(
+            schedules, period_cycles=period, total_cycles=total,
+            sample_every=m,
+        )
+        assert seen == {(x,) for x in range(period)}
+
+    # -- a single core has no alignment space ---------------------------
+    def test_single_core_schedule_is_reference_only(self):
+        schedules = dither_schedules(cores=1, period_cycles=24, m_cycles=96)
+        assert len(schedules) == 1
+        assert schedules[0].pad_cycles == 0
+
+    def test_single_core_visits_the_empty_alignment(self):
+        schedules = dither_schedules(cores=1, period_cycles=24, m_cycles=96)
+        seen = visited_alignments(
+            schedules, period_cycles=24, total_cycles=96, sample_every=24
+        )
+        assert seen == {()}
+
+    def test_single_core_worst_case_is_its_own_droop(self):
+        response = self._response()
+        offsets, droop = worst_case_alignment(response, cores=1, vdd=1.2)
+        assert offsets == ()
+        assert droop == pytest.approx(
+            droop_for_alignment(response, (), vdd=1.2))
+        assert droop == pytest.approx(0.05, rel=1e-6)
+
+    # -- offsets at the period boundary wrap around ---------------------
+    def test_phase_wraps_at_the_period_boundary(self):
+        schedule = dither_schedules(cores=2, period_cycles=8, m_cycles=4)[1]
+        # After exactly 8 pads the core is back in phase with core 0.
+        assert schedule.phase_at(8 * schedule.interval_cycles, 8) == 0
+        assert schedule.phase_at(9 * schedule.interval_cycles, 8) == 1
+
+    def test_full_period_offset_equals_aligned(self):
+        response = self._response(period=16)
+        aligned = droop_for_alignment(response, (0,), vdd=1.2)
+        wrapped = droop_for_alignment(response, (16,), vdd=1.2)
+        assert wrapped == pytest.approx(aligned, rel=1e-12)
+
+    def test_offset_period_minus_one_differs_from_aligned(self):
+        response = self._response(period=16)
+        aligned = droop_for_alignment(response, (0,), vdd=1.2)
+        boundary = droop_for_alignment(response, (15,), vdd=1.2)
+        assert boundary < aligned
+
+    def test_worst_case_offsets_stay_inside_the_period(self):
+        response = self._response(period=8)
+        offsets, _droop = worst_case_alignment(response, cores=3, vdd=1.2)
+        assert all(0 <= x < 8 for x in offsets)

@@ -12,13 +12,15 @@ from repro.core.faults import (
     FaultRecord,
     GuardedFitness,
     InjectedFaultError,
+    QuarantineExhaustedError,
     RetryingMeasurements,
+    fault_record_from,
 )
 from repro.core.ga import GaConfig
 from repro.core.genome import GenomeSpace
 from repro.core.platform import MeasurementPlatform
 from repro.core.telemetry import FaultEvent, TelemetryCollector
-from repro.errors import ConfigurationError, MeasurementError
+from repro.errors import ConfigurationError, InvariantViolation, MeasurementError
 from repro.experiments.setup import bulldozer_testbed
 from repro.isa.opcodes import default_table
 
@@ -118,12 +120,14 @@ class TestGuardedFitness:
         assert len(outcome.faults) == 2
         assert all(isinstance(f, FaultRecord) for f in outcome.faults)
 
-    def test_exhaust_raise_propagates_original_error(self):
+    def test_exhaust_raise_wraps_with_original_as_cause(self):
         guard = GuardedFitness(
             FlakyFitness(failures=99), FaultPolicy(max_retries=1)
         )
-        with pytest.raises(MeasurementError):
+        with pytest.raises(QuarantineExhaustedError) as excinfo:
             guard("g")
+        assert isinstance(excinfo.value.__cause__, MeasurementError)
+        assert "2 attempts" in str(excinfo.value)
 
     def test_exhaust_skip_returns_exhausted_outcome(self):
         guard = GuardedFitness(
@@ -230,8 +234,9 @@ class TestEngineFaultHandling:
             FlakyFitness(failures=99, error=InjectedFaultError),
             fault_policy=FaultPolicy(max_retries=1, on_exhaust="raise"),
         )
-        with pytest.raises(InjectedFaultError):
+        with pytest.raises(QuarantineExhaustedError) as excinfo:
             engine.evaluate_many(genomes(2))
+        assert isinstance(excinfo.value.__cause__, InjectedFaultError)
 
     def test_no_policy_keeps_legacy_raise_behaviour(self):
         engine = EvaluationEngine(FlakyFitness(failures=99))
@@ -277,12 +282,47 @@ class TestFaultInjectingBackend:
             platform.measure_program(self.probe(), 2)
         assert backend.counts.exceptions == 1
 
-    def test_corruption_poisons_the_droop(self):
+    def test_nan_corruption_trips_the_platform_guard(self):
         platform, backend = self.chaos_platform(
             FaultInjectionConfig(seed=0, corrupt_rate=1.0))
-        measurement = platform.measure_program(self.probe(), 2)
-        assert np.isnan(measurement.max_droop_v)
+        with pytest.raises(InvariantViolation) as excinfo:
+            platform.measure_program(self.probe(), 2)
+        assert excinfo.value.guard == "voltage-finite"
+        assert excinfo.value.layer == "platform"
         assert backend.counts.corruptions == 1
+
+    def test_corruption_still_poisons_an_unguarded_backend(self):
+        """The raw backend (no platform guard) returns the NaN trace."""
+        inner = bulldozer_testbed().backend
+        backend = FaultInjectingBackend(inner, config=FaultInjectionConfig(
+            seed=0, corrupt_rate=1.0))
+        measurement = backend.measure_program(self.probe(), 2)
+        assert np.isnan(measurement.max_droop_v)
+
+    @pytest.mark.parametrize("mode, guard", [
+        ("nan", "voltage-finite"),
+        ("inf", "voltage-finite"),
+        ("truncate", "trace-length"),
+    ])
+    def test_each_corruption_shape_trips_its_guard(self, mode, guard):
+        """NaN/Inf/truncated traces raise, never score a finite fitness."""
+        platform, _backend = self.chaos_platform(FaultInjectionConfig(
+            seed=0, corrupt_rate=1.0, corrupt_mode=mode))
+        with pytest.raises(InvariantViolation) as excinfo:
+            platform.measure_program(self.probe(), 2)
+        assert excinfo.value.guard == guard
+
+    def test_corrupt_mode_validated(self):
+        with pytest.raises(ConfigurationError):
+            FaultInjectionConfig(corrupt_mode="scramble")
+
+    def test_fault_record_from_tags_invariants(self):
+        record = fault_record_from(
+            InvariantViolation("voltage-finite", "platform", "NaN sample"))
+        assert record.invariant == "voltage-finite"
+        assert record.layer == "platform"
+        plain = fault_record_from(MeasurementError("boom"))
+        assert plain.invariant == "" and plain.layer == ""
 
     def test_clean_calls_pass_through_bit_exact(self):
         platform, _backend = self.chaos_platform(
@@ -327,10 +367,11 @@ class TestRetryingMeasurements:
             MeasurementPlatform(backend=backend), FaultPolicy(max_retries=1))
         from repro.core.resonance import probe_program
 
-        with pytest.raises(InjectedFaultError):
+        with pytest.raises(QuarantineExhaustedError) as excinfo:
             guarded.measure_program(
                 probe_program(TABLE, hp_count=8, lp_nops=8), 2
             )
+        assert isinstance(excinfo.value.__cause__, InjectedFaultError)
 
 
 # ----------------------------------------------------------------------

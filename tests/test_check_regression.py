@@ -33,6 +33,10 @@ def baseline(gate):
             "evals_per_second": 10.0,
             "eval_wall_s": 4.1,
             "cache_hit_rate": 0.3,
+            "qualify_verdict": "PASS",
+            "qualify_robustness": 0.9,
+            "qualify_evaluations": 23,
+            "qualify_evals_per_second": 18.0,
         },
     }
 
@@ -56,10 +60,18 @@ class TestCompare:
         current["metrics"]["evals_per_second"] = 5.0
         problems = gate.compare(baseline, current, tolerance=0.15)
         assert len(problems) == 1
-        assert "throughput regressed 50.0 %" in problems[0]
+        assert "evals_per_second regressed 50.0 %" in problems[0]
+
+    def test_qualify_slowdown_fails(self, gate, baseline):
+        current = copy.deepcopy(baseline)
+        current["metrics"]["qualify_evals_per_second"] = 9.0  # -50 %
+        problems = gate.compare(baseline, current, tolerance=0.15)
+        assert len(problems) == 1
+        assert "qualify_evals_per_second regressed 50.0 %" in problems[0]
 
     @pytest.mark.parametrize("metric", [
         "max_droop_v", "best_fitness", "evaluations", "resonance_hz",
+        "qualify_robustness", "qualify_evaluations",
     ])
     def test_any_determinism_drift_fails(self, gate, baseline, metric):
         current = copy.deepcopy(baseline)
@@ -67,6 +79,13 @@ class TestCompare:
         problems = gate.compare(baseline, current)
         assert len(problems) == 1
         assert metric in problems[0]
+
+    def test_verdict_flip_fails(self, gate, baseline):
+        current = copy.deepcopy(baseline)
+        current["metrics"]["qualify_verdict"] = "ARTIFACT"
+        problems = gate.compare(baseline, current)
+        assert len(problems) == 1
+        assert "qualify_verdict" in problems[0]
 
     def test_tiny_droop_change_fails_even_inside_throughput_band(
         self, gate, baseline

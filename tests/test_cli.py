@@ -44,6 +44,7 @@ class TestCommands:
             "fig3", "fig4", "fig6", "fig9", "fig10",
             "table1", "table2", "table3",
             "sec3b", "sec3c", "sec3-data", "sec5a1", "sec5a5", "sec5-sim",
+            "sec5-qualify",
         }
         assert set(EXPERIMENTS) == expected
 
@@ -162,3 +163,100 @@ class TestCampaignFlags:
         assert policy is not None
         assert policy.on_exhaust == "skip"
         assert policy.max_retries == 2
+
+    def test_qualify_flag_defaults_off(self):
+        args = build_parser().parse_args(["audit"])
+        assert args.qualify is False
+        args = build_parser().parse_args(["audit", "--qualify"])
+        assert args.qualify is True
+
+
+class TestQualifyCommand:
+    QUALIFY = ["qualify", "a-res", "--threads", "2", "--jitter-repeats", "1",
+               "--supply-points", "1"]
+
+    def test_unknown_stressmark_rejected_by_parser(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["qualify", "nonsense"])
+
+    def test_qualify_runs_end_to_end(self, capsys):
+        assert main(self.QUALIFY) == 0
+        out = capsys.readouterr().out
+        assert "qualification — a-res" in out
+        assert "verdict: " in out
+        assert "evaluations" in out
+
+    def test_qualify_checkpoint_resumes_from_bank(self, tmp_path, capsys):
+        bank = [*self.QUALIFY, "--checkpoint-dir", str(tmp_path)]
+        assert main(bank) == 0
+        first = capsys.readouterr().out
+        assert (tmp_path / "qualify_a-res.json").exists()
+        assert main(bank) == 0
+        resumed = capsys.readouterr().out
+        assert "0 evaluations" in resumed
+        assert resumed.splitlines()[0] == first.splitlines()[0]
+
+
+class TestExitCodes:
+    def test_configuration_error_exits_2(self, capsys):
+        code = main(["qualify", "a-res", "--pdn-tolerance", "2.0"])
+        assert code == 2
+        assert "configuration error:" in capsys.readouterr().err
+
+    def test_fault_exhaustion_exits_3(self, capsys, monkeypatch):
+        from repro.core.faults import QuarantineExhaustedError
+
+        def explode(*_args, **_kwargs):
+            raise QuarantineExhaustedError(
+                "evaluation failed on all 3 attempts")
+
+        monkeypatch.setattr("repro.cli._platform", explode)
+        assert main(["sweep"]) == 3
+        assert "fault policy exhausted:" in capsys.readouterr().err
+
+    def test_invariant_violation_exits_4(self, capsys, monkeypatch):
+        from repro.errors import InvariantViolation
+
+        def explode(*_args, **_kwargs):
+            raise InvariantViolation("voltage-finite", "platform",
+                                     "NaN at sample 3")
+
+        monkeypatch.setattr("repro.cli._platform", explode)
+        assert main(["sweep"]) == 4
+        err = capsys.readouterr().err
+        assert "invariant violation:" in err
+        assert "[platform/voltage-finite]" in err
+
+    def test_crash_exits_70_with_report(self, tmp_path, capsys, monkeypatch):
+        monkeypatch.chdir(tmp_path)
+
+        def explode(*_args, **_kwargs):
+            raise RuntimeError("simulated meltdown")
+
+        monkeypatch.setattr("repro.cli._platform", explode)
+        assert main(["sweep"]) == 70
+        err = capsys.readouterr().err
+        assert "internal error: RuntimeError: simulated meltdown" in err
+        assert "crash report: crash_report.json" in err
+        report_path = tmp_path / "crash_report.json"
+        assert report_path.exists()
+        import json
+
+        report = json.loads(report_path.read_text())
+        assert report["command"] == "sweep"
+        assert report["error"] == "RuntimeError: simulated meltdown"
+        assert "simulated meltdown" in report["traceback"]
+        assert isinstance(report["recent_events"], list)
+
+    def test_crash_report_lands_next_to_checkpoint(self, tmp_path, capsys,
+                                                   monkeypatch):
+        campaign = tmp_path / "campaign"
+
+        def explode(*_args, **_kwargs):
+            raise RuntimeError("mid-campaign crash")
+
+        monkeypatch.setattr("repro.cli._platform", explode)
+        code = main(["audit", "--checkpoint-dir", str(campaign)])
+        assert code == 70
+        assert (campaign / "crash_report.json").exists()
+        capsys.readouterr()
