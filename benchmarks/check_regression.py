@@ -11,7 +11,11 @@ them against a committed baseline JSON:
   simulation outputs, so any drift is a behaviour change, not noise;
 * **throughput** (campaign and qualification evaluations/second) may
   wobble with the runner, but a drop of more than ``--tolerance``
-  (default 15 %) fails the gate.
+  (default 15 %) fails the gate;
+* **batched PDN solves** must stay bit-identical to serial measurement
+  (``batched_droop_match``, exact) and at least 2x faster through the
+  PDN stage (``batched_pdn_speedup``, an absolute floor rather than a
+  baseline-relative tolerance).
 
 Usage::
 
@@ -38,7 +42,7 @@ from pathlib import Path
 REPO_ROOT = Path(__file__).resolve().parent.parent
 sys.path.insert(0, str(REPO_ROOT / "src"))
 
-SCHEMA_VERSION = 2
+SCHEMA_VERSION = 3
 DEFAULT_BASELINE = Path(__file__).resolve().parent / "baselines" / "bulldozer.json"
 DEFAULT_SCENARIO = {
     "chip": "bulldozer",
@@ -49,8 +53,11 @@ DEFAULT_SCENARIO = {
 }
 EXACT_METRICS = ("max_droop_v", "best_fitness", "evaluations", "resonance_hz",
                  "qualify_verdict", "qualify_robustness",
-                 "qualify_evaluations")
+                 "qualify_evaluations", "batched_droop_match")
 THROUGHPUT_METRICS = ("evals_per_second", "qualify_evals_per_second")
+#: Absolute floors (not baseline-relative): the batched PDN path must beat
+#: serial per-measurement solves by at least this factor.
+FLOOR_METRICS = {"batched_pdn_speedup": 2.0}
 
 
 class SlowdownBackend:
@@ -82,6 +89,75 @@ class SlowdownBackend:
 
     def stats(self):
         return self.inner.stats()
+
+
+def _batched_pdn_benchmark(scenario: dict) -> dict:
+    """Serial vs batched PDN throughput on a canonical probe grid.
+
+    Measures one resonant probe across a supply sweep plus a set of
+    module-phase alignments — the grids the closed loop actually batches —
+    first serially, then through the batch backend (sharing the serial
+    platform's activity stage so only the PDN solves differ).  Returns the
+    wall-clock speedup and whether every droop/sensitivity matched bit for
+    bit.
+    """
+    import numpy as np
+
+    from repro.core.platform import MeasurementPlatform, SimulatorBackend
+    from repro.core.resonance import probe_program
+    from repro.experiments.setup import bulldozer_testbed, phenom_testbed
+    from repro.isa.opcodes import default_table
+    from repro.pipeline.artifacts import MeasureRequest
+    from repro.pipeline.batch import BatchMeasurementBackend
+
+    testbed = {"bulldozer": bulldozer_testbed, "phenom": phenom_testbed}
+    serial = testbed[scenario["chip"]]()
+    threads = scenario["threads"]
+    pool = default_table().supported_on(serial.chip.extensions)
+    program = probe_program(pool, hp_count=32, lp_nops=95)
+    vdd = serial.chip.vdd
+    requests = [
+        MeasureRequest(program=program, threads=threads,
+                       supply_v=float(supply))
+        for supply in np.linspace(vdd - 0.06, vdd + 0.06, 24)
+    ] + [
+        MeasureRequest(program=program, threads=threads,
+                       module_phases=(k,) + (0,) * (serial.chip.module_count - 1))
+        for k in range(1, 9)
+    ]
+    # Warm the activity profile so both sides time pure PDN-stage work.
+    serial.measure_program(program, threads)
+
+    start = time.perf_counter()
+    serial_results = [
+        serial.measure_program(
+            program, request.threads,
+            module_phases=(list(request.module_phases)
+                           if request.module_phases is not None else None),
+            supply_v=request.supply_v,
+        )
+        for request in requests
+    ]
+    serial_wall = time.perf_counter() - start
+
+    batched = MeasurementPlatform(backend=BatchMeasurementBackend(
+        SimulatorBackend(serial.chip, serial.pdn,
+                         share_stages_with=serial.backend)
+    ))
+    start = time.perf_counter()
+    batch_results = batched.measure_programs(requests)
+    batch_wall = time.perf_counter() - start
+
+    droop_match = all(
+        s.max_droop_v == b.max_droop_v
+        and np.array_equal(s.sensitivity, b.sensitivity)
+        for s, b in zip(serial_results, batch_results)
+    )
+    return {
+        "batched_pdn_speedup": round(serial_wall / batch_wall, 2),
+        "batched_droop_match": bool(droop_match),
+        "batched_rows": len(requests),
+    }
 
 
 def collect_metrics(scenario: dict | None = None,
@@ -118,6 +194,7 @@ def collect_metrics(scenario: dict | None = None,
         config=QualifyConfig(seed=scenario["seed"]),
     )
     report = qualifier.qualify_program(result.program(), name=result.name)
+    batched = _batched_pdn_benchmark(scenario)
     return {
         "schema_version": SCHEMA_VERSION,
         "scenario": scenario,
@@ -134,6 +211,9 @@ def collect_metrics(scenario: dict | None = None,
             "qualify_evaluations": report.evaluations,
             "qualify_evals_per_second": (
                 report.evaluations / report.wall_s if report.wall_s else 0.0),
+            "batched_pdn_speedup": batched["batched_pdn_speedup"],
+            "batched_droop_match": batched["batched_droop_match"],
+            "batched_rows": batched["batched_rows"],
         },
     }
 
@@ -171,6 +251,13 @@ def compare(baseline: dict, current: dict, tolerance: float = 0.15) -> list[str]
                 f"{base[name]:.1f} -> {cur[name]:.1f} evals/s "
                 f"(tolerance {tolerance * 100:.0f} %)"
             )
+    for name, floor in FLOOR_METRICS.items():
+        if cur[name] < floor:
+            problems.append(
+                f"{name} below floor: {cur[name]:.2f} < {floor:.2f} "
+                "(the batched PDN path must beat serial solves by at "
+                "least this factor)"
+            )
     return problems
 
 
@@ -204,6 +291,9 @@ def main(argv: list[str] | None = None) -> int:
           f"(robustness {metrics['qualify_robustness']:.2f}, "
           f"{metrics['qualify_evaluations']} evaluations, "
           f"{metrics['qualify_evals_per_second']:.1f} evals/s)")
+    print(f"batched PDN: {metrics['batched_pdn_speedup']:.2f}x serial over "
+          f"{metrics['batched_rows']} rows, droop match: "
+          f"{metrics['batched_droop_match']}")
 
     if args.out is not None:
         args.out.parent.mkdir(parents=True, exist_ok=True)

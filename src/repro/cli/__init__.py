@@ -1,0 +1,72 @@
+"""Command-line interface: run AUDIT and regenerate paper experiments.
+
+Usage (also available as ``python -m repro``)::
+
+    python -m repro sweep --chip bulldozer
+    python -m repro audit --threads 4 --mode resonant --asm-out a_res.asm
+    python -m repro audit --workers 4 --progress --telemetry-out run.jsonl
+    python -m repro audit --batch-measure --telemetry
+    python -m repro audit --generations 40 --checkpoint-dir campaign/
+    python -m repro audit --resume campaign/
+    python -m repro audit --eval-retries 3 --on-fault penalize
+    python -m repro audit --qualify --checkpoint-dir campaign/
+    python -m repro qualify a-res --threads 4
+    python -m repro bench-evals --generations 6
+    python -m repro experiment table1
+    python -m repro list
+
+Exit codes: 0 success, 1 run error, 2 bad configuration, 3 fault policy
+exhausted, 4 invariant violation (corrupt numerics), 70 internal crash
+(a ``crash_report.json`` is written next to the checkpoint, or in the
+working directory).
+
+The package is split by concern: :mod:`repro.cli._common` (shared flags
+and platform builders), one module per command family, and
+:mod:`repro.cli._main` (parser assembly + crash reporting).
+"""
+
+from __future__ import annotations
+
+from repro.cli._common import (
+    EXIT_CONFIG,
+    EXIT_CRASH,
+    EXIT_FAULTS,
+    EXIT_FAILURE,
+    EXIT_INVARIANT,
+    EXIT_OK,
+    _batched,
+    _fault_policy,
+    _observers,
+    _platform,
+    _platform_factory,
+)
+from repro.cli._audit import cmd_audit
+from repro.cli._experiments import EXPERIMENTS, cmd_experiment, cmd_list
+from repro.cli._main import build_parser, main
+from repro.cli._qualify import CANNED_STRESSMARKS, cmd_qualify
+from repro.cli._tools import cmd_bench_evals, cmd_netlist, cmd_sweep
+
+__all__ = [
+    "CANNED_STRESSMARKS",
+    "EXIT_CONFIG",
+    "EXIT_CRASH",
+    "EXIT_FAILURE",
+    "EXIT_FAULTS",
+    "EXIT_INVARIANT",
+    "EXIT_OK",
+    "EXPERIMENTS",
+    "build_parser",
+    "cmd_audit",
+    "cmd_bench_evals",
+    "cmd_experiment",
+    "cmd_list",
+    "cmd_netlist",
+    "cmd_qualify",
+    "cmd_sweep",
+    "main",
+    "_batched",
+    "_fault_policy",
+    "_observers",
+    "_platform",
+    "_platform_factory",
+]

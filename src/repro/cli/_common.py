@@ -1,0 +1,149 @@
+"""Shared CLI plumbing: exit codes, flags, platform builders, telemetry.
+
+Everything here is command-agnostic; the per-command modules
+(:mod:`repro.cli._audit`, :mod:`repro.cli._qualify`, …) import from this
+module only, never from each other.
+"""
+
+from __future__ import annotations
+
+import argparse
+import functools
+
+from repro.core.faults import FaultPolicy
+from repro.core.platform import MeasurementPlatform
+from repro.core.telemetry import (
+    ConsoleObserver,
+    JsonlObserver,
+    RecentEventsObserver,
+)
+from repro.errors import ConfigurationError, ReproError
+from repro.experiments.setup import bulldozer_testbed, phenom_testbed
+from repro.pipeline.batch import BatchMeasurementBackend
+
+#: Process exit codes (``sysexits``-adjacent; 70 = EX_SOFTWARE).
+EXIT_OK = 0
+EXIT_FAILURE = 1
+EXIT_CONFIG = 2
+EXIT_FAULTS = 3
+EXIT_INVARIANT = 4
+EXIT_CRASH = 70
+
+#: Flight recorder for crash reports; reset per ``main`` invocation.
+_flight_recorder = RecentEventsObserver()
+
+
+def _platform(chip: str, throttle: int | None = None):
+    if chip == "bulldozer":
+        return bulldozer_testbed(fp_throttle=throttle)
+    if chip == "phenom":
+        if throttle is not None:
+            raise ReproError("--throttle is only modelled on the bulldozer chip")
+        return phenom_testbed()
+    raise ReproError(f"unknown chip {chip!r} (expected bulldozer or phenom)")
+
+
+def _platform_factory(chip: str, throttle: int | None = None):
+    """A picklable platform builder for process-pool workers."""
+    return functools.partial(_platform, chip, throttle)
+
+
+def _batched(platform, args):
+    """Wrap *platform* for vectorized PDN solves when ``--batch-measure``.
+
+    Batching runs in-process (the whole point is one scipy call over many
+    candidates), so it is mutually exclusive with ``--workers``.
+    """
+    if not getattr(args, "batch_measure", False):
+        return platform
+    if (getattr(args, "workers", None) or 1) > 1:
+        raise ConfigurationError(
+            "--batch-measure batches PDN solves in-process and cannot be "
+            "combined with --workers"
+        )
+    return MeasurementPlatform(
+        backend=BatchMeasurementBackend(platform.backend)
+    )
+
+
+def _observers(args):
+    """Telemetry sinks selected by CLI flags; returns (observers, jsonl)."""
+    observers = [_flight_recorder]
+    jsonl = None
+    if getattr(args, "progress", False):
+        observers.append(ConsoleObserver())
+    telemetry_out = getattr(args, "telemetry_out", None)
+    if telemetry_out:
+        try:
+            jsonl = JsonlObserver(telemetry_out)
+        except OSError as error:
+            raise ConfigurationError(
+                f"cannot open telemetry log {telemetry_out!r}: {error}"
+            ) from error
+        observers.append(jsonl)
+    return observers, jsonl
+
+
+def _fault_policy(args) -> FaultPolicy | None:
+    """A FaultPolicy from the campaign CLI flags (None = fail-fast)."""
+    if (args.eval_retries is None and args.eval_timeout is None
+            and args.on_fault is None):
+        return None
+    return FaultPolicy(
+        max_retries=args.eval_retries if args.eval_retries is not None else 2,
+        backoff_s=args.eval_backoff,
+        eval_timeout_s=args.eval_timeout,
+        on_exhaust=args.on_fault or "raise",
+    )
+
+
+def _add_telemetry_args(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--workers", type=int, default=None,
+        help="evaluate GA generations on this many worker processes "
+             "(default: serial in-process; worker-side measurement "
+             "counters are merged into the run summary)")
+    parser.add_argument(
+        "--progress", action="store_true",
+        help="narrate generations and phases to stderr")
+    parser.add_argument(
+        "--telemetry-out", default=None, metavar="PATH",
+        help="append per-event telemetry as JSON lines to PATH")
+
+
+def _add_batch_arg(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--batch-measure", action="store_true",
+        help="vectorize compatible PDN solves across candidates (one "
+             "matrix solve per generation/grid; results are bit-identical "
+             "to serial measurement; incompatible with --workers)")
+
+
+def _add_campaign_args(parser: argparse.ArgumentParser) -> None:
+    group = parser.add_mutually_exclusive_group()
+    group.add_argument(
+        "--checkpoint-dir", default=None, metavar="DIR",
+        help="write an atomic campaign snapshot (GA population, RNG state, "
+             "fitness cache) to DIR every generation")
+    group.add_argument(
+        "--resume", default=None, metavar="DIR",
+        help="resume the campaign checkpointed in DIR and keep "
+             "checkpointing there; run parameters come from the stored "
+             "meta, and the final stressmark is identical to an "
+             "uninterrupted run")
+    parser.add_argument(
+        "--eval-retries", type=int, default=None, metavar="N",
+        help="retry a faulting measurement up to N times before the "
+             "--on-fault action (enables the fault policy)")
+    parser.add_argument(
+        "--eval-backoff", type=float, default=0.0, metavar="SECONDS",
+        help="base backoff between retries (doubles per attempt)")
+    parser.add_argument(
+        "--eval-timeout", type=float, default=None, metavar="SECONDS",
+        help="watchdog budget per evaluation; slower attempts count as "
+             "faults (enables the fault policy)")
+    parser.add_argument(
+        "--on-fault", default=None, choices=("raise", "skip", "penalize"),
+        help="what to do with a genome once retries are exhausted: kill "
+             "the run, quarantine at -inf fitness, or quarantine at the "
+             "penalty fitness (enables the fault policy)")

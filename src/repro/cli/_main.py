@@ -1,0 +1,98 @@
+"""Parser assembly, crash reporting, and the ``main`` entry point."""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+import traceback
+from pathlib import Path
+
+from repro.core.faults import QuarantineExhaustedError
+from repro.core.telemetry import RecentEventsObserver
+from repro.errors import ConfigurationError, InvariantViolation, ReproError
+
+from repro.cli import _audit, _common, _experiments, _qualify, _tools
+from repro.cli._common import (
+    EXIT_CONFIG,
+    EXIT_CRASH,
+    EXIT_FAULTS,
+    EXIT_FAILURE,
+    EXIT_INVARIANT,
+)
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="AUDIT reproduction: di/dt stressmark generation",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+    _tools.register_sweep(sub)
+    _audit.register(sub)
+    _qualify.register(sub)
+    _tools.register_bench(sub)
+    _tools.register_netlist(sub)
+    _experiments.register(sub)
+    return parser
+
+
+def _crash_report(args, error: BaseException) -> str | None:
+    """Write ``crash_report.json`` for an unhandled exception.
+
+    The report lands next to the campaign checkpoint when one is
+    configured (the natural place to look after an overnight run died),
+    otherwise in the working directory.  It carries the parsed CLI args,
+    the traceback, and the tail of the telemetry event stream — enough
+    to reconstruct what the run was doing when it went down.
+    """
+    directory = (getattr(args, "checkpoint_dir", None)
+                 or getattr(args, "resume", None) or ".")
+    path = Path(directory) / "crash_report.json"
+    payload = {
+        "command": getattr(args, "command", None),
+        "args": {
+            key: value for key, value in vars(args).items()
+            if isinstance(value, (str, int, float, bool, type(None)))
+        },
+        "error": f"{type(error).__name__}: {error}",
+        "traceback": traceback.format_exc(),
+        "recent_events": _common._flight_recorder.tail(),
+        "written_at": time.time(),
+    }
+    try:
+        path.parent.mkdir(parents=True, exist_ok=True)
+        with open(path, "w") as handle:
+            json.dump(payload, handle, indent=2)
+    except OSError:
+        return None  # never let the crash reporter mask the crash
+    return str(path)
+
+
+def main(argv: list[str] | None = None) -> int:
+    _common._flight_recorder = RecentEventsObserver()
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    try:
+        return args.fn(args)
+    except ConfigurationError as error:
+        print(f"configuration error: {error}", file=sys.stderr)
+        return EXIT_CONFIG
+    except QuarantineExhaustedError as error:
+        print(f"fault policy exhausted: {error}", file=sys.stderr)
+        return EXIT_FAULTS
+    except InvariantViolation as error:
+        print(f"invariant violation: {error}", file=sys.stderr)
+        return EXIT_INVARIANT
+    except ReproError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return EXIT_FAILURE
+    except KeyboardInterrupt:
+        raise
+    except Exception as error:  # noqa: BLE001 — last-resort crash report
+        report = _crash_report(args, error)
+        where = f" (crash report: {report})" if report else ""
+        print(f"internal error: {type(error).__name__}: {error}{where}",
+              file=sys.stderr)
+        return EXIT_CRASH

@@ -1,0 +1,124 @@
+"""The ``qualify`` command: perturbation sweep + verdict for canned marks."""
+
+from __future__ import annotations
+
+from repro.core.engine import make_executor
+from repro.core.qualify import (
+    QualificationCheckpoint,
+    QualifyConfig,
+    StressmarkQualifier,
+)
+from repro.core.telemetry import TelemetryCollector
+from repro.errors import ConfigurationError
+from repro.isa.opcodes import default_table
+
+from repro.cli._common import (
+    EXIT_OK,
+    _add_batch_arg,
+    _add_telemetry_args,
+    _batched,
+    _observers,
+    _platform_factory,
+)
+
+#: Canned stressmarks ``repro qualify`` can re-measure by name.
+CANNED_STRESSMARKS = ("a-res", "a-ex", "sm-res", "sm1", "sm2", "joseph-brooks")
+
+
+def _canned_kernel(name: str, pool):
+    from repro.workloads import stressmarks as sm
+
+    builders = {
+        "a-res": sm.a_res_canned,
+        "a-ex": sm.a_ex_canned,
+        "sm-res": sm.sm_res,
+        "sm1": sm.sm1,
+        "sm2": sm.sm2,
+        "joseph-brooks": sm.joseph_brooks,
+    }
+    try:
+        builder = builders[name]
+    except KeyError:
+        raise ConfigurationError(
+            f"unknown stressmark {name!r} "
+            f"(expected one of {', '.join(CANNED_STRESSMARKS)})"
+        ) from None
+    return builder(pool)
+
+
+def cmd_qualify(args) -> int:
+    """Qualify one canned stressmark: perturbation sweep + verdict."""
+    from repro.cli import _platform
+
+    platform = _batched(_platform(args.chip), args)
+    pool = default_table().supported_on(platform.chip.extensions)
+    from repro.workloads.stressmarks import stressmark_program
+
+    program = stressmark_program(_canned_kernel(args.stressmark, pool))
+    config = QualifyConfig(
+        seed=args.seed,
+        jitter_repeats=args.jitter_repeats,
+        supply_span_v=args.supply_span,
+        supply_points=args.supply_points,
+        pdn_tolerance=args.pdn_tolerance,
+    )
+    observers, jsonl = _observers(args)
+    collector = TelemetryCollector()
+    observers.append(collector)
+    executor = make_executor(args.workers)
+    checkpoint = (QualificationCheckpoint(args.checkpoint_dir)
+                  if args.checkpoint_dir else None)
+    qualifier = StressmarkQualifier(
+        platform,
+        threads=args.threads,
+        config=config,
+        executor=executor,
+        observers=observers,
+        platform_factory=_platform_factory(args.chip),
+        checkpoint=checkpoint,
+    )
+    try:
+        report = qualifier.qualify_program(program, name=args.stressmark)
+    finally:
+        executor.close()
+        if jsonl is not None:
+            jsonl.close()
+    print(report.summary_table())
+    print(f"\nverdict: {report.verdict} "
+          f"(robustness {report.robustness:.2f}, "
+          f"{report.evaluations} evaluations, "
+          f"{report.cache_hits} cache hits, {report.wall_s:.1f}s)")
+    if args.telemetry:
+        print("\n" + collector.summary_table(platform.stats()))
+    return EXIT_OK
+
+
+def register(sub) -> None:
+    qualify = sub.add_parser(
+        "qualify",
+        help="re-measure a canned stressmark under perturbations and "
+             "render a PASS/FRAGILE/ARTIFACT verdict",
+    )
+    qualify.add_argument("stressmark", choices=CANNED_STRESSMARKS)
+    qualify.add_argument("--chip", default="bulldozer",
+                         choices=("bulldozer", "phenom"))
+    qualify.add_argument("--threads", type=int, default=4)
+    qualify.add_argument("--seed", type=int, default=0,
+                         help="seed of the perturbation grid")
+    qualify.add_argument("--jitter-repeats", type=int, default=4,
+                         help="SMT jitter reseeds to sweep")
+    qualify.add_argument("--supply-span", type=float, default=0.05,
+                         metavar="VOLTS",
+                         help="supply sweep half-width around nominal Vdd")
+    qualify.add_argument("--supply-points", type=int, default=5)
+    qualify.add_argument("--pdn-tolerance", type=float, default=0.10,
+                         help="relative R/L/C/ESR component tolerance")
+    qualify.add_argument(
+        "--checkpoint-dir", default=None, metavar="DIR",
+        help="persist measured perturbations to DIR after every axis; "
+             "rerunning resumes from the banked measurements")
+    qualify.add_argument("--telemetry", action="store_true",
+                         help="print the run-telemetry summary table")
+    _add_telemetry_args(qualify)
+    _add_batch_arg(qualify)
+    qualify.set_defaults(fn=cmd_qualify)

@@ -36,7 +36,13 @@ from repro.core.qualify import (
     StressmarkQualifier,
 )
 from repro.core.resonance import ResonanceSweepResult, find_resonance
-from repro.core.telemetry import CheckpointEvent, PhaseEvent, RunObserver, notify
+from repro.core.telemetry import (
+    CheckpointEvent,
+    MeasurementStatsEvent,
+    PhaseEvent,
+    RunObserver,
+    notify,
+)
 
 
 class StressmarkMode(str, Enum):
@@ -260,6 +266,9 @@ class AuditRunner:
         cfg = self.config
         if resume and checkpoint is None:
             raise CheckpointError("resume=True needs a checkpoint store")
+        attach = getattr(self.platform, "attach_observers", None)
+        if attach is not None:
+            attach(self.observers)
         # GA evaluations are guarded inside the engine; the sweep and the
         # final verification measure directly, so guard them here too.
         measure_platform = self.platform
@@ -368,6 +377,11 @@ class AuditRunner:
                     f"{qualification.verdict}"
                     + (", winner demoted" if qualification.demoted else "")
                 ),
+            ))
+        stats_fn = getattr(self.platform, "stats", None)
+        if stats_fn is not None:
+            notify(self.observers, MeasurementStatsEvent(
+                stats=stats_fn().to_dict(), source="audit",
             ))
         return AuditResult(
             name=label,

@@ -37,6 +37,7 @@ from repro.core.codegen import DEFAULT_ITERATIONS, genome_to_program
 from repro.core.cost import MaxDroopCost
 from repro.core.faults import EvalOutcome, FaultPolicy, GuardedFitness
 from repro.core.platform import MeasurementPlatform
+from repro.pipeline.artifacts import MeasureRequest
 from repro.core.telemetry import (
     EvaluationEvent,
     FaultEvent,
@@ -208,17 +209,64 @@ class StressmarkFitness(Generic[G]):
         )
         return float(self.cost.evaluate(measurement))
 
+    def stats_probe(self):
+        """Current platform counters (for worker-side stats deltas)."""
+        platform = self._resolve_platform()
+        stats_fn = getattr(platform, "stats", None)
+        return stats_fn() if stats_fn is not None else None
+
+    def evaluate_batch(self, genomes: Sequence[G]) -> list[EvalOutcome] | None:
+        """Score a batch through the platform's vectorized measure path.
+
+        Returns ``None`` when the platform has no batch support, so the
+        engine falls back to the per-genome executor map.  Results are
+        bit-identical to serial calls (the batch backend guarantees it);
+        per-genome wall time is the batch wall split evenly.
+        """
+        platform = self._resolve_platform()
+        if not getattr(platform, "supports_batch_measure", False):
+            return None
+        start = time.perf_counter()
+        requests = [
+            MeasureRequest(
+                program=genome_to_program(
+                    genome, self.space, iterations=self.iterations
+                ),
+                threads=self.threads,
+            )
+            for genome in genomes
+        ]
+        measurements = platform.measure_programs(requests)
+        wall = time.perf_counter() - start
+        per_genome = wall / max(1, len(genomes))
+        return [
+            EvalOutcome(
+                value=float(self.cost.evaluate(measurement)),
+                wall_s=per_genome,
+                attempts=1,
+            )
+            for measurement in measurements
+        ]
+
 
 @dataclass(frozen=True)
 class _TimedFitness:
-    """Wraps a fitness callable to report per-evaluation wall time."""
+    """Wraps a fitness callable into a stats-carrying :class:`EvalOutcome`."""
 
     fitness: Callable
 
-    def __call__(self, genome) -> tuple[float, float]:
+    def __call__(self, genome) -> EvalOutcome:
+        probe = getattr(self.fitness, "stats_probe", None)
+        stats_before = probe() if probe is not None else None
         start = time.perf_counter()
         value = float(self.fitness(genome))
-        return value, time.perf_counter() - start
+        wall_s = time.perf_counter() - start
+        stats = None
+        if stats_before is not None:
+            stats_after = probe()
+            if stats_after is not None:
+                stats = stats_after.delta(stats_before)
+        return EvalOutcome(value=value, wall_s=wall_s, attempts=1, stats=stats)
 
 
 def _genome_label(genome) -> str:
@@ -325,16 +373,22 @@ class EvaluationEngine(Generic[G]):
                 fresh.append(genome)
                 seen.add(genome)
         if fresh:
-            if self.fault_policy is None:
-                timed = self.executor.map(_TimedFitness(self.fitness), fresh)
-                outcomes = [
-                    EvalOutcome(value=value, wall_s=wall_s, attempts=1)
-                    for value, wall_s in timed
-                ]
-            else:
-                outcomes = self.executor.map(
-                    GuardedFitness(self.fitness, self.fault_policy), fresh
-                )
+            outcomes = None
+            if (
+                self.fault_policy is None
+                and getattr(self.executor, "workers", 1) <= 1
+            ):
+                batch_eval = getattr(self.fitness, "evaluate_batch", None)
+                if batch_eval is not None:
+                    outcomes = batch_eval(fresh)
+            if outcomes is None:
+                if self.fault_policy is None:
+                    outcomes = self.executor.map(_TimedFitness(self.fitness), fresh)
+                else:
+                    outcomes = self.executor.map(
+                        GuardedFitness(self.fitness, self.fault_policy), fresh
+                    )
+            self._absorb_worker_stats(outcomes)
             for genome, outcome in zip(fresh, outcomes):
                 value = self._record_outcome(genome, outcome)
                 self._cache[genome] = value
@@ -368,6 +422,25 @@ class EvaluationEngine(Generic[G]):
                 )
             out.append(value)
         return out
+
+    # ------------------------------------------------------------------
+    def _absorb_worker_stats(self, outcomes: Sequence[EvalOutcome]) -> None:
+        """Merge per-worker measurement stats into the engine's platform.
+
+        Worker processes accumulate :class:`MeasurementStats` in their own
+        rebuilt platforms, which die with the pool; each outcome carries the
+        per-evaluation delta so the run summary reports the true sim/PDN
+        split.  Serial evaluations already hit the live platform directly, so
+        merging there would double-count.
+        """
+        if getattr(self.executor, "workers", 1) <= 1:
+            return
+        absorb = getattr(self.platform, "absorb_worker_stats", None)
+        if absorb is None:
+            return
+        for outcome in outcomes:
+            if outcome.stats is not None:
+                absorb(outcome.stats)
 
     # ------------------------------------------------------------------
     def _record_outcome(self, genome: G, outcome: EvalOutcome) -> float:

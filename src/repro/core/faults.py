@@ -151,6 +151,11 @@ class EvalOutcome:
     wall_s: float
     attempts: int
     faults: tuple[FaultRecord, ...] = ()
+    stats: object | None = None
+    """A :class:`~repro.core.platform.MeasurementStats` delta: the platform
+    work this evaluation performed (set when the fitness exposes a
+    ``stats_probe``).  Parallel engines merge worker deltas into the
+    parent platform so ``--workers N`` telemetry stays complete."""
 
     @property
     def exhausted(self) -> bool:
@@ -175,6 +180,8 @@ class GuardedFitness:
     def __call__(self, genome) -> EvalOutcome:
         policy = self.policy
         faults: list[FaultRecord] = []
+        probe = getattr(self.fitness, "stats_probe", None)
+        stats_before = probe() if probe is not None else None
         start = time.perf_counter()
         attempts = policy.max_retries + 1
         for attempt in range(attempts):
@@ -197,6 +204,7 @@ class GuardedFitness:
                     wall_s=time.perf_counter() - start,
                     attempts=attempt + 1,
                     faults=tuple(faults),
+                    stats=self._stats_delta(probe, stats_before),
                 )
             except Exception as error:
                 faults.append(fault_record_from(error))
@@ -216,7 +224,17 @@ class GuardedFitness:
             wall_s=time.perf_counter() - start,
             attempts=attempts,
             faults=tuple(faults),
+            stats=self._stats_delta(probe, stats_before),
         )
+
+    @staticmethod
+    def _stats_delta(probe, stats_before):
+        if probe is None or stats_before is None:
+            return None
+        stats_after = probe()
+        if stats_after is None:
+            return None
+        return stats_after.delta(stats_before)
 
 
 class RetryingMeasurements:
@@ -253,7 +271,13 @@ class RetryingMeasurements:
             lambda: self._platform.measure_current(*args, **kwargs)
         )
 
-    def _retry(self, measure):
+    def measure_programs(self, *args, **kwargs):
+        return self._retry(
+            lambda: self._platform.measure_programs(*args, **kwargs),
+            batch=True,
+        )
+
+    def _retry(self, measure, *, batch: bool = False):
         from repro.core.telemetry import FaultEvent, InvariantEvent, notify
 
         policy = self._policy
@@ -261,11 +285,13 @@ class RetryingMeasurements:
         for attempt in range(attempts):
             try:
                 measurement = measure()
-                droop = measurement.max_droop_v
-                if not math.isfinite(droop):
-                    raise CorruptMeasurementError(
-                        f"measurement produced non-finite droop {droop!r}"
-                    )
+                results = measurement if batch else (measurement,)
+                for result in results:
+                    droop = result.max_droop_v
+                    if not math.isfinite(droop):
+                        raise CorruptMeasurementError(
+                            f"measurement produced non-finite droop {droop!r}"
+                        )
                 return measurement
             except Exception as error:
                 final = attempt + 1 >= attempts

@@ -4,104 +4,69 @@ This is the only place where AUDIT touches the machine (paper Fig. 5): a
 candidate stressmark goes in, a voltage measurement comes out.  On the
 paper's testbed that box is a processor board plus an oscilloscope; here it
 is the chip model (:mod:`repro.uarch`) feeding the PDN solver
-(:mod:`repro.pdn`).  The seam is now explicit: anything implementing the
+(:mod:`repro.pdn`).  The seam is explicit: anything implementing the
 :class:`MeasurementBackend` protocol — including one that runs NASM output
 on real silicon — drops into :class:`MeasurementPlatform` unchanged, and
 nothing above this layer knows which backend it is talking to.
 
-The platform facade adds what every backend needs regardless of substrate:
-argument validation (thread counts, supply voltages), measurement counting,
-and aggregate :class:`MeasurementStats` for run telemetry.  The default
-:class:`SimulatorBackend` additionally reuses module-simulator traces across
-measurements (failure sweeps at many ``supply_v`` values and dithering/phase
-scans re-solve only the PDN, never the pipeline) and accounts its time split
-between the module simulator and the PDN solve.
+The measurement itself runs as the staged pipeline in
+:mod:`repro.pipeline`: compile (thread placement) → activity (module
+simulation + periodicity verification) → pdn (steady-state/transient
+solve) → analyze (droop/sensitivity assembly), with per-stage caches
+keyed by artifact content hashes and per-stage timing telemetry.
+:class:`SimulatorBackend` remains the compatibility facade over that
+pipeline — its public surface (``chip_sim``, ``solver_at``, ``stats`` …)
+is unchanged, so existing tests, checkpoints, and experiment harnesses
+keep working.
 
 Measurement strategy
 --------------------
 
-Stressmark loops reach a steady periodic state; the backend extracts the
-verified per-period activity profile from the module simulator and evaluates
-the PDN's *exact periodic steady state* — the droop after the resonance has
-fully built up (M iterations in the paper's notation).  Thread/module phase
-offsets are applied by rolling the periodic profiles, which is what makes
-dithering sweeps and GA fitness cheap.  Runs that never become periodic
-(e.g. heterogeneous threads fighting over the shared FPU) fall back to a
-long time-domain transient.
+Stressmark loops reach a steady periodic state; the activity stage
+extracts the verified per-period profile from the module simulator and
+the PDN stage evaluates the *exact periodic steady state* — the droop
+after the resonance has fully built up (M iterations in the paper's
+notation).  Thread/module phase offsets are applied by rolling the
+periodic profiles, which is what makes dithering sweeps and GA fitness
+cheap.  Runs that never become periodic (e.g. heterogeneous threads
+fighting over the shared FPU) fall back to a long time-domain transient,
+and the pipeline emits a ``StageEvent`` naming the reason.
 """
 
 from __future__ import annotations
 
-import time
-from dataclasses import dataclass
+from dataclasses import dataclass, fields
 from typing import Protocol, runtime_checkable
 
 import numpy as np
 
-from repro.errors import ConfigurationError, MeasurementError
+from repro.errors import ConfigurationError
 from repro.isa.kernels import ThreadProgram
-from repro.osmodel.affinity import spread_placement
 from repro.pdn.elements import PdnParameters
-from repro.pdn.network import PdnNetwork
-from repro.pdn.transient import TransientSolver, VoltageTrace
+from repro.pipeline.artifacts import Measurement, MeasureRequest
+from repro.pipeline.pipeline import MeasurementPipeline
+from repro.pipeline.stages import (
+    DEFAULT_JITTER_SEED,
+    DEFAULT_WARMUP_ITERATIONS,
+    FALLBACK_TILE_CYCLES,
+    IDLE_PAD_CYCLES,
+    PdnStage,
+)
 from repro.power.trace import CurrentTrace
-from repro.uarch.chip import ChipSimulator
 from repro.uarch.config import ChipConfig
 from repro.validation.invariants import check_measurement
 
-#: Iterations simulated per module run: enough for any kernel that will
-#: stabilise to do so and leave >= 3 repetitions for verification.
-DEFAULT_WARMUP_ITERATIONS = 48
-
-#: Cycles of idle machine prepended on the transient fallback path.
-IDLE_PAD_CYCLES = 512
-
-#: Periods of steady activity tiled on the transient fallback path.
-FALLBACK_TILE_CYCLES = 20_000
-
-#: Default seed of the SMT loop-phase random walk (kept stable so seed
-#: benches reproduce; configurable via ``MeasurementPlatform(jitter_seed=)``).
-DEFAULT_JITTER_SEED = 0xD17D7
-
-
-@dataclass(frozen=True)
-class Measurement:
-    """One platform measurement of a running program or workload."""
-
-    voltage: VoltageTrace
-    sensitivity: np.ndarray
-    current: CurrentTrace
-    period_cycles: int | None
-    supply_v: float
-    iteration_cycles: float | None = None
-    """Average cycles per loop iteration (may be fractional); the loop's
-    fundamental repetition rate.  ``period_cycles`` is the exactly-repeating
-    activity window, which can span several iterations."""
-
-    @property
-    def max_droop_v(self) -> float:
-        return self.voltage.max_droop_v
-
-    @property
-    def max_overshoot_v(self) -> float:
-        return self.voltage.max_overshoot_v
-
-    @property
-    def mean_current_a(self) -> float:
-        return self.current.mean_a
-
-    @property
-    def mean_power_w(self) -> float:
-        return self.mean_current_a * self.supply_v
-
-    @property
-    def steady_frequency_hz(self) -> float | None:
-        """Fundamental (per-iteration) frequency of the activity, if periodic."""
-        if self.iteration_cycles is not None:
-            return 1.0 / (self.iteration_cycles * self.current.dt)
-        if self.period_cycles is None:
-            return None
-        return 1.0 / (self.period_cycles * self.current.dt)
+__all__ = [
+    "DEFAULT_JITTER_SEED",
+    "DEFAULT_WARMUP_ITERATIONS",
+    "FALLBACK_TILE_CYCLES",
+    "IDLE_PAD_CYCLES",
+    "Measurement",
+    "MeasurementBackend",
+    "MeasurementPlatform",
+    "MeasurementStats",
+    "SimulatorBackend",
+]
 
 
 @dataclass(frozen=True)
@@ -116,6 +81,31 @@ class MeasurementStats:
     periodic_measurements: int = 0
     jittered_measurements: int = 0
     transient_measurements: int = 0
+    profile_cache_hits: int = 0
+    pdn_cache_hits: int = 0
+    batched_solves: int = 0
+    batched_rows: int = 0
+    stage_compile_s: float = 0.0
+    stage_activity_s: float = 0.0
+    stage_pdn_s: float = 0.0
+    stage_analyze_s: float = 0.0
+
+    def merge(self, other: "MeasurementStats") -> "MeasurementStats":
+        """Field-wise sum — combining counters from separate platforms."""
+        return MeasurementStats(**{
+            f.name: getattr(self, f.name) + getattr(other, f.name)
+            for f in fields(self)
+        })
+
+    def delta(self, baseline: "MeasurementStats") -> "MeasurementStats":
+        """Field-wise difference — the work done since *baseline*."""
+        return MeasurementStats(**{
+            f.name: getattr(self, f.name) - getattr(baseline, f.name)
+            for f in fields(self)
+        })
+
+    def to_dict(self) -> dict:
+        return {f.name: getattr(self, f.name) for f in fields(self)}
 
 
 @runtime_checkable
@@ -152,7 +142,17 @@ class MeasurementBackend(Protocol):
 
 
 class SimulatorBackend:
-    """The software testbed: chip model + PDN solver (the default backend)."""
+    """The software testbed: chip model + PDN solver (the default backend).
+
+    A thin facade over :class:`~repro.pipeline.pipeline.MeasurementPipeline`.
+    Pass ``share_stages_with=`` another simulator backend to reuse its
+    activity stage (chip simulator + profile cache) and counter ledger —
+    the qualifier's perturbed-PDN platforms do this so chip-simulation
+    work is performed and counted exactly once.
+    """
+
+    JITTER_REPETITIONS = PdnStage.JITTER_REPETITIONS
+    JITTER_STEP_CYCLES = PdnStage.JITTER_STEP_CYCLES
 
     def __init__(
         self,
@@ -162,92 +162,87 @@ class SimulatorBackend:
         warmup_iterations: int = DEFAULT_WARMUP_ITERATIONS,
         jitter_seed: int = DEFAULT_JITTER_SEED,
         jitter_step_cycles: int | None = None,
+        share_stages_with: "SimulatorBackend | None" = None,
     ):
-        if abs(pdn.vdd_nominal - chip.vdd) > 1e-9:
-            raise ConfigurationError(
-                "PDN nominal voltage must match the chip supply "
-                f"({pdn.vdd_nominal} != {chip.vdd})"
-            )
-        if warmup_iterations < 8:
-            raise ConfigurationError("warmup_iterations must be >= 8")
+        activity = counters = None
+        if share_stages_with is not None:
+            activity = share_stages_with.pipeline.activity
+            counters = share_stages_with.pipeline.counters
         self.chip = chip
-        self.pdn = pdn
-        self.warmup_iterations = warmup_iterations
-        self.jitter_seed = jitter_seed
-        if jitter_step_cycles is None:
-            jitter_step_cycles = self.JITTER_STEP_CYCLES
-        if jitter_step_cycles < 0:
-            raise ConfigurationError("jitter_step_cycles must be >= 0")
-        self.jitter_step_cycles = jitter_step_cycles
-        self.chip_sim = ChipSimulator(chip)
-        self._solvers: dict[float, TransientSolver] = {}
-        self._pdn_time_s = 0.0
-        self._path_counts = {"periodic": 0, "jittered": 0, "transient": 0}
-        self._measurements = 0
+        self.pipeline = MeasurementPipeline(
+            chip, pdn,
+            warmup_iterations=warmup_iterations,
+            jitter_seed=jitter_seed,
+            jitter_step_cycles=jitter_step_cycles,
+            activity=activity,
+            counters=counters,
+        )
+
+    # ------------------------------------------------------------------
+    # Simulator surface (stable across the pipeline refactor)
+    # ------------------------------------------------------------------
+    @property
+    def pdn(self) -> PdnParameters:
+        return self.pipeline.pdn_stage.pdn
+
+    @property
+    def warmup_iterations(self) -> int:
+        return self.pipeline.activity.warmup_iterations
+
+    @property
+    def jitter_seed(self) -> int:
+        return self.pipeline.pdn_stage.jitter_seed
+
+    @property
+    def jitter_step_cycles(self) -> int:
+        return self.pipeline.pdn_stage.jitter_step_cycles
+
+    @property
+    def chip_sim(self):
+        return self.pipeline.activity.chip_sim
+
+    @chip_sim.setter
+    def chip_sim(self, value) -> None:
+        self.pipeline.activity.chip_sim = value
+
+    def solver_at(self, supply_v: float):
+        return self.pipeline.pdn_stage.solver_at(supply_v)
+
+    def _current_from_energy(self, energy_pj, *, active_threads, supply_v):
+        return self.pipeline.pdn_stage.current_from_energy(
+            energy_pj, active_threads=active_threads, supply_v=supply_v
+        )
+
+    def _idle_module_current(self) -> float:
+        return self.pipeline.pdn_stage.idle_module_current()
 
     # ------------------------------------------------------------------
     # Telemetry
     # ------------------------------------------------------------------
     def stats(self) -> MeasurementStats:
         sim = self.chip_sim
+        c = self.pipeline.counters
         return MeasurementStats(
-            measurements=self._measurements,
+            measurements=c.measurements,
             module_runs=sim.module_runs,
             module_cache_hits=sim.module_cache_hits,
             sim_time_s=sim.sim_time_s,
-            pdn_time_s=self._pdn_time_s,
-            periodic_measurements=self._path_counts["periodic"],
-            jittered_measurements=self._path_counts["jittered"],
-            transient_measurements=self._path_counts["transient"],
+            pdn_time_s=c.pdn_time_s,
+            periodic_measurements=c.path_counts["periodic"],
+            jittered_measurements=c.path_counts["jittered"],
+            transient_measurements=c.path_counts["transient"],
+            profile_cache_hits=c.profile_cache_hits,
+            pdn_cache_hits=c.pdn_cache_hits,
+            batched_solves=c.batched_solves,
+            batched_rows=c.batched_rows,
+            stage_compile_s=c.stage_wall_s.get("compile", 0.0),
+            stage_activity_s=c.stage_wall_s.get("activity", 0.0),
+            stage_pdn_s=c.stage_wall_s.get("pdn", 0.0),
+            stage_analyze_s=c.stage_wall_s.get("analyze", 0.0),
         )
 
-    def _solve(self, solve_fn, *args, **kwargs) -> VoltageTrace:
-        start = time.perf_counter()
-        voltage = solve_fn(*args, **kwargs)
-        self._pdn_time_s += time.perf_counter() - start
-        return voltage
-
     # ------------------------------------------------------------------
-    # Solvers per supply voltage (failure sweeps reuse module simulations)
-    # ------------------------------------------------------------------
-    def solver_at(self, supply_v: float) -> TransientSolver:
-        solver = self._solvers.get(supply_v)
-        if solver is None:
-            params = PdnParameters(
-                vdd_nominal=supply_v,
-                board=self.pdn.board,
-                package=self.pdn.package,
-                die=self.pdn.die,
-                load_line_ohm=self.pdn.load_line_ohm,
-            )
-            solver = TransientSolver(PdnNetwork(params), self.chip.cycle_time_s)
-            self._solvers[supply_v] = solver
-        return solver
-
-    def _current_from_energy(
-        self, energy_pj: np.ndarray, *, active_threads: int, supply_v: float
-    ) -> np.ndarray:
-        """Per-cycle module current at an arbitrary supply voltage.
-
-        Lower supply means more current for the same switching energy —
-        the feedback that deepens droops as the failure sweep descends.
-        """
-        p = self.chip.power
-        dynamic = (
-            np.asarray(energy_pj, dtype=np.float64)
-            * 1e-12
-            / (supply_v * self.chip.cycle_time_s)
-        )
-        clock = np.full_like(dynamic, active_threads * p.idle_clock_a)
-        gated = active_threads * p.idle_clock_a * (1.0 - p.clock_gating_efficiency)
-        clock[dynamic == 0.0] = gated
-        return active_threads * p.leakage_a + clock + dynamic
-
-    def _idle_module_current(self) -> float:
-        return self.chip_sim.idle_module_current()
-
-    # ------------------------------------------------------------------
-    # Program measurement
+    # Measurement
     # ------------------------------------------------------------------
     def measure_program(
         self,
@@ -274,195 +269,16 @@ class SimulatorBackend:
         droop excitation across the threads" (Section V.A.2).  Pass 0 to
         force lockstep siblings.
         """
-        supply = self.chip.vdd if supply_v is None else supply_v
-        if supply <= 0:
-            raise ConfigurationError("supply voltage must be positive")
-        self._measurements += 1
-        counts = spread_placement(self.chip, threads)
-        traces = []
-        for count in counts:
-            if count == 0:
-                traces.append(None)
-            else:
-                programs = self._module_programs(program, count, smt_phase_cycles)
-                traces.append(
-                    self.chip_sim.run_module(
-                        programs, max_iterations=self.warmup_iterations
-                    )
-                )
-        phases = module_phases or [0] * self.chip.module_count
-        if len(phases) != self.chip.module_count:
-            raise MeasurementError("one phase per module required")
+        return self.pipeline.measure(MeasureRequest(
+            program=program,
+            threads=threads,
+            module_phases=(
+                tuple(module_phases) if module_phases is not None else None
+            ),
+            supply_v=supply_v,
+            smt_phase_cycles=smt_phase_cycles,
+        ))
 
-        profiles = []
-        for trace in traces:
-            if trace is None:
-                profiles.append(None)
-                continue
-            profiles.append(trace.periodic_profile())
-
-        active = [
-            (trace, profile, counts[i], phases[i])
-            for i, (trace, profile) in enumerate(zip(traces, profiles))
-            if trace is not None
-        ]
-        periods = {p[1][2] for p in active if p[1] is not None}
-        all_periodic = all(p[1] is not None for p in active) and len(periods) == 1
-        iteration_cycles = active[0][0].steady_period(0) if active else None
-        smt = any(count == 2 for count in counts)
-        if all_periodic and not smt:
-            self._path_counts["periodic"] += 1
-            return self._measure_periodic(active, supply, iteration_cycles)
-        if all_periodic and smt:
-            self._path_counts["jittered"] += 1
-            return self._measure_jittered(active, supply, iteration_cycles)
-        self._path_counts["transient"] += 1
-        return self._measure_transient(active, supply)
-
-    def _module_programs(
-        self,
-        program: ThreadProgram,
-        count: int,
-        smt_phase_cycles: int | None,
-    ) -> tuple[ThreadProgram, ...]:
-        """Programs for one module, applying the natural SMT phase offset."""
-        if count == 1:
-            return (program,)
-        if smt_phase_cycles is None:
-            # The natural misalignment of SMT siblings: half the period the
-            # loop actually runs at when both threads share the module
-            # (probed with a lockstep pair; memoised, so this costs one
-            # extra simulation per distinct kernel).
-            pair = self.chip_sim.run_module(
-                (program, program), max_iterations=self.warmup_iterations
-            )
-            period = pair.steady_period(0)
-            smt_phase_cycles = int(round(period / 2)) if period else 0
-        return (program,) + tuple(
-            program.with_phase(program.phase_cycles + smt_phase_cycles)
-            for _ in range(count - 1)
-        )
-
-    def _measure_periodic(self, active, supply: float,
-                          iteration_cycles: float | None) -> Measurement:
-        period = active[0][1][2]
-        idle_count = self.chip.module_count - len(active)
-        total_current = np.full(period, idle_count * self._idle_module_current())
-        total_sens = np.zeros(period)
-        for _trace, (energy, sens, _p), count, phase in active:
-            current = self._current_from_energy(
-                energy, active_threads=count, supply_v=supply
-            )
-            total_current += np.roll(current, phase)
-            np.maximum(total_sens, np.roll(sens, phase), out=total_sens)
-        trace = CurrentTrace(total_current, self.chip.cycle_time_s)
-        voltage = self._solve(self.solver_at(supply).steady_state_periodic, trace)
-        return Measurement(
-            voltage=voltage,
-            sensitivity=total_sens,
-            current=trace,
-            period_cycles=period,
-            supply_v=supply,
-            iteration_cycles=iteration_cycles,
-        )
-
-    #: Loop repetitions simulated on the jittered (SMT-interference) path.
-    JITTER_REPETITIONS = 80
-
-    #: Per-repetition phase random-walk step bound (cycles), the modelled
-    #: magnitude of shared-FPU loop-length perturbation.
-    JITTER_STEP_CYCLES = 2
-
-    def _measure_jittered(self, active, supply: float,
-                          iteration_cycles: float | None) -> Measurement:
-        """SMT-pair measurement: loop phase wanders, resonance decoheres.
-
-        Paper Section V.A.2: with two threads per module the shared FPU
-        "shifts the loop lengths, making it difficult ... to oscillate at
-        the resonant frequency".  Each module's periodic profile is tiled
-        with a per-repetition phase random walk (independent per module)
-        and the result is integrated in the time domain — spectral energy
-        spreads off the resonance peak exactly as on hardware.
-        """
-        period = active[0][1][2]
-        reps = self.JITTER_REPETITIONS
-        idle_count = self.chip.module_count - len(active)
-        idle_level = idle_count * self._idle_module_current()
-        length = reps * period
-        total_current = np.full(length, idle_level)
-        total_sens = np.zeros(length)
-        rng = np.random.default_rng(self.jitter_seed)
-        for _trace, (energy, sens, _p), count, phase in active:
-            current = self._current_from_energy(
-                energy, active_threads=count, supply_v=supply
-            )
-            steps = rng.integers(
-                -self.jitter_step_cycles, self.jitter_step_cycles + 1, size=reps
-            )
-            offsets = phase + np.cumsum(steps)
-            module_current = np.concatenate(
-                [np.roll(current, int(off)) for off in offsets]
-            )
-            module_sens = np.concatenate(
-                [np.roll(sens, int(off)) for off in offsets]
-            )
-            total_current += module_current
-            np.maximum(total_sens, module_sens, out=total_sens)
-        trace = CurrentTrace(total_current, self.chip.cycle_time_s)
-        voltage = self._solve(
-            self.solver_at(supply).simulate,
-            trace, baseline_current_a=float(total_current.mean()),
-        )
-        return Measurement(
-            voltage=voltage,
-            sensitivity=total_sens,
-            current=trace,
-            period_cycles=period,
-            supply_v=supply,
-            iteration_cycles=iteration_cycles,
-        )
-
-    def _measure_transient(self, active, supply: float) -> Measurement:
-        idle_count = self.chip.module_count - len(active)
-        idle_level = idle_count * self._idle_module_current()
-        length = IDLE_PAD_CYCLES + max(
-            min(FALLBACK_TILE_CYCLES, trace.cycles * 4) for trace, *_ in active
-        )
-        total_current = np.full(length, idle_level)
-        total_sens = np.zeros(length)
-        per_module_idle = self._idle_module_current()
-        for trace, _profile, count, phase in active:
-            current = self._current_from_energy(
-                trace.energy_pj, active_threads=count, supply_v=supply
-            )
-            sens = trace.sensitivity
-            start = IDLE_PAD_CYCLES + phase
-            # Tile the raw run (it may not be periodic) to fill the window.
-            filled = 0
-            while start + filled < length:
-                take = min(len(current), length - start - filled)
-                total_current[start + filled : start + filled + take] += current[:take]
-                window = total_sens[start + filled : start + filled + take]
-                np.maximum(window, sens[:take], out=window)
-                filled += take
-            total_current[:start] += per_module_idle
-        current_trace = CurrentTrace(total_current, self.chip.cycle_time_s)
-        voltage = self._solve(
-            self.solver_at(supply).simulate,
-            current_trace,
-            baseline_current_a=self.chip.module_count * per_module_idle,
-        )
-        return Measurement(
-            voltage=voltage,
-            sensitivity=total_sens,
-            current=current_trace,
-            period_cycles=None,
-            supply_v=supply,
-        )
-
-    # ------------------------------------------------------------------
-    # Raw-trace measurement (synthetic workloads)
-    # ------------------------------------------------------------------
     def measure_current(
         self,
         current: CurrentTrace,
@@ -476,29 +292,11 @@ class SimulatorBackend:
         Used by the synthetic benchmark models, whose activity is produced
         statistically rather than by the pipeline scheduler.
         """
-        supply = self.chip.vdd if supply_v is None else supply_v
-        if abs(current.dt - self.chip.cycle_time_s) > 1e-18:
-            raise MeasurementError("current trace dt must match the chip clock")
-        self._measurements += 1
-        baseline = (
-            current.samples[0] if baseline_current_a is None else baseline_current_a
-        )
-        voltage = self._solve(
-            self.solver_at(supply).simulate,
-            current, baseline_current_a=baseline,
-        )
-        sens = (
-            np.ones(len(current)) if sensitivity is None else
-            np.asarray(sensitivity, dtype=np.float64)
-        )
-        if len(sens) != len(current):
-            raise MeasurementError("sensitivity length must match the current trace")
-        return Measurement(
-            voltage=voltage,
-            sensitivity=sens,
-            current=current,
-            period_cycles=None,
-            supply_v=supply,
+        return self.pipeline.measure_current(
+            current,
+            sensitivity=sensitivity,
+            supply_v=supply_v,
+            baseline_current_a=baseline_current_a,
         )
 
 
@@ -540,6 +338,7 @@ class MeasurementPlatform:
                 "pass either (chip, pdn) or backend=, not both"
             )
         self.backend = backend
+        self._worker_stats: MeasurementStats | None = None
 
     # ------------------------------------------------------------------
     # Machine description + simulator internals (when present)
@@ -572,6 +371,10 @@ class MeasurementPlatform:
         return self._simulator_attr("chip_sim")
 
     @property
+    def pipeline(self) -> MeasurementPipeline:
+        return self._simulator_attr("pipeline")
+
+    @property
     def warmup_iterations(self) -> int:
         return self._simulator_attr("warmup_iterations")
 
@@ -593,14 +396,58 @@ class MeasurementPlatform:
     def stats(self) -> MeasurementStats:
         stats_fn = getattr(self.backend, "stats", None)
         if stats_fn is None:
-            return MeasurementStats(measurements=self._fallback_measurements)
-        return stats_fn()
+            stats = MeasurementStats(measurements=self._fallback_measurements)
+        else:
+            stats = stats_fn()
+        if self._worker_stats is not None:
+            stats = stats.merge(self._worker_stats)
+        return stats
 
     _fallback_measurements = 0
+
+    def absorb_worker_stats(self, delta: MeasurementStats) -> None:
+        """Bank a stats delta measured on a worker-process platform.
+
+        Parallel executors evaluate on per-worker platform replicas whose
+        counters die with the pool; the engine ships each evaluation's
+        delta back here so :meth:`stats` reports campaign-wide totals.
+        """
+        if not isinstance(delta, MeasurementStats):
+            return
+        if self._worker_stats is None:
+            self._worker_stats = delta
+        else:
+            self._worker_stats = self._worker_stats.merge(delta)
+
+    def attach_observers(self, observers) -> None:
+        """Route pipeline stage telemetry to *observers* (no-op for
+        backends without a pipeline)."""
+        try:
+            pipeline = self._simulator_attr("pipeline")
+        except ConfigurationError:
+            return
+        pipeline.observers = tuple(observers)
 
     # ------------------------------------------------------------------
     # Measurement
     # ------------------------------------------------------------------
+    @property
+    def supports_batch_measure(self) -> bool:
+        return getattr(self.backend, "measure_programs", None) is not None
+
+    def _validate_program_args(self, threads: int, supply_v: float | None):
+        chip = self.backend.chip
+        if threads < 1:
+            raise ConfigurationError("threads must be >= 1")
+        if threads > chip.total_threads:
+            raise ConfigurationError(
+                f"threads must be <= {chip.total_threads} "
+                f"({chip.module.threads} per module x {chip.module_count} "
+                f"modules on {chip.name})"
+            )
+        if supply_v is not None and supply_v <= 0:
+            raise ConfigurationError("supply voltage must be positive")
+
     def measure_program(
         self,
         program: ThreadProgram,
@@ -616,17 +463,7 @@ class MeasurementPlatform:
         semantics; validation happens here so every backend gets the same
         contract.
         """
-        chip = self.backend.chip
-        if threads < 1:
-            raise ConfigurationError("threads must be >= 1")
-        if threads > chip.total_threads:
-            raise ConfigurationError(
-                f"threads must be <= {chip.total_threads} "
-                f"({chip.module.threads} per module x {chip.module_count} "
-                f"modules on {chip.name})"
-            )
-        if supply_v is not None and supply_v <= 0:
-            raise ConfigurationError("supply voltage must be positive")
+        self._validate_program_args(threads, supply_v)
         if not hasattr(self.backend, "stats"):
             self._fallback_measurements += 1
         measurement = self.backend.measure_program(
@@ -638,6 +475,40 @@ class MeasurementPlatform:
         )
         check_measurement(measurement)
         return measurement
+
+    def measure_programs(self, requests) -> list[Measurement]:
+        """Measure a batch of :class:`MeasureRequest`\\ s.
+
+        Dispatches to the backend's vectorized ``measure_programs`` when
+        it has one (see :class:`repro.pipeline.batch.BatchMeasurementBackend`),
+        else falls back to a serial loop — either way the results match
+        per-request :meth:`measure_program` calls bit for bit.
+        """
+        requests = list(requests)
+        for request in requests:
+            self._validate_program_args(request.threads, request.supply_v)
+        batch_fn = getattr(self.backend, "measure_programs", None)
+        if batch_fn is not None:
+            measurements = batch_fn(requests)
+        else:
+            if not hasattr(self.backend, "stats"):
+                self._fallback_measurements += len(requests)
+            measurements = [
+                self.backend.measure_program(
+                    request.program,
+                    request.threads,
+                    module_phases=(
+                        list(request.module_phases)
+                        if request.module_phases is not None else None
+                    ),
+                    supply_v=request.supply_v,
+                    smt_phase_cycles=request.smt_phase_cycles,
+                )
+                for request in requests
+            ]
+        for measurement in measurements:
+            check_measurement(measurement)
+        return measurements
 
     def measure_current(
         self,

@@ -49,11 +49,18 @@ from repro.core.engine import (
     SerialExecutor,
     _as_platform,
 )
-from repro.core.faults import FaultPolicy
+from repro.core.faults import EvalOutcome, FaultPolicy
 from repro.core.platform import MeasurementPlatform, SimulatorBackend
-from repro.core.telemetry import QualificationEvent, RunObserver, notify
+from repro.core.telemetry import (
+    MeasurementStatsEvent,
+    QualificationEvent,
+    RunObserver,
+    notify,
+)
 from repro.errors import CheckpointError, ConfigurationError
 from repro.isa.kernels import ThreadProgram
+from repro.pipeline.artifacts import MeasureRequest
+from repro.pipeline.batch import BatchMeasurementBackend
 
 #: Verdicts, strongest first.
 PASS = "PASS"
@@ -237,6 +244,11 @@ class QualificationFitness:
                     **{p.pdn_field: getattr(stage, p.pdn_field) * p.pdn_scale},
                 )
                 pdn = dataclasses.replace(pdn, **{p.pdn_stage: stage})
+            # The chip model is untouched by every perturbation axis, so
+            # perturbed backends share the base activity stage — module
+            # simulator, trace cache, profile cache, and counter ledger: a
+            # full PDN sweep costs only PDN re-solves, and the base
+            # platform's stats() reports the whole qualification's work.
             backend = SimulatorBackend(
                 base.chip,
                 pdn,
@@ -244,14 +256,24 @@ class QualificationFitness:
                 jitter_seed=(
                     base.jitter_seed if p.jitter_seed is None else p.jitter_seed
                 ),
+                share_stages_with=base,
             )
-            # The chip model is untouched by every perturbation axis, so
-            # perturbed backends share the module simulator (and its
-            # trace cache): a full PDN sweep costs only PDN re-solves.
-            backend.chip_sim = base.chip_sim
+            if base.supports_batch_measure:
+                backend = BatchMeasurementBackend(backend)
             platform = MeasurementPlatform(backend=backend)
+            # Perturbed pipelines narrate to the same observers as the base
+            # (stage fallbacks under a perturbation are worth surfacing).
+            platform.attach_observers(base.pipeline.observers)
             self._perturbed[key] = platform
         return platform
+
+    def _request_for(self, perturbation: Perturbation) -> MeasureRequest:
+        return MeasureRequest(
+            program=self.program,
+            threads=self.threads,
+            supply_v=perturbation.supply_v,
+            smt_phase_cycles=perturbation.smt_phase_cycles,
+        )
 
     def __call__(self, perturbation: Perturbation) -> float:
         platform = self._platform_for(perturbation)
@@ -262,6 +284,45 @@ class QualificationFitness:
             smt_phase_cycles=perturbation.smt_phase_cycles,
         )
         return float(self.cost.evaluate(measurement))
+
+    def stats_probe(self):
+        """Current platform counters (perturbed backends share the ledger)."""
+        platform = self._base_platform()
+        stats_fn = getattr(platform, "stats", None)
+        return stats_fn() if stats_fn is not None else None
+
+    def evaluate_batch(self, perturbations) -> list[EvalOutcome] | None:
+        """Batch perturbation measurements per physical platform.
+
+        Only used when the base platform routes through a batch-capable
+        backend; perturbations sharing a platform (one jitter seed, one PDN
+        variant, the whole supply/SMT grid) solve as one matrix.  Returns
+        ``None`` when batching is unavailable so the engine falls back to
+        the per-perturbation executor map.
+        """
+        if not getattr(self._base_platform(), "supports_batch_measure", False):
+            return None
+        perturbations = list(perturbations)
+        start = time.perf_counter()
+        groups: dict[int, list[int]] = {}
+        platforms: dict[int, MeasurementPlatform] = {}
+        for idx, perturbation in enumerate(perturbations):
+            platform = self._platform_for(perturbation)
+            platforms[id(platform)] = platform
+            groups.setdefault(id(platform), []).append(idx)
+        values: list[float] = [float("nan")] * len(perturbations)
+        for platform_id, indices in groups.items():
+            platform = platforms[platform_id]
+            requests = [self._request_for(perturbations[i]) for i in indices]
+            measurements = platform.measure_programs(requests)
+            for i, measurement in zip(indices, measurements):
+                values[i] = float(self.cost.evaluate(measurement))
+        wall = time.perf_counter() - start
+        per_item = wall / max(1, len(perturbations))
+        return [
+            EvalOutcome(value=value, wall_s=per_item, attempts=1)
+            for value in values
+        ]
 
 
 # ----------------------------------------------------------------------
@@ -554,6 +615,9 @@ class StressmarkQualifier:
     ) -> QualificationReport:
         """Measure *program* across every axis and render the verdict."""
         start = time.perf_counter()
+        attach = getattr(self.platform, "attach_observers", None)
+        if attach is not None:
+            attach(self.observers)
         fitness = QualificationFitness(
             program,
             self.threads,
@@ -614,6 +678,11 @@ class StressmarkQualifier:
             verdict=verdict,
             wall_s=wall,
         ))
+        stats_fn = getattr(self.platform, "stats", None)
+        if stats_fn is not None:
+            notify(self.observers, MeasurementStatsEvent(
+                stats=stats_fn().to_dict(), source="qualify",
+            ))
         return QualificationReport(
             stressmark=name,
             threads=self.threads,

@@ -105,6 +105,44 @@ class InvariantEvent:
 
 
 @dataclass(frozen=True)
+class StageEvent:
+    """One measurement-pipeline stage executed for a candidate.
+
+    The pipeline (``repro.pipeline``) emits one of these per stage per
+    measurement: ``compile`` → ``activity`` → ``pdn`` → ``analyze``.  The
+    activity event carries the dispatch ``path`` (periodic / jittered /
+    transient) and, when the transient fallback fired, the reason in
+    ``detail`` — a fallback is a modelling event worth narrating, not a
+    silent counter bump.
+    """
+
+    stage: str
+    wall_s: float
+    cache_hit: bool = False
+    batched: bool = False
+    path: str = ""
+    detail: str = ""
+
+    kind = "stage"
+
+
+@dataclass(frozen=True)
+class MeasurementStatsEvent:
+    """End-of-run platform counters, merged across worker processes.
+
+    Parallel executors evaluate on per-worker platforms whose counters
+    used to die with the pool; the engine now ships each evaluation's
+    stats delta back to the parent and the runner emits the merged totals
+    here, so ``--workers N`` telemetry reports the true sim/PDN split.
+    """
+
+    stats: dict
+    source: str = ""
+
+    kind = "platform-stats"
+
+
+@dataclass(frozen=True)
 class QualificationEvent:
     """One qualification step: a perturbation axis scored, or the verdict."""
 
@@ -126,7 +164,7 @@ class QualificationEvent:
 
 TelemetryEvent = (
     EvaluationEvent | GenerationEvent | PhaseEvent | FaultEvent | CheckpointEvent
-    | InvariantEvent | QualificationEvent
+    | InvariantEvent | QualificationEvent | StageEvent | MeasurementStatsEvent
 )
 
 
@@ -193,6 +231,25 @@ class ConsoleObserver:
                     f"[{event.min_droop_v * 1e3:.2f}, "
                     f"{event.max_droop_v * 1e3:.2f}] mV  "
                     f"retention {event.retention:.2f}\n"
+                )
+        elif isinstance(event, StageEvent):
+            # Fallbacks (non-empty detail) always narrate; routine stage
+            # timings only in verbose mode.
+            if event.detail or self.verbose:
+                path = f"/{event.path}" if event.path else ""
+                batched = " (batched)" if event.batched else ""
+                cached = " (cached)" if event.cache_hit else ""
+                detail = f": {event.detail}" if event.detail else ""
+                self.stream.write(
+                    f"[stage/{event.stage}{path}]{batched}{cached} "
+                    f"{event.wall_s * 1e3:.1f}ms{detail}\n"
+                )
+        elif isinstance(event, MeasurementStatsEvent):
+            if self.verbose:
+                source = f" ({event.source})" if event.source else ""
+                self.stream.write(
+                    f"[platform-stats]{source} "
+                    f"{event.stats.get('measurements', 0)} measurements\n"
                 )
         elif self.verbose and isinstance(event, EvaluationEvent):
             tag = "cache" if event.cached else event.backend
@@ -267,6 +324,11 @@ class TelemetryCollector:
     qualification_axes: int = 0
     qualification_wall_s: float = 0.0
     qualification_verdicts: dict = field(default_factory=dict)
+    stage_wall_s: dict = field(default_factory=dict)
+    stage_cache_hits: dict = field(default_factory=dict)
+    stage_fallbacks: int = 0
+    batched_solves: int = 0
+    platform_stats: dict = field(default_factory=dict)
 
     def on_event(self, event: TelemetryEvent) -> None:
         if isinstance(event, EvaluationEvent):
@@ -301,6 +363,20 @@ class TelemetryCollector:
                 )
             else:
                 self.qualification_axes += 1
+        elif isinstance(event, StageEvent):
+            self.stage_wall_s[event.stage] = (
+                self.stage_wall_s.get(event.stage, 0.0) + event.wall_s
+            )
+            if event.cache_hit:
+                self.stage_cache_hits[event.stage] = (
+                    self.stage_cache_hits.get(event.stage, 0) + 1
+                )
+            if event.path == "transient" and event.detail:
+                self.stage_fallbacks += 1
+            if event.batched and event.stage == "pdn":
+                self.batched_solves += 1
+        elif isinstance(event, MeasurementStatsEvent):
+            self.platform_stats = dict(event.stats)
 
     # ------------------------------------------------------------------
     @property
@@ -354,6 +430,14 @@ class TelemetryCollector:
             )
         for name, wall in sorted(self.phases.items()):
             rows.append((f"phase: {name}", f"{wall:.2f} s"))
+        for name, wall in sorted(self.stage_wall_s.items()):
+            hits = self.stage_cache_hits.get(name, 0)
+            cached = f" ({hits} cached)" if hits else ""
+            rows.append((f"stage: {name}", f"{wall:.2f} s{cached}"))
+        if self.stage_fallbacks:
+            rows.append(("transient fallbacks", self.stage_fallbacks))
+        if self.batched_solves:
+            rows.append(("batched PDN solves", self.batched_solves))
         if platform_stats is not None:
             s = platform_stats
             module_total = s.module_runs + s.module_cache_hits
@@ -369,6 +453,14 @@ class TelemetryCollector:
                 ("path: jittered (SMT)", s.jittered_measurements),
                 ("path: transient", s.transient_measurements),
             ]
+            if s.profile_cache_hits or s.pdn_cache_hits:
+                rows.append(("activity-profile cache hits", s.profile_cache_hits))
+                rows.append(("PDN-response cache hits", s.pdn_cache_hits))
+            if s.batched_solves:
+                rows.append(
+                    ("batched PDN rows",
+                     f"{s.batched_rows} in {s.batched_solves} solves")
+                )
         return format_kv_table(rows, title="run telemetry")
 
 

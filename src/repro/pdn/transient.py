@@ -187,6 +187,68 @@ class TransientSolver:
         check_voltage_samples(volts, supply_v=vdd, layer="pdn")
         return VoltageTrace(volts, self.dt, vdd)
 
+    def steady_state_periodic_batch(
+        self, period_matrix: np.ndarray, *, vdd_rows
+    ) -> np.ndarray:
+        """Batched :meth:`steady_state_periodic`: one row per candidate.
+
+        All rows share the network's frequency response, so the ``6x6``
+        per-harmonic solves inside :meth:`PdnNetwork.transfer` — the
+        dominant cost of a periodic solve — are paid **once** for the whole
+        batch instead of once per candidate.  The response is vdd-free
+        (nominal voltage only shifts the operating point), so each row gets
+        its own supply added afterwards; the result is bit-identical to a
+        per-row serial solve with a solver built at that row's supply.
+        """
+        matrix = np.asarray(period_matrix, dtype=np.float64)
+        vdds = np.asarray(vdd_rows, dtype=np.float64)
+        if matrix.ndim != 2 or matrix.shape[0] == 0:
+            raise PdnError("period matrix must be a non-empty 2-D array")
+        if vdds.shape != (matrix.shape[0],):
+            raise PdnError("one supply voltage per batch row required")
+        for row in matrix:
+            check_current_samples(row, layer="pdn")
+        n = matrix.shape[1]
+        spectrum = np.fft.rfft(matrix, axis=-1)
+        harmonics = np.fft.rfftfreq(n, d=self.dt)
+        h = self.network.transfer(harmonics)
+        deviation = np.fft.irfft(h * spectrum, n=n, axis=-1)
+        volts = vdds[:, None] + deviation
+        for row, vdd in zip(volts, vdds):
+            check_voltage_samples(row, supply_v=float(vdd), layer="pdn")
+        return volts
+
+    def simulate_batch(
+        self, load_matrix: np.ndarray, *, baselines, vdd_rows
+    ) -> np.ndarray:
+        """Batched :meth:`simulate`: one row per candidate trace.
+
+        ``sosfilt`` runs the second-order-section recurrence along the last
+        axis for all rows in one C call; DC operating points and supply
+        voltages are applied per row.  Bit-identical to serial
+        :meth:`simulate` calls with per-row baselines and supplies.
+        """
+        matrix = np.asarray(load_matrix, dtype=np.float64)
+        baselines = np.asarray(baselines, dtype=np.float64)
+        vdds = np.asarray(vdd_rows, dtype=np.float64)
+        if matrix.ndim != 2 or matrix.shape[0] == 0:
+            raise PdnError("load matrix must be a non-empty 2-D array")
+        if baselines.shape != (matrix.shape[0],):
+            raise PdnError("one baseline current per batch row required")
+        if vdds.shape != (matrix.shape[0],):
+            raise PdnError("one supply voltage per batch row required")
+        if not np.all(np.isfinite(baselines)):
+            raise PdnError("baseline current must be finite")
+        for row in matrix:
+            check_current_samples(row, layer="pdn")
+        deviation = matrix - baselines[:, None]
+        response = signal.sosfilt(self._sos, deviation, axis=-1)
+        dcs = np.array([self.network.dc_droop(float(b)) for b in baselines])
+        volts = (vdds - dcs)[:, None] + response
+        for row, vdd in zip(volts, vdds):
+            check_voltage_samples(row, supply_v=float(vdd), layer="pdn")
+        return volts
+
     def impulse_response(self, samples: int) -> np.ndarray:
         """Discrete impulse response (volts per amp), for analysis/tests."""
         if samples < 1:

@@ -1,0 +1,148 @@
+"""Typed, content-hashed artifacts flowing through the measurement pipeline.
+
+Each measurement is a chain of four artifacts::
+
+    MeasureRequest -> CompiledProgram -> ActivityProfile -> PdnResponse
+                                                         -> Measurement
+
+Every intermediate carries a ``key`` — a short content hash over the
+inputs that produced it — which is what the per-stage caches index on:
+two requests that compile to the same placement share one activity
+profile; two profiles measured at the same phases and supply share one
+PDN response.  The artifacts are deliberately dumb frozen dataclasses so
+they can cross process boundaries and be reasoned about in tests.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.isa.kernels import ThreadProgram
+from repro.pdn.transient import VoltageTrace
+from repro.power.trace import CurrentTrace
+
+
+def artifact_key(*parts) -> str:
+    """Short content hash over the reprs of *parts* (cache key)."""
+    digest = hashlib.sha256()
+    for part in parts:
+        digest.update(repr(part).encode())
+        digest.update(b"\x00")
+    return digest.hexdigest()[:16]
+
+
+@dataclass(frozen=True)
+class MeasureRequest:
+    """One measurement the pipeline (or a batch of them) should perform."""
+
+    program: ThreadProgram
+    threads: int
+    module_phases: tuple | None = None
+    supply_v: float | None = None
+    smt_phase_cycles: int | None = None
+
+
+@dataclass(frozen=True)
+class CompiledProgram:
+    """Stage 1 output: a program placed onto the chip's modules."""
+
+    program: ThreadProgram
+    threads: int
+    placement: tuple
+    """Threads per module, spread-first (one entry per module)."""
+    smt_phase_cycles: int | None
+    key: str
+
+
+@dataclass(frozen=True)
+class ModuleActivity:
+    """One module's simulated activity inside an :class:`ActivityProfile`."""
+
+    trace: object
+    """The raw :class:`~repro.uarch.module.ModuleTrace`."""
+    profile: tuple | None
+    """``(energy_pj, sensitivity, period)`` when the module's activity is
+    verified periodic, else ``None``."""
+    count: int
+    """Threads running on this module (1 or 2)."""
+
+
+@dataclass(frozen=True)
+class ActivityProfile:
+    """Stage 2 output: per-module activity plus the dispatch decision.
+
+    Phase- and supply-independent by construction — dithering scans and
+    failure sweeps reuse one profile across the whole grid and re-run only
+    the PDN stage.
+    """
+
+    modules: tuple
+    """One :class:`ModuleActivity` or ``None`` (idle) per module."""
+    period_cycles: int | None
+    """The common activity period when every module is verified periodic."""
+    iteration_cycles: float | None
+    smt: bool
+    path: str
+    """PDN dispatch: ``"periodic"``, ``"jittered"``, or ``"transient"``."""
+    fallback_reason: str
+    """Why the transient fallback fired (empty on the fast paths)."""
+    key: str
+
+    @property
+    def active(self) -> list:
+        return [m for m in self.modules if m is not None]
+
+
+@dataclass(frozen=True)
+class PdnResponse:
+    """Stage 3 output: the solved supply-voltage response."""
+
+    voltage: VoltageTrace
+    sensitivity: np.ndarray
+    current: CurrentTrace
+    period_cycles: int | None
+    supply_v: float
+    batched: bool = False
+
+
+@dataclass(frozen=True)
+class Measurement:
+    """One platform measurement of a running program or workload."""
+
+    voltage: VoltageTrace
+    sensitivity: np.ndarray
+    current: CurrentTrace
+    period_cycles: int | None
+    supply_v: float
+    iteration_cycles: float | None = None
+    """Average cycles per loop iteration (may be fractional); the loop's
+    fundamental repetition rate.  ``period_cycles`` is the exactly-repeating
+    activity window, which can span several iterations."""
+
+    @property
+    def max_droop_v(self) -> float:
+        return self.voltage.max_droop_v
+
+    @property
+    def max_overshoot_v(self) -> float:
+        return self.voltage.max_overshoot_v
+
+    @property
+    def mean_current_a(self) -> float:
+        return self.current.mean_a
+
+    @property
+    def mean_power_w(self) -> float:
+        return self.mean_current_a * self.supply_v
+
+    @property
+    def steady_frequency_hz(self) -> float | None:
+        """Fundamental (per-iteration) frequency of the activity, if periodic."""
+        if self.iteration_cycles is not None:
+            return 1.0 / (self.iteration_cycles * self.current.dt)
+        if self.period_cycles is None:
+            return None
+        return 1.0 / (self.period_cycles * self.current.dt)

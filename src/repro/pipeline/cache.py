@@ -1,0 +1,44 @@
+"""Per-stage artifact caches keyed by content hashes."""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+
+
+class StageCache:
+    """A counting (optionally LRU-bounded) cache for one pipeline stage.
+
+    Keys are artifact content hashes (see
+    :func:`repro.pipeline.artifacts.artifact_key`), so a hit means the
+    stage's inputs are identical and its output can be reused verbatim.
+    """
+
+    def __init__(self, name: str, *, max_entries: int | None = None):
+        self.name = name
+        self.max_entries = max_entries
+        self.hits = 0
+        self.misses = 0
+        self._entries: OrderedDict = OrderedDict()
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def get(self, key):
+        entry = self._entries.get(key)
+        if entry is None:
+            self.misses += 1
+            return None
+        self.hits += 1
+        if self.max_entries is not None:
+            self._entries.move_to_end(key)
+        return entry
+
+    def put(self, key, value) -> None:
+        self._entries[key] = value
+        if self.max_entries is not None:
+            self._entries.move_to_end(key)
+            while len(self._entries) > self.max_entries:
+                self._entries.popitem(last=False)
+
+    def clear(self) -> None:
+        self._entries.clear()

@@ -1,0 +1,243 @@
+"""The staged measurement pipeline: request in, measurement out.
+
+``MeasurementPipeline`` wires the four stages together, owns the shared
+:class:`~repro.pipeline.stages.PipelineCounters`, times every stage, and
+emits one :class:`~repro.core.telemetry.StageEvent` per stage per
+measurement.  ``measure_batch`` is the vectorized entry point: it runs
+compile/activity per candidate, then groups candidates whose PDN rows
+stack into a rectangular matrix and solves each group in a single scipy
+call.
+"""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+
+from repro.core.telemetry import StageEvent, notify
+from repro.errors import ConfigurationError, MeasurementError
+from repro.pipeline.artifacts import Measurement, MeasureRequest
+from repro.pipeline.stages import (
+    DEFAULT_JITTER_SEED,
+    DEFAULT_WARMUP_ITERATIONS,
+    ActivityStage,
+    AnalyzeStage,
+    CompileStage,
+    PdnStage,
+    PipelineCounters,
+)
+from repro.power.trace import CurrentTrace
+
+
+class MeasurementPipeline:
+    """Compile → activity → pdn → analyze, with per-stage caches/timing.
+
+    Pass ``activity=`` and ``counters=`` to share the chip simulator,
+    profile cache, and counter ledger with another pipeline (the
+    qualifier's perturbed platforms do this, so chip-simulation work is
+    counted once no matter how many PDN variants consume it).
+    """
+
+    def __init__(
+        self,
+        chip,
+        pdn,
+        *,
+        warmup_iterations: int = DEFAULT_WARMUP_ITERATIONS,
+        jitter_seed: int = DEFAULT_JITTER_SEED,
+        jitter_step_cycles: int | None = None,
+        activity: ActivityStage | None = None,
+        counters: PipelineCounters | None = None,
+        observers=(),
+    ):
+        if abs(pdn.vdd_nominal - chip.vdd) > 1e-9:
+            raise ConfigurationError(
+                "PDN nominal voltage must match the chip supply "
+                f"({pdn.vdd_nominal} != {chip.vdd})"
+            )
+        if warmup_iterations < 8:
+            raise ConfigurationError("warmup_iterations must be >= 8")
+        if jitter_step_cycles is None:
+            jitter_step_cycles = PdnStage.JITTER_STEP_CYCLES
+        if jitter_step_cycles < 0:
+            raise ConfigurationError("jitter_step_cycles must be >= 0")
+        self.chip = chip
+        if counters is None:
+            counters = activity.counters if activity is not None else PipelineCounters()
+        self.counters = counters
+        self.compile = CompileStage(chip)
+        if activity is None:
+            activity = ActivityStage(chip, warmup_iterations, counters)
+        self.activity = activity
+        self.pdn_stage = PdnStage(
+            chip, pdn,
+            jitter_seed=jitter_seed,
+            jitter_step_cycles=jitter_step_cycles,
+            counters=counters,
+        )
+        self.analyze = AnalyzeStage()
+        self.observers = tuple(observers)
+
+    # ------------------------------------------------------------------
+    # Serial measurement
+    # ------------------------------------------------------------------
+    def measure(self, request: MeasureRequest) -> Measurement:
+        phases, supply = self._validated(request)
+        self.counters.measurements += 1
+        profile = self._profile_for(request)
+        self.counters.path_counts[profile.path] += 1
+        response = self._timed_pdn(profile, phases, supply)
+        start = time.perf_counter()
+        measurement = self.analyze.run(profile, response)
+        wall = time.perf_counter() - start
+        self.counters.record_stage("analyze", wall)
+        self._stage_event("analyze", wall)
+        return measurement
+
+    def measure_batch(self, requests) -> list[Measurement]:
+        """Measure many requests, batching compatible PDN solves.
+
+        Compile and activity run per candidate (hitting their caches as
+        usual); candidates whose profiles share a dispatch path and period
+        form rectangular row groups that solve in one matrix call.
+        Transient fallbacks and singleton groups take the ordinary serial
+        stage.  Results are bit-identical to :meth:`measure` in request
+        order.
+        """
+        requests = list(requests)
+        prepared = []
+        for request in requests:
+            phases, supply = self._validated(request)
+            self.counters.measurements += 1
+            profile = self._profile_for(request)
+            self.counters.path_counts[profile.path] += 1
+            prepared.append((profile, phases, supply))
+
+        groups: dict = {}
+        for idx, (profile, phases, supply) in enumerate(prepared):
+            if profile.path in ("periodic", "jittered"):
+                key = (profile.path, profile.period_cycles)
+            else:
+                key = ("transient", idx)
+            groups.setdefault(key, []).append(idx)
+
+        responses: list = [None] * len(requests)
+        for (path, _), indices in groups.items():
+            if path == "transient" or len(indices) == 1:
+                for idx in indices:
+                    profile, phases, supply = prepared[idx]
+                    responses[idx] = self._timed_pdn(profile, phases, supply)
+                continue
+            start = time.perf_counter()
+            solved = self.pdn_stage.run_batch([prepared[i] for i in indices])
+            wall = time.perf_counter() - start
+            self.counters.record_stage("pdn", wall)
+            self._stage_event(
+                "pdn", wall, batched=True, path=path,
+                detail=f"{len(indices)} rows",
+            )
+            for idx, response in zip(indices, solved):
+                responses[idx] = response
+
+        start = time.perf_counter()
+        measurements = [
+            self.analyze.run(profile, response)
+            for (profile, _phases, _supply), response in zip(prepared, responses)
+        ]
+        wall = time.perf_counter() - start
+        self.counters.record_stage("analyze", wall)
+        self._stage_event("analyze", wall, batched=True)
+        return measurements
+
+    # ------------------------------------------------------------------
+    # Raw-trace measurement (synthetic workloads)
+    # ------------------------------------------------------------------
+    def measure_current(
+        self,
+        current: CurrentTrace,
+        *,
+        sensitivity=None,
+        supply_v: float | None = None,
+        baseline_current_a: float | None = None,
+    ) -> Measurement:
+        supply = self.chip.vdd if supply_v is None else supply_v
+        if abs(current.dt - self.chip.cycle_time_s) > 1e-18:
+            raise MeasurementError("current trace dt must match the chip clock")
+        self.counters.measurements += 1
+        baseline = (
+            current.samples[0] if baseline_current_a is None else baseline_current_a
+        )
+        start = time.perf_counter()
+        voltage = self.pdn_stage.solve(
+            self.pdn_stage.solver_at(supply).simulate,
+            current, baseline_current_a=baseline,
+        )
+        wall = time.perf_counter() - start
+        self.counters.record_stage("pdn", wall)
+        self._stage_event("pdn", wall, path="external")
+        sens = (
+            np.ones(len(current)) if sensitivity is None else
+            np.asarray(sensitivity, dtype=np.float64)
+        )
+        if len(sens) != len(current):
+            raise MeasurementError("sensitivity length must match the current trace")
+        return Measurement(
+            voltage=voltage,
+            sensitivity=sens,
+            current=current,
+            period_cycles=None,
+            supply_v=supply,
+        )
+
+    # ------------------------------------------------------------------
+    # Internals
+    # ------------------------------------------------------------------
+    def _validated(self, request: MeasureRequest):
+        phases = (
+            list(request.module_phases) if request.module_phases
+            else [0] * self.chip.module_count
+        )
+        if len(phases) != self.chip.module_count:
+            raise MeasurementError("one phase per module required")
+        supply = self.chip.vdd if request.supply_v is None else request.supply_v
+        if supply <= 0:
+            raise ConfigurationError("supply voltage must be positive")
+        return tuple(int(p) for p in phases), supply
+
+    def _profile_for(self, request: MeasureRequest):
+        start = time.perf_counter()
+        compiled = self.compile.run(request)
+        wall = time.perf_counter() - start
+        self.counters.record_stage("compile", wall)
+        self._stage_event("compile", wall)
+
+        start = time.perf_counter()
+        hits_before = self.activity.cache.hits
+        profile = self.activity.run(compiled)
+        wall = time.perf_counter() - start
+        self.counters.record_stage("activity", wall)
+        self._stage_event(
+            "activity", wall,
+            cache_hit=self.activity.cache.hits > hits_before,
+            path=profile.path,
+            detail=profile.fallback_reason,
+        )
+        return profile
+
+    def _timed_pdn(self, profile, phases, supply):
+        start = time.perf_counter()
+        hits_before = self.pdn_stage.cache.hits
+        response = self.pdn_stage.run(profile, phases=phases, supply=supply)
+        wall = time.perf_counter() - start
+        self.counters.record_stage("pdn", wall)
+        self._stage_event(
+            "pdn", wall,
+            cache_hit=self.pdn_stage.cache.hits > hits_before,
+            path=profile.path,
+        )
+        return response
+
+    def _stage_event(self, stage, wall_s, **kwargs):
+        if self.observers:
+            notify(self.observers, StageEvent(stage=stage, wall_s=wall_s, **kwargs))

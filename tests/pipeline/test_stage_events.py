@@ -1,0 +1,97 @@
+"""Stage telemetry: every measurement narrates its pipeline stages.
+
+In particular the transient fallback is a modelling event, not a silent
+counter bump — the activity StageEvent must carry the reason in
+``detail`` and the collector must count it.
+"""
+
+from repro.core.platform import MeasurementPlatform
+from repro.core.resonance import probe_program
+from repro.core.telemetry import StageEvent, TelemetryCollector
+from repro.experiments.setup import bulldozer_chip, bulldozer_pdn
+from repro.isa import (
+    RegisterAllocator,
+    ThreadProgram,
+    build_kernel,
+    default_table,
+    make_instruction,
+)
+
+TABLE = default_table()
+
+
+def resonant_program():
+    return probe_program(TABLE, hp_count=32, lp_nops=95)
+
+
+def divider_program():
+    # divpd's long unit occupancy defeats periodicity verification under
+    # a tight warmup budget (see test_stages.divider_program).
+    alloc = RegisterAllocator()
+    sub = tuple(make_instruction(TABLE.get(m), alloc)
+                for m in ("divpd", "mulpd", "divpd", "add"))
+    kernel = build_kernel(sub, replications=3, lp_nops=17, nop_spec=TABLE.nop)
+    return ThreadProgram(kernel, 4096)
+
+
+class Recorder:
+    def __init__(self):
+        self.events = []
+
+    def on_event(self, event):
+        self.events.append(event)
+
+    def stage_events(self, stage):
+        return [e for e in self.events
+                if isinstance(e, StageEvent) and e.stage == stage]
+
+
+def observed_platform(**kwargs):
+    chip = bulldozer_chip()
+    platform = MeasurementPlatform(chip, bulldozer_pdn(vdd=chip.vdd), **kwargs)
+    recorder = Recorder()
+    platform.attach_observers([recorder])
+    return platform, recorder
+
+
+class TestStageEvents:
+    def test_every_stage_reports_once_per_measurement(self):
+        platform, recorder = observed_platform()
+        platform.measure_program(resonant_program(), 4)
+        for stage in ("compile", "activity", "pdn", "analyze"):
+            assert len(recorder.stage_events(stage)) == 1, stage
+
+    def test_transient_fallback_emits_reason(self):
+        platform, recorder = observed_platform(warmup_iterations=8)
+        platform.measure_program(divider_program(), 4)
+        (event,) = recorder.stage_events("activity")
+        assert event.path == "transient"
+        assert "periodic" in event.detail
+        assert "8 iterations" in event.detail
+
+    def test_periodic_path_has_no_fallback_detail(self):
+        platform, recorder = observed_platform()
+        platform.measure_program(resonant_program(), 4)
+        (event,) = recorder.stage_events("activity")
+        assert event.path == "periodic"
+        assert event.detail == ""
+
+
+class TestCollectorCountsFallbacks:
+    def test_collector_counts_transient_fallbacks(self):
+        chip = bulldozer_chip()
+        platform = MeasurementPlatform(
+            chip, bulldozer_pdn(vdd=chip.vdd), warmup_iterations=8)
+        collector = TelemetryCollector()
+        platform.attach_observers([collector])
+        platform.measure_program(divider_program(), 4)
+        assert collector.stage_fallbacks == 1
+        assert "pdn" in collector.stage_wall_s
+
+    def test_periodic_measurements_do_not_count_as_fallbacks(self):
+        platform = MeasurementPlatform(
+            bulldozer_chip(), bulldozer_pdn(vdd=1.2))
+        collector = TelemetryCollector()
+        platform.attach_observers([collector])
+        platform.measure_program(resonant_program(), 4)
+        assert collector.stage_fallbacks == 0

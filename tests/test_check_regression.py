@@ -37,6 +37,9 @@ def baseline(gate):
             "qualify_robustness": 0.9,
             "qualify_evaluations": 23,
             "qualify_evals_per_second": 18.0,
+            "batched_pdn_speedup": 4.0,
+            "batched_droop_match": True,
+            "batched_rows": 32,
         },
     }
 
@@ -109,6 +112,27 @@ class TestCompare:
         assert len(problems) == 1
         assert "--update" in problems[0]
 
+    def test_batched_speedup_below_floor_fails(self, gate, baseline):
+        """The 2x floor is absolute, not relative to the baseline value."""
+        current = copy.deepcopy(baseline)
+        current["metrics"]["batched_pdn_speedup"] = 1.4
+        problems = gate.compare(baseline, current)
+        assert len(problems) == 1
+        assert "batched_pdn_speedup below floor" in problems[0]
+
+    def test_batched_speedup_at_floor_passes(self, gate, baseline):
+        baseline["metrics"]["batched_pdn_speedup"] = 9.0
+        current = copy.deepcopy(baseline)
+        current["metrics"]["batched_pdn_speedup"] = 2.0
+        assert gate.compare(baseline, current) == []
+
+    def test_batched_droop_mismatch_fails(self, gate, baseline):
+        current = copy.deepcopy(baseline)
+        current["metrics"]["batched_droop_match"] = False
+        problems = gate.compare(baseline, current)
+        assert len(problems) == 1
+        assert "batched_droop_match" in problems[0]
+
 
 class TestCommittedBaseline:
     def test_baseline_exists_and_matches_schema(self, gate):
@@ -117,6 +141,14 @@ class TestCommittedBaseline:
         assert payload["scenario"] == gate.DEFAULT_SCENARIO
         for metric in gate.EXACT_METRICS + ("evals_per_second",):
             assert metric in payload["metrics"]
+        for metric in gate.FLOOR_METRICS:
+            assert metric in payload["metrics"]
+
+    def test_baseline_batched_path_holds_its_floor(self, gate):
+        metrics = json.loads(BASELINE.read_text())["metrics"]
+        assert metrics["batched_droop_match"] is True
+        assert (metrics["batched_pdn_speedup"]
+                >= gate.FLOOR_METRICS["batched_pdn_speedup"])
 
     def test_baseline_droop_is_plausible(self):
         metrics = json.loads(BASELINE.read_text())["metrics"]
