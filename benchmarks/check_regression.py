@@ -42,7 +42,7 @@ from pathlib import Path
 REPO_ROOT = Path(__file__).resolve().parent.parent
 sys.path.insert(0, str(REPO_ROOT / "src"))
 
-SCHEMA_VERSION = 3
+SCHEMA_VERSION = 4
 DEFAULT_BASELINE = Path(__file__).resolve().parent / "baselines" / "bulldozer.json"
 DEFAULT_SCENARIO = {
     "chip": "bulldozer",
@@ -53,11 +53,15 @@ DEFAULT_SCENARIO = {
 }
 EXACT_METRICS = ("max_droop_v", "best_fitness", "evaluations", "resonance_hz",
                  "qualify_verdict", "qualify_robustness",
-                 "qualify_evaluations", "batched_droop_match")
+                 "qualify_evaluations", "batched_droop_match",
+                 "fleet_droop_match", "fleet_shards")
 THROUGHPUT_METRICS = ("evals_per_second", "qualify_evals_per_second")
 #: Absolute floors (not baseline-relative): the batched PDN path must beat
-#: serial per-measurement solves by at least this factor.
-FLOOR_METRICS = {"batched_pdn_speedup": 2.0}
+#: serial per-measurement solves by at least this factor, and a fleet
+#: shard must retain at least this fraction of a standalone campaign's
+#: evaluation throughput (orchestration overhead stays off the hot path).
+FLOOR_METRICS = {"batched_pdn_speedup": 2.0,
+                 "fleet_shard_throughput_ratio": 0.9}
 
 
 class SlowdownBackend:
@@ -160,6 +164,54 @@ def _batched_pdn_benchmark(scenario: dict) -> dict:
     }
 
 
+def _fleet_benchmark(scenario: dict) -> dict:
+    """Per-shard fleet overhead versus a standalone campaign.
+
+    Runs the same campaign twice: once standalone through
+    :func:`repro.fleet.shard.run_shard` (no orchestration), then as a
+    two-chain fleet (nominal + perturbed PDN, one shard each) under the
+    orchestrator's serial scheduler.  A single worker keeps the ratio a
+    pure measure of orchestration overhead (chain bookkeeping,
+    checkpointing, result banking) rather than of how many cores the
+    runner happens to have — the parallel pool path is covered by the
+    fleet-smoke CI job.  Also checks the fleet's nominal shard reproduces
+    the standalone droop bit for bit.
+    """
+    import shutil
+    import tempfile
+
+    from repro.fleet import FleetOrchestrator, ScenarioMatrix
+    from repro.fleet.shard import ShardSpec, run_shard
+
+    matrix = ScenarioMatrix(
+        chip=(scenario["chip"],), threads=(2,), budget=("8x4",),
+        pdn=("nominal", "+10%"), seed=(1,),
+    )
+    serial_dir = tempfile.mkdtemp(prefix="bench-fleet-serial-")
+    fleet_dir = tempfile.mkdtemp(prefix="bench-fleet-")
+    try:
+        standalone = run_shard(ShardSpec(
+            scenario=matrix.expand()[0], shard_dir=serial_dir,
+        ))
+        report = FleetOrchestrator(matrix, fleet_dir, workers=1).run()
+        shard_eps = [result.timing["evals_per_second"]
+                     for result in report.ok_shards]
+        nominal = next(result for result in report.ok_shards
+                       if result.scenario["pdn"] == "nominal")
+        serial_eps = standalone.timing["evals_per_second"]
+        ratio = (sum(shard_eps) / len(shard_eps)) / serial_eps
+        return {
+            "fleet_shard_throughput_ratio": round(ratio, 3),
+            "fleet_droop_match": bool(
+                nominal.droop_v == standalone.droop_v
+            ),
+            "fleet_shards": len(report.ok_shards),
+        }
+    finally:
+        shutil.rmtree(serial_dir, ignore_errors=True)
+        shutil.rmtree(fleet_dir, ignore_errors=True)
+
+
 def collect_metrics(scenario: dict | None = None,
                     slowdown: float = 1.0) -> dict:
     """Run the bench campaign and return a baseline-shaped payload."""
@@ -195,6 +247,7 @@ def collect_metrics(scenario: dict | None = None,
     )
     report = qualifier.qualify_program(result.program(), name=result.name)
     batched = _batched_pdn_benchmark(scenario)
+    fleet = _fleet_benchmark(scenario)
     return {
         "schema_version": SCHEMA_VERSION,
         "scenario": scenario,
@@ -214,6 +267,10 @@ def collect_metrics(scenario: dict | None = None,
             "batched_pdn_speedup": batched["batched_pdn_speedup"],
             "batched_droop_match": batched["batched_droop_match"],
             "batched_rows": batched["batched_rows"],
+            "fleet_shard_throughput_ratio": (
+                fleet["fleet_shard_throughput_ratio"]),
+            "fleet_droop_match": fleet["fleet_droop_match"],
+            "fleet_shards": fleet["fleet_shards"],
         },
     }
 
@@ -261,6 +318,27 @@ def compare(baseline: dict, current: dict, tolerance: float = 0.15) -> list[str]
     return problems
 
 
+def summary_markdown(current: dict, problems: list[str]) -> str:
+    """The gate outcome as GitHub markdown (for ``$GITHUB_STEP_SUMMARY``)."""
+    metrics = current["metrics"]
+    status = "✅ passed" if not problems else f"❌ failed ({len(problems)})"
+    lines = [
+        "## Benchmark regression gate",
+        "",
+        f"Status: {status}",
+        "",
+        "| metric | value |",
+        "|---|---|",
+    ]
+    for name in sorted(metrics):
+        value = metrics[name]
+        rendered = f"{value:.4g}" if isinstance(value, float) else str(value)
+        lines.append(f"| {name} | {rendered} |")
+    for problem in problems:
+        lines.append(f"- ❌ {problem}")
+    return "\n".join(lines) + "\n"
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(
         description="benchmark-regression gate for the AUDIT evaluation path")
@@ -278,6 +356,9 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument("--tolerance", type=float, default=0.15,
                         help="allowed fractional evals/sec drop "
                              "(default 0.15)")
+    parser.add_argument("--summary", type=Path, default=None,
+                        help="append a markdown summary of the metrics and "
+                             "gate outcome to this file (CI step summary)")
     args = parser.parse_args(argv)
     if args.slowdown < 1.0:
         parser.error("--slowdown must be >= 1.0")
@@ -294,6 +375,9 @@ def main(argv: list[str] | None = None) -> int:
     print(f"batched PDN: {metrics['batched_pdn_speedup']:.2f}x serial over "
           f"{metrics['batched_rows']} rows, droop match: "
           f"{metrics['batched_droop_match']}")
+    print(f"fleet: {metrics['fleet_shards']} shards at "
+          f"{metrics['fleet_shard_throughput_ratio']:.2f}x standalone "
+          f"throughput, droop match: {metrics['fleet_droop_match']}")
 
     if args.out is not None:
         args.out.parent.mkdir(parents=True, exist_ok=True)
@@ -304,6 +388,7 @@ def main(argv: list[str] | None = None) -> int:
         args.baseline.parent.mkdir(parents=True, exist_ok=True)
         args.baseline.write_text(json.dumps(current, indent=2) + "\n")
         print(f"baseline updated: {args.baseline}")
+        _write_summary(args.summary, current, [])
         return 0
 
     if not args.baseline.exists():
@@ -312,6 +397,7 @@ def main(argv: list[str] | None = None) -> int:
         return 2
     baseline = json.loads(args.baseline.read_text())
     problems = compare(baseline, current, tolerance=args.tolerance)
+    _write_summary(args.summary, current, problems)
     if problems:
         print(f"\nREGRESSION GATE FAILED ({len(problems)}):", file=sys.stderr)
         for problem in problems:
@@ -319,6 +405,15 @@ def main(argv: list[str] | None = None) -> int:
         return 1
     print("regression gate passed")
     return 0
+
+
+def _write_summary(path: Path | None, current: dict,
+                   problems: list[str]) -> None:
+    if path is None:
+        return
+    path.parent.mkdir(parents=True, exist_ok=True)
+    with open(path, "a") as handle:
+        handle.write(summary_markdown(current, problems))
 
 
 if __name__ == "__main__":

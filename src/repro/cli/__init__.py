@@ -10,6 +10,11 @@ Usage (also available as ``python -m repro``)::
     python -m repro audit --resume campaign/
     python -m repro audit --eval-retries 3 --on-fault penalize
     python -m repro audit --qualify --checkpoint-dir campaign/
+    python -m repro fleet run --matrix chip=bulldozer,phenom \\
+        --matrix threads=2,4 --dir fleet/ --workers 4
+    python -m repro fleet run --resume fleet/
+    python -m repro fleet status fleet/
+    python -m repro fleet report fleet/ --check
     python -m repro qualify a-res --threads 4
     python -m repro bench-evals --generations 6
     python -m repro experiment table1
@@ -42,6 +47,7 @@ from repro.cli._common import (
 )
 from repro.cli._audit import cmd_audit
 from repro.cli._experiments import EXPERIMENTS, cmd_experiment, cmd_list
+from repro.cli._fleet import cmd_fleet_report, cmd_fleet_run, cmd_fleet_status
 from repro.cli._main import build_parser, main
 from repro.cli._qualify import CANNED_STRESSMARKS, cmd_qualify
 from repro.cli._tools import cmd_bench_evals, cmd_netlist, cmd_sweep
@@ -59,6 +65,9 @@ __all__ = [
     "cmd_audit",
     "cmd_bench_evals",
     "cmd_experiment",
+    "cmd_fleet_report",
+    "cmd_fleet_run",
+    "cmd_fleet_status",
     "cmd_list",
     "cmd_netlist",
     "cmd_qualify",

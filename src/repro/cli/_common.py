@@ -17,17 +17,18 @@ from repro.core.telemetry import (
     JsonlObserver,
     RecentEventsObserver,
 )
-from repro.errors import ConfigurationError, ReproError
+from repro.errors import (  # noqa: F401 — canonical home is repro.errors
+    EXIT_CONFIG,
+    EXIT_CRASH,
+    EXIT_FAILURE,
+    EXIT_FAULTS,
+    EXIT_INVARIANT,
+    EXIT_OK,
+    ConfigurationError,
+    ReproError,
+)
 from repro.experiments.setup import bulldozer_testbed, phenom_testbed
 from repro.pipeline.batch import BatchMeasurementBackend
-
-#: Process exit codes (``sysexits``-adjacent; 70 = EX_SOFTWARE).
-EXIT_OK = 0
-EXIT_FAILURE = 1
-EXIT_CONFIG = 2
-EXIT_FAULTS = 3
-EXIT_INVARIANT = 4
-EXIT_CRASH = 70
 
 #: Flight recorder for crash reports; reset per ``main`` invocation.
 _flight_recorder = RecentEventsObserver()
@@ -131,6 +132,10 @@ def _add_campaign_args(parser: argparse.ArgumentParser) -> None:
              "checkpointing there; run parameters come from the stored "
              "meta, and the final stressmark is identical to an "
              "uninterrupted run")
+    _add_fault_args(parser)
+
+
+def _add_fault_args(parser: argparse.ArgumentParser) -> None:
     parser.add_argument(
         "--eval-retries", type=int, default=None, metavar="N",
         help="retry a faulting measurement up to N times before the "

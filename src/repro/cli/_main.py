@@ -13,7 +13,7 @@ from repro.core.faults import QuarantineExhaustedError
 from repro.core.telemetry import RecentEventsObserver
 from repro.errors import ConfigurationError, InvariantViolation, ReproError
 
-from repro.cli import _audit, _common, _experiments, _qualify, _tools
+from repro.cli import _audit, _common, _experiments, _fleet, _qualify, _tools
 from repro.cli._common import (
     EXIT_CONFIG,
     EXIT_CRASH,
@@ -31,6 +31,7 @@ def build_parser() -> argparse.ArgumentParser:
     sub = parser.add_subparsers(dest="command", required=True)
     _tools.register_sweep(sub)
     _audit.register(sub)
+    _fleet.register(sub)
     _qualify.register(sub)
     _tools.register_bench(sub)
     _tools.register_netlist(sub)
@@ -48,7 +49,8 @@ def _crash_report(args, error: BaseException) -> str | None:
     to reconstruct what the run was doing when it went down.
     """
     directory = (getattr(args, "checkpoint_dir", None)
-                 or getattr(args, "resume", None) or ".")
+                 or getattr(args, "resume", None)
+                 or getattr(args, "dir", None) or ".")
     path = Path(directory) / "crash_report.json"
     payload = {
         "command": getattr(args, "command", None),

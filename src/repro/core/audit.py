@@ -243,6 +243,7 @@ class AuditRunner:
         resume: bool = False,
         qualify: QualifyConfig | None = None,
         qualify_checkpoint: QualificationCheckpoint | None = None,
+        seed_cache: dict | None = None,
     ) -> AuditResult:
         """Execute the complete AUDIT flow and return the best stressmark.
 
@@ -262,6 +263,11 @@ class AuditRunner:
         the engine's fitness cache is promoted in its place — graceful
         degradation of the campaign result instead of shipping an
         artifact.
+
+        ``seed_cache`` pre-populates the engine's fitness cache with
+        genome → fitness pairs measured elsewhere on an identical
+        platform (the fleet orchestrator's cross-shard seeding).  Seeded
+        entries never override a resumed checkpoint's own cache.
         """
         cfg = self.config
         if resume and checkpoint is None:
@@ -292,6 +298,8 @@ class AuditRunner:
         ))
         space = self.build_space(resonance)
         engine = self.build_engine(space)
+        if seed_cache:
+            engine.seed_cache(seed_cache)
         ga = GeneticAlgorithm(
             random_fn=space.random_genome,
             mutate_fn=lambda g, rng, rate: space.mutate(g, rng, rate=rate),

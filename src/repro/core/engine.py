@@ -495,6 +495,19 @@ class EvaluationEngine(Generic[G]):
         self.cache_hits = cache_hits
         self.evaluations = evaluations
 
+    def seed_cache(self, cache: dict[G, float]) -> None:
+        """Pre-populate the fitness cache from another campaign's bank.
+
+        The fleet orchestrator seeds a shard's engine with the caches of
+        sibling shards that measured on an identical platform (same chip,
+        PDN variant, thread count, mode), so genomes the sibling already
+        scored are free here.  Unlike :meth:`restore_cache` this touches
+        no counters and never overwrites an existing entry — it only adds
+        known-good measurements the campaign has not requested yet.
+        """
+        for genome, value in cache.items():
+            self._cache.setdefault(genome, value)
+
     # ------------------------------------------------------------------
     def platform_stats(self):
         """The platform's MeasurementStats (None without an instrumented one)."""

@@ -143,6 +143,42 @@ class MeasurementStatsEvent:
 
 
 @dataclass(frozen=True)
+class ShardEvent:
+    """One fleet shard changing state.
+
+    ``status`` is ``"started"`` when a shard is dispatched to a worker,
+    ``"banked"`` when a resumed fleet finds its completed result on disk,
+    ``"ok"`` / ``"failed"`` when it finishes.  Failures carry the error
+    string and the exit-code taxonomy entry the shard mapped to
+    (3 fault-exhaustion / 4 invariant / 70 crash).
+    """
+
+    scenario: str
+    status: str
+    droop_v: float = 0.0
+    evaluations: int = 0
+    wall_s: float = 0.0
+    error: str = ""
+    exit_code: int = 0
+
+    kind = "shard"
+
+
+@dataclass(frozen=True)
+class FleetEvent:
+    """Fleet progress after a shard event: the live status line."""
+
+    total: int
+    done: int
+    failed: int
+    running: int
+    wall_s: float
+    detail: str = ""
+
+    kind = "fleet"
+
+
+@dataclass(frozen=True)
 class QualificationEvent:
     """One qualification step: a perturbation axis scored, or the verdict."""
 
@@ -165,6 +201,7 @@ class QualificationEvent:
 TelemetryEvent = (
     EvaluationEvent | GenerationEvent | PhaseEvent | FaultEvent | CheckpointEvent
     | InvariantEvent | QualificationEvent | StageEvent | MeasurementStatsEvent
+    | ShardEvent | FleetEvent
 )
 
 
@@ -244,6 +281,32 @@ class ConsoleObserver:
                     f"[stage/{event.stage}{path}]{batched}{cached} "
                     f"{event.wall_s * 1e3:.1f}ms{detail}\n"
                 )
+        elif isinstance(event, ShardEvent):
+            if event.status == "failed":
+                self.stream.write(
+                    f"[shard] {event.scenario}: FAILED (exit "
+                    f"{event.exit_code}) {event.error}\n"
+                )
+            elif event.status == "ok":
+                self.stream.write(
+                    f"[shard] {event.scenario}: "
+                    f"{event.droop_v * 1e3:.1f} mV  "
+                    f"{event.evaluations} evals  {event.wall_s:.1f}s\n"
+                )
+            elif event.status == "banked":
+                self.stream.write(
+                    f"[shard] {event.scenario}: banked "
+                    f"({event.droop_v * 1e3:.1f} mV)\n"
+                )
+            elif self.verbose:
+                self.stream.write(f"[shard] {event.scenario}: started\n")
+        elif isinstance(event, FleetEvent):
+            failed = f", {event.failed} failed" if event.failed else ""
+            detail = f"  ({event.detail})" if event.detail else ""
+            self.stream.write(
+                f"[fleet] {event.done}/{event.total} shards done{failed}, "
+                f"{event.running} running  {event.wall_s:.1f}s{detail}\n"
+            )
         elif isinstance(event, MeasurementStatsEvent):
             if self.verbose:
                 source = f" ({event.source})" if event.source else ""
@@ -329,6 +392,10 @@ class TelemetryCollector:
     stage_fallbacks: int = 0
     batched_solves: int = 0
     platform_stats: dict = field(default_factory=dict)
+    shards_done: int = 0
+    shards_failed: int = 0
+    shards_banked: int = 0
+    shard_wall_s: float = 0.0
 
     def on_event(self, event: TelemetryEvent) -> None:
         if isinstance(event, EvaluationEvent):
@@ -375,6 +442,15 @@ class TelemetryCollector:
                 self.stage_fallbacks += 1
             if event.batched and event.stage == "pdn":
                 self.batched_solves += 1
+        elif isinstance(event, ShardEvent):
+            if event.status == "ok":
+                self.shards_done += 1
+                self.shard_wall_s += event.wall_s
+            elif event.status == "failed":
+                self.shards_failed += 1
+                self.shard_wall_s += event.wall_s
+            elif event.status == "banked":
+                self.shards_banked += 1
         elif isinstance(event, MeasurementStatsEvent):
             self.platform_stats = dict(event.stats)
 
@@ -423,6 +499,13 @@ class TelemetryCollector:
             rows.append(
                 ("qualification wall time", f"{self.qualification_wall_s:.2f} s")
             )
+        if self.shards_done or self.shards_failed or self.shards_banked:
+            rows.append(("fleet shards completed", self.shards_done))
+            if self.shards_banked:
+                rows.append(("fleet shards banked", self.shards_banked))
+            if self.shards_failed:
+                rows.append(("fleet shards failed", self.shards_failed))
+            rows.append(("fleet shard wall time", f"{self.shard_wall_s:.2f} s"))
         if self.checkpoints:
             rows.append(("checkpoints written", self.checkpoints))
             rows.append(

@@ -7,6 +7,23 @@ can catch library failures without catching unrelated bugs.
 from __future__ import annotations
 
 
+#: Process exit codes (``sysexits``-adjacent; 70 = EX_SOFTWARE).  They live
+#: here rather than in :mod:`repro.cli` because the fleet orchestrator
+#: classifies shard failures with the same taxonomy without importing the
+#: CLI package.
+EXIT_OK = 0
+EXIT_FAILURE = 1
+EXIT_CONFIG = 2
+EXIT_FAULTS = 3
+EXIT_INVARIANT = 4
+EXIT_CRASH = 70
+
+#: Failure severity, worst first — a fleet with mixed shard failures exits
+#: with the most severe code so automation sees the worst problem.
+EXIT_SEVERITY = (EXIT_CRASH, EXIT_INVARIANT, EXIT_FAULTS, EXIT_CONFIG,
+                 EXIT_FAILURE)
+
+
 class ReproError(Exception):
     """Base class for all errors raised by the repro library."""
 

@@ -1,0 +1,301 @@
+"""Declarative scenario matrices: the fleet's unit of expansion.
+
+AUDIT's value in the paper is a *portfolio* of stressmarks: the loop is
+re-run per platform (Bulldozer vs. Phenom II, Table 3), per thread count,
+and per PDN variant to characterize each machine's worst case.  A
+:class:`ScenarioMatrix` declares that portfolio once — a small set of
+axes whose cartesian product is the set of campaigns to run — and the
+fleet orchestrator (:mod:`repro.fleet.orchestrator`) turns each expanded
+:class:`Scenario` into one shard.
+
+Axes
+----
+
+``chip``
+    Processor/testbed name (``bulldozer`` or ``phenom``).
+``pdn``
+    PDN tolerance variant: ``nominal`` or a signed percentage such as
+    ``+10%`` / ``-5%`` that scales every R/L/C/ESR field of the die
+    stage — the same stressmark hunt on the next board off the line.
+``threads``
+    Thread count for every measurement of the scenario.
+``budget``
+    GA budget as ``POPxGEN`` (population x generations), e.g. ``12x8``.
+``mode``
+    ``resonant`` (A-Res) or ``excitation`` (A-Ex).
+``seed``
+    GA seed.
+
+A matrix comes from a TOML or JSON spec file (:func:`load_spec`) or from
+repeated ``--matrix axis=v1,v2`` CLI arguments (:meth:`ScenarioMatrix
+.from_cli`).  Values are deduplicated order-preservingly; an unknown axis
+or an unparseable value raises :class:`~repro.errors.ConfigurationError`.
+"""
+
+from __future__ import annotations
+
+import itertools
+import json
+from dataclasses import dataclass, fields
+from pathlib import Path
+
+from repro.errors import ConfigurationError
+
+CHIPS = ("bulldozer", "phenom")
+MODES = ("resonant", "excitation")
+
+#: Pdn scale values must stay a *tolerance*, not a different network.
+MAX_PDN_TOLERANCE = 0.5
+
+
+def parse_pdn_label(label: str) -> float:
+    """``nominal`` → 1.0; ``+10%`` → 1.10; ``-5%`` → 0.95."""
+    bad = f"bad pdn variant {label!r}: expected 'nominal' or a signed percentage like '+10%'"
+    if label == "nominal":
+        return 1.0
+    if label.endswith("%") and label[:1] in "+-":
+        try:
+            pct = float(label[:-1])
+        except ValueError:
+            raise ConfigurationError(bad) from None
+        if abs(pct) > MAX_PDN_TOLERANCE * 100:
+            msg = (
+                f"pdn tolerance {label!r} exceeds ±{MAX_PDN_TOLERANCE * 100:.0f}% "
+                "(that is a different board, not a component tolerance)"
+            )
+            raise ConfigurationError(msg)
+        return 1.0 + pct / 100.0
+    raise ConfigurationError(bad)
+
+
+def parse_budget(label: str) -> tuple[int, int]:
+    """``12x8`` → (population 12, generations 8)."""
+    bad = f"bad budget {label!r}: expected POPxGEN, e.g. '12x8'"
+    parts = label.lower().split("x")
+    if len(parts) != 2:
+        raise ConfigurationError(bad)
+    try:
+        population, generations = int(parts[0]), int(parts[1])
+    except ValueError:
+        raise ConfigurationError(bad) from None
+    if population < 2 or generations < 1:
+        msg = f"bad budget {label!r}: need population >= 2 and generations >= 1"
+        raise ConfigurationError(msg)
+    return population, generations
+
+
+def _pdn_slug(label: str) -> str:
+    """Filesystem-safe slug for a pdn variant label."""
+    if label == "nominal":
+        return "pdn-nom"
+    return "pdn-" + label.replace("+", "p").replace("-", "m").replace("%", "")
+
+
+@dataclass(frozen=True)
+class Scenario:
+    """One fully specified campaign: a single point of the matrix."""
+
+    chip: str = "bulldozer"
+    pdn: str = "nominal"
+    threads: int = 4
+    budget: str = "16x10"
+    mode: str = "resonant"
+    seed: int = 1
+
+    def __post_init__(self) -> None:
+        if self.chip not in CHIPS:
+            raise ConfigurationError(f"unknown chip {self.chip!r} (expected one of {CHIPS})")
+        if self.mode not in MODES:
+            raise ConfigurationError(f"unknown mode {self.mode!r} (expected one of {MODES})")
+        if self.threads < 1:
+            raise ConfigurationError("threads must be >= 1")
+        parse_pdn_label(self.pdn)
+        parse_budget(self.budget)
+
+    @property
+    def pdn_scale(self) -> float:
+        return parse_pdn_label(self.pdn)
+
+    @property
+    def population(self) -> int:
+        return parse_budget(self.budget)[0]
+
+    @property
+    def generations(self) -> int:
+        return parse_budget(self.budget)[1]
+
+    @property
+    def scenario_id(self) -> str:
+        """Deterministic, filesystem-safe identifier (the shard dir name)."""
+        slug = _pdn_slug(self.pdn)
+        return f"{self.chip}-{slug}-t{self.threads}-b{self.budget}-{self.mode}-s{self.seed}"
+
+    @property
+    def platform_key(self) -> tuple:
+        """Scenarios sharing this key measure on an identical platform
+        with the same genome space, so their fitness caches interchange
+        (the orchestrator chains them and seeds caches forward)."""
+        return (self.chip, self.pdn, self.threads, self.mode)
+
+    def axes(self) -> dict:
+        return {f.name: getattr(self, f.name) for f in fields(self)}
+
+
+@dataclass(frozen=True)
+class ScenarioMatrix:
+    """Axis values whose cartesian product is the fleet's scenario set."""
+
+    chip: tuple = ("bulldozer",)
+    pdn: tuple = ("nominal",)
+    threads: tuple = (4,)
+    budget: tuple = ("16x10",)
+    mode: tuple = ("resonant",)
+    seed: tuple = (1,)
+
+    def __post_init__(self) -> None:
+        for axis in fields(self):
+            values = getattr(self, axis.name)
+            if not isinstance(values, tuple):
+                object.__setattr__(self, axis.name, tuple(values))
+        for axis in fields(self):
+            values = _dedupe(getattr(self, axis.name))
+            if not values:
+                raise ConfigurationError(f"matrix axis {axis.name!r} is empty")
+            object.__setattr__(self, axis.name, values)
+        # Axis-level validation happens by expanding one scenario per value.
+        for chip in self.chip:
+            Scenario(chip=chip)
+        for pdn in self.pdn:
+            Scenario(pdn=pdn)
+        for threads in self.threads:
+            if not isinstance(threads, int) or isinstance(threads, bool):
+                raise ConfigurationError(f"threads axis values must be integers, got {threads!r}")
+            Scenario(threads=threads)
+        for budget in self.budget:
+            Scenario(budget=budget)
+        for mode in self.mode:
+            Scenario(mode=mode)
+        for seed in self.seed:
+            if not isinstance(seed, int) or isinstance(seed, bool):
+                raise ConfigurationError(f"seed axis values must be integers, got {seed!r}")
+
+    # ------------------------------------------------------------------
+    @classmethod
+    def axis_names(cls) -> tuple:
+        return tuple(f.name for f in fields(cls))
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "ScenarioMatrix":
+        """Build a matrix from a ``{axis: [values]}`` mapping."""
+        if not isinstance(payload, dict):
+            raise ConfigurationError(f"matrix spec must be a mapping, got {type(payload).__name__}")
+        known = cls.axis_names()
+        for name in payload:
+            if name not in known:
+                raise ConfigurationError(f"unknown matrix axis {name!r} (expected one of {known})")
+        kwargs = {}
+        for name, values in payload.items():
+            if isinstance(values, (str, int)):
+                values = [values]
+            kwargs[name] = tuple(values)
+        return cls(**kwargs)
+
+    @classmethod
+    def from_cli(cls, axes: list[str]) -> "ScenarioMatrix":
+        """Parse repeated ``--matrix axis=v1,v2`` arguments."""
+        payload: dict = {}
+        for entry in axes:
+            name, sep, raw = entry.partition("=")
+            if not sep or not raw:
+                raise ConfigurationError(f"bad --matrix argument {entry!r}: expected axis=v1,v2")
+            values = [value.strip() for value in raw.split(",") if value.strip()]
+            if name in ("threads", "seed"):
+                try:
+                    values = [int(value) for value in values]
+                except ValueError:
+                    msg = f"axis {name!r} values must be integers: {raw!r}"
+                    raise ConfigurationError(msg) from None
+            payload.setdefault(name, []).extend(values)
+        return cls.from_dict(payload)
+
+    def to_dict(self) -> dict:
+        return {f.name: list(getattr(self, f.name)) for f in fields(self)}
+
+    # ------------------------------------------------------------------
+    def expand(self) -> tuple[Scenario, ...]:
+        """The cartesian product, in deterministic axis-major order.
+
+        Scenarios sharing a :attr:`Scenario.platform_key` come out
+        adjacent (chip/pdn/threads/mode are the outer axes), which is
+        what lets the orchestrator chain them for cache seeding without
+        re-sorting.
+        """
+        product = itertools.product(
+            self.chip,
+            self.pdn,
+            self.threads,
+            self.mode,
+            self.budget,
+            self.seed,
+        )
+        scenarios = []
+        for chip, pdn, threads, mode, budget, seed in product:
+            scenarios.append(
+                Scenario(chip=chip, pdn=pdn, threads=threads, budget=budget, mode=mode, seed=seed)
+            )
+        return tuple(scenarios)
+
+    def __len__(self) -> int:
+        return len(self.expand())
+
+
+def _dedupe(values: tuple) -> tuple:
+    seen = []
+    for value in values:
+        if value not in seen:
+            seen.append(value)
+    return tuple(seen)
+
+
+def load_spec(path) -> tuple[ScenarioMatrix, dict]:
+    """Load ``(matrix, fleet options)`` from a TOML or JSON spec file.
+
+    The file holds a ``[matrix]`` table of axes plus an optional
+    ``[fleet]`` table of orchestrator options (``workers``, ``qualify``,
+    ``failure_voltage``)::
+
+        [matrix]
+        chip = ["bulldozer", "phenom"]
+        threads = [2, 4]
+        budget = ["12x8"]
+
+        [fleet]
+        workers = 4
+        qualify = true
+    """
+    path = Path(path)
+    try:
+        raw = path.read_bytes()
+    except OSError as error:
+        raise ConfigurationError(f"cannot read fleet spec {path}: {error}") from error
+    if path.suffix.lower() == ".json":
+        try:
+            payload = json.loads(raw)
+        except json.JSONDecodeError as error:
+            raise ConfigurationError(f"bad JSON in fleet spec {path}: {error}") from error
+    else:
+        import tomllib
+
+        try:
+            payload = tomllib.loads(raw.decode("utf-8"))
+        except (tomllib.TOMLDecodeError, UnicodeDecodeError) as error:
+            raise ConfigurationError(f"bad TOML in fleet spec {path}: {error}") from error
+    if not isinstance(payload, dict) or "matrix" not in payload:
+        raise ConfigurationError(f"fleet spec {path} needs a [matrix] table of axes")
+    options = payload.get("fleet", {})
+    if not isinstance(options, dict):
+        raise ConfigurationError(f"fleet spec {path}: [fleet] must be a table")
+    unknown = set(options) - {"workers", "qualify", "failure_voltage"}
+    if unknown:
+        raise ConfigurationError(f"fleet spec {path}: unknown fleet option(s) {sorted(unknown)}")
+    return ScenarioMatrix.from_dict(payload["matrix"]), dict(options)

@@ -1,0 +1,319 @@
+"""The fleet orchestrator: matrix → shards → cross-platform report.
+
+:class:`FleetOrchestrator` expands a :class:`~repro.fleet.matrix
+.ScenarioMatrix` into shards, schedules them across a process pool under
+a global worker budget, and aggregates the banked results into a
+:class:`~repro.fleet.report.FleetReport`.
+
+Scheduling is *chain-based*: scenarios sharing a
+:attr:`~repro.fleet.matrix.Scenario.platform_key` (identical chip, PDN
+variant, thread count and mode — hence an identical fitness landscape)
+form a chain that runs sequentially, each shard seeding its evaluation
+cache from the state banked by its completed in-chain predecessors.
+Distinct chains run in parallel.  Because seeding only ever flows down a
+chain in expansion order, the final report is independent of worker
+count, completion order, and any number of kill/resume cycles.
+
+Everything durable lives under the fleet directory::
+
+    fleet-dir/
+      fleet.json            # matrix + options (written once, read on resume)
+      report.json           # canonical cross-scenario report
+      report.md             # the same report as GitHub markdown
+      shards/<scenario_id>/ # one campaign checkpoint dir + result.json each
+
+A killed fleet (SIGKILL included) resumes with
+:meth:`FleetOrchestrator.resume`: banked shards are served from their
+``result.json``, half-run shards continue from their campaign
+checkpoint, and the rebuilt report is bit-identical to an uninterrupted
+run's.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+import time
+from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
+from pathlib import Path
+
+from repro.core.checkpoint import atomic_write_json
+from repro.core.faults import FaultPolicy
+from repro.core.telemetry import FleetEvent, ShardEvent, notify
+from repro.errors import CheckpointError, ConfigurationError
+from repro.fleet.matrix import ScenarioMatrix
+from repro.fleet.report import REPORT_FILE, REPORT_MD_FILE, FleetReport
+from repro.fleet.shard import ShardResult, ShardSpec, load_result, run_shard
+
+FLEET_FILE = "fleet.json"
+
+#: Bumped when the fleet meta layout changes incompatibly.
+FLEET_VERSION = 1
+
+
+def chain_schedule(scenarios) -> tuple:
+    """Group scenarios into platform chains, expansion order preserved.
+
+    Returns a tuple of chains (tuples of scenarios); chains are ordered
+    by first appearance of their platform key, scenarios within a chain
+    keep their expansion order.  This grouping is what makes cache
+    seeding deterministic: a shard only ever seeds from predecessors in
+    its own chain.
+    """
+    chains: dict = {}
+    for scenario in scenarios:
+        chains.setdefault(scenario.platform_key, []).append(scenario)
+    return tuple(tuple(chain) for chain in chains.values())
+
+
+class FleetOrchestrator:
+    """Runs one scenario matrix as a resumable fleet of shards."""
+
+    def __init__(
+        self,
+        matrix: ScenarioMatrix,
+        fleet_dir,
+        *,
+        workers: int = 2,
+        qualify: bool = False,
+        failure_voltage: bool = False,
+        fault_policy: FaultPolicy | None = None,
+        observers=(),
+        stop_after: int | None = None,
+    ):
+        if workers < 1:
+            raise ConfigurationError("fleet workers must be >= 1")
+        self.matrix = matrix
+        self.fleet_dir = Path(fleet_dir)
+        self.workers = workers
+        self.qualify = qualify
+        self.failure_voltage = failure_voltage
+        self.fault_policy = fault_policy
+        self.observers = tuple(observers)
+        self.stop_after = stop_after
+        """Test hook: raise KeyboardInterrupt after this many shard
+        completions — a deterministic stand-in for kill -9."""
+        self.scenarios = matrix.expand()
+        self._completed = 0
+
+    # ------------------------------------------------------------------
+    # Fleet meta
+    # ------------------------------------------------------------------
+    @property
+    def meta_path(self) -> Path:
+        return self.fleet_dir / FLEET_FILE
+
+    def shard_dir(self, scenario) -> Path:
+        return self.fleet_dir / "shards" / scenario.scenario_id
+
+    def write_meta(self) -> None:
+        policy = self.fault_policy
+        meta = {
+            "fleet_version": FLEET_VERSION,
+            "matrix": self.matrix.to_dict(),
+            "workers": self.workers,
+            "qualify": self.qualify,
+            "failure_voltage": self.failure_voltage,
+            "fault_policy": None if policy is None else dataclasses.asdict(policy),
+        }
+        atomic_write_json(self.meta_path, meta)
+
+    @classmethod
+    def resume(
+        cls,
+        fleet_dir,
+        *,
+        workers: int | None = None,
+        observers=(),
+        stop_after: int | None = None,
+    ) -> "FleetOrchestrator":
+        """Rebuild the orchestrator a fleet directory was written by."""
+        meta_path = Path(fleet_dir) / FLEET_FILE
+        try:
+            payload = json.loads(meta_path.read_text())
+        except OSError:
+            msg = f"no fleet meta at {meta_path} (was this directory written by `repro fleet run`?)"
+            raise CheckpointError(msg) from None
+        except json.JSONDecodeError as error:
+            raise CheckpointError(f"corrupt fleet meta {meta_path}: {error}") from error
+        version = payload.get("fleet_version")
+        if version != FLEET_VERSION:
+            msg = f"fleet meta version {version!r} in {meta_path} is not supported"
+            raise CheckpointError(f"{msg} (expected {FLEET_VERSION})")
+        policy = payload.get("fault_policy")
+        return cls(
+            ScenarioMatrix.from_dict(payload["matrix"]),
+            fleet_dir,
+            workers=workers if workers is not None else payload["workers"],
+            qualify=bool(payload.get("qualify", False)),
+            failure_voltage=bool(payload.get("failure_voltage", False)),
+            fault_policy=None if policy is None else FaultPolicy(**policy),
+            observers=observers,
+            stop_after=stop_after,
+        )
+
+    # ------------------------------------------------------------------
+    # Execution
+    # ------------------------------------------------------------------
+    def _spec(self, chain, index) -> ShardSpec:
+        """The shard spec for ``chain[index]``, seeded by banked
+        in-chain predecessors that completed OK."""
+        seed_dirs = []
+        for predecessor in chain[:index]:
+            directory = self.shard_dir(predecessor)
+            banked = load_result(directory)
+            if banked is not None and banked.ok:
+                seed_dirs.append(str(directory))
+        scenario = chain[index]
+        return ShardSpec(
+            scenario=scenario,
+            shard_dir=str(self.shard_dir(scenario)),
+            seed_state_dirs=tuple(seed_dirs),
+            qualify=self.qualify,
+            failure_voltage=self.failure_voltage,
+            fault_policy=self.fault_policy,
+        )
+
+    def _on_result(self, result: ShardResult, results: list, start: float, running: int) -> None:
+        results.append(result)
+        self._completed += 1
+        event = ShardEvent(
+            scenario=result.scenario_id,
+            status="ok" if result.ok else "failed",
+            droop_v=result.droop_v or 0.0,
+            evaluations=result.evaluations or 0,
+            wall_s=result.timing.get("wall_s", 0.0),
+            error=result.error,
+            exit_code=result.exit_code,
+        )
+        notify(self.observers, event)
+        progress = FleetEvent(
+            total=len(self.scenarios),
+            done=len(results),
+            failed=len([r for r in results if not r.ok]),
+            running=running,
+            wall_s=time.perf_counter() - start,
+        )
+        notify(self.observers, progress)
+        if self.stop_after is not None and self._completed >= self.stop_after:
+            raise KeyboardInterrupt(f"fleet stop_after={self.stop_after} reached")
+
+    def _banked(self, results: list) -> dict:
+        """Serve already-banked OK shards without scheduling them."""
+        banked = {}
+        for scenario in self.scenarios:
+            result = load_result(self.shard_dir(scenario))
+            if result is not None and result.ok:
+                banked[scenario.scenario_id] = result
+                results.append(result)
+                event = ShardEvent(
+                    scenario=result.scenario_id,
+                    status="banked",
+                    droop_v=result.droop_v or 0.0,
+                    evaluations=result.evaluations or 0,
+                )
+                notify(self.observers, event)
+        return banked
+
+    def run(self) -> FleetReport:
+        """Run every shard not yet banked, then write and return the report.
+
+        Shard failures never abort the fleet — they land in the report
+        with their taxonomy exit code and the fleet's aggregate exit
+        code reflects the most severe one.  A KeyboardInterrupt (Ctrl-C
+        or the ``stop_after`` hook) propagates without writing a report,
+        like a kill would; ``resume`` picks the fleet up afterwards.
+        """
+        self.fleet_dir.mkdir(parents=True, exist_ok=True)
+        if not self.meta_path.exists():
+            self.write_meta()
+        start = time.perf_counter()
+        results: list = []
+        banked = self._banked(results)
+        full_chains = chain_schedule(self.scenarios)
+        chains = []
+        for chain in full_chains:
+            chains.append([s for s in chain if s.scenario_id not in banked])
+        pending = [chain_index for chain_index, chain in enumerate(chains) if chain]
+        kickoff = FleetEvent(
+            total=len(self.scenarios),
+            done=len(results),
+            failed=0,
+            running=0,
+            wall_s=0.0,
+            detail=f"{len(pending)} chain(s), {self.workers} worker(s)",
+        )
+        notify(self.observers, kickoff)
+        if pending:
+            if self.workers == 1:
+                self._run_serial(chains, full_chains, results, start)
+            else:
+                self._run_pool(chains, full_chains, results, start)
+        report = FleetReport.build(self.scenarios, results)
+        self.write_report(report)
+        return report
+
+    def _full_spec(self, chains, full_chains, chain_index, index) -> ShardSpec:
+        """Spec for ``chains[chain_index][index]`` with seeding resolved
+        against the *full* chain (banked predecessors included)."""
+        scenario = chains[chain_index][index]
+        full_chain = full_chains[chain_index]
+        return self._spec(full_chain, full_chain.index(scenario))
+
+    def _run_serial(self, chains, full_chains, results, start) -> None:
+        for chain_index, chain in enumerate(chains):
+            for index in range(len(chain)):
+                spec = self._full_spec(chains, full_chains, chain_index, index)
+                event = ShardEvent(scenario=spec.scenario.scenario_id, status="started")
+                notify(self.observers, event)
+                result = run_shard(spec)
+                self._on_result(result, results, start, running=0)
+
+    def _run_pool(self, chains, full_chains, results, start) -> None:
+        with ProcessPoolExecutor(max_workers=self.workers) as pool:
+            futures = {}
+
+            def submit(chain_index: int, index: int) -> None:
+                spec = self._full_spec(chains, full_chains, chain_index, index)
+                event = ShardEvent(scenario=spec.scenario.scenario_id, status="started")
+                notify(self.observers, event)
+                futures[pool.submit(run_shard, spec)] = (chain_index, index)
+
+            for chain_index, chain in enumerate(chains):
+                if chain:
+                    submit(chain_index, 0)
+            try:
+                while futures:
+                    done, _ = wait(futures, return_when=FIRST_COMPLETED)
+                    for future in done:
+                        chain_index, index = futures.pop(future)
+                        result = future.result()
+                        # Next-in-chain first, so its seeding sees the
+                        # result this future just banked.
+                        if index + 1 < len(chains[chain_index]):
+                            submit(chain_index, index + 1)
+                        self._on_result(result, results, start, running=len(futures))
+            except KeyboardInterrupt:
+                for future in futures:
+                    future.cancel()
+                raise
+
+    # ------------------------------------------------------------------
+    # Report
+    # ------------------------------------------------------------------
+    def write_report(self, report: FleetReport) -> None:
+        tmp = self.fleet_dir / (REPORT_FILE + ".tmp")
+        tmp.write_text(report.to_json())
+        tmp.replace(self.fleet_dir / REPORT_FILE)
+        tmp_md = self.fleet_dir / (REPORT_MD_FILE + ".tmp")
+        tmp_md.write_text(report.to_markdown())
+        tmp_md.replace(self.fleet_dir / REPORT_MD_FILE)
+
+    def collect_report(self) -> FleetReport:
+        """Aggregate whatever is banked right now, without running."""
+        results = []
+        for scenario in self.scenarios:
+            result = load_result(self.shard_dir(scenario))
+            if result is not None:
+                results.append(result)
+        return FleetReport.build(self.scenarios, results)

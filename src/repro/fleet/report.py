@@ -1,0 +1,216 @@
+"""Cross-scenario fleet reports: the paper's Table 3, automated.
+
+A :class:`FleetReport` aggregates the banked per-shard results of one
+fleet into a deterministic cross-platform comparison: every shard's
+droop/fitness/verdict row, the best stressmark per platform (chip × PDN
+variant), and a single fleet exit code derived from the shard exit-code
+taxonomy.  Wall-clock timing is deliberately dropped, so the JSON
+rendering of a resumed fleet is bit-identical to an uninterrupted one —
+CI diffs the two files directly.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+
+from repro.errors import EXIT_FAILURE, EXIT_OK, EXIT_SEVERITY
+from repro.fleet.matrix import Scenario
+from repro.fleet.shard import ShardResult
+
+#: Bumped when the report layout changes incompatibly.
+REPORT_VERSION = 1
+
+REPORT_FILE = "report.json"
+REPORT_MD_FILE = "report.md"
+
+_SHARD_HEADER = (
+    "| scenario | status | droop (V) | fitness | evals | resonance (MHz) "
+    "| verdict | robustness | Vfail (V) |"
+)
+
+
+def aggregate_exit_code(results, expected: int) -> int:
+    """One exit code for the whole fleet.
+
+    The most severe shard failure wins (70 crash > 4 invariant >
+    3 fault-exhaustion > 2 config > 1); a fleet with missing shards but
+    no failures is still a failure (exit 1) — a partial report must not
+    look like success.
+    """
+    codes = {result.exit_code for result in results if not result.ok}
+    for code in EXIT_SEVERITY:
+        if code in codes:
+            return code
+    if len([result for result in results if result.ok]) < expected:
+        return EXIT_FAILURE
+    return EXIT_OK
+
+
+def _shard_row(result: ShardResult) -> dict:
+    row = result.to_payload()
+    row.pop("timing", None)
+    row.pop("result_version", None)
+    return row
+
+
+@dataclass(frozen=True)
+class FleetReport:
+    """Deterministic aggregate of one fleet's banked shard results."""
+
+    scenarios: tuple
+    """Every scenario the matrix expanded to, as ``scenario_id`` strings."""
+    shards: tuple
+    """Banked :class:`ShardResult` rows, sorted by ``scenario_id``."""
+    exit_code: int
+
+    @classmethod
+    def build(cls, scenarios, results) -> "FleetReport":
+        """Aggregate *results* (any order) against the expected matrix."""
+        ids = []
+        for scenario in scenarios:
+            if isinstance(scenario, Scenario):
+                ids.append(scenario.scenario_id)
+            else:
+                ids.append(str(scenario))
+        ids = tuple(sorted(ids))
+        shards = tuple(sorted(results, key=lambda r: r.scenario_id))
+        return cls(
+            scenarios=ids,
+            shards=shards,
+            exit_code=aggregate_exit_code(shards, expected=len(ids)),
+        )
+
+    # ------------------------------------------------------------------
+    @property
+    def ok_shards(self) -> tuple:
+        return tuple(result for result in self.shards if result.ok)
+
+    @property
+    def failed_shards(self) -> tuple:
+        return tuple(result for result in self.shards if not result.ok)
+
+    @property
+    def missing(self) -> tuple:
+        """Scenario ids with no banked result at all (killed mid-run)."""
+        seen = {result.scenario_id for result in self.shards}
+        return tuple(sid for sid in self.scenarios if sid not in seen)
+
+    @property
+    def complete(self) -> bool:
+        return not self.missing and not self.failed_shards
+
+    def best_per_platform(self) -> dict:
+        """Deepest-droop winner for each platform (chip × PDN variant)."""
+        best: dict = {}
+        for result in self.ok_shards:
+            key = f"{result.scenario['chip']}/{result.scenario['pdn']}"
+            droop = result.droop_v if result.droop_v is not None else 0.0
+            incumbent = best.get(key)
+            if incumbent is None or droop > (incumbent.droop_v or 0.0):
+                best[key] = result
+        return {key: best[key] for key in sorted(best)}
+
+    # ------------------------------------------------------------------
+    def to_dict(self) -> dict:
+        best = {}
+        for key, result in self.best_per_platform().items():
+            best[key] = result.scenario_id
+        return {
+            "report_version": REPORT_VERSION,
+            "exit_code": self.exit_code,
+            "complete": self.complete,
+            "scenarios": list(self.scenarios),
+            "missing": list(self.missing),
+            "shards": [_shard_row(result) for result in self.shards],
+            "best_per_platform": best,
+        }
+
+    def to_json(self) -> str:
+        """Canonical rendering: sorted keys, fixed separators — diffable."""
+        return json.dumps(self.to_dict(), indent=2, sort_keys=True) + "\n"
+
+    def to_markdown(self) -> str:
+        """Table-3-style cross-platform comparison in GitHub markdown."""
+        lines = [
+            "# Fleet report",
+            "",
+            f"- scenarios: {len(self.scenarios)}",
+            f"- completed: {len(self.ok_shards)}",
+            f"- failed: {len(self.failed_shards)}",
+            f"- missing: {len(self.missing)}",
+            f"- exit code: {self.exit_code}",
+            "",
+            "## Shards",
+            "",
+            _SHARD_HEADER,
+            "|---|---|---|---|---|---|---|---|---|",
+        ]
+        for result in self.shards:
+            lines.append(_row(_shard_cells(result)))
+        for sid in self.missing:
+            lines.append(f"| {sid} | missing | — | — | — | — | — | — | — |")
+        best = self.best_per_platform()
+        if best:
+            lines += [
+                "",
+                "## Best stressmark per platform",
+                "",
+                "| platform | scenario | droop (V) | verdict | Vfail (V) |",
+                "|---|---|---|---|---|",
+            ]
+            for key, result in best.items():
+                cells = [
+                    key,
+                    result.scenario_id,
+                    _fmt(result.droop_v, "{:.4f}"),
+                    result.verdict or "—",
+                    _fmt(result.failure_voltage_v, "{:.3f}"),
+                ]
+                lines.append(_row(cells))
+        if self.failed_shards:
+            lines += ["", "## Failures", ""]
+            for result in self.failed_shards:
+                sid = result.scenario_id
+                lines.append(f"- `{sid}` exit {result.exit_code}: {result.error}")
+        return "\n".join(lines) + "\n"
+
+
+def _fmt(value, spec: str) -> str:
+    return "—" if value is None else spec.format(value)
+
+
+def _row(cells) -> str:
+    return "| " + " | ".join(cells) + " |"
+
+
+def _shard_cells(result: ShardResult) -> list:
+    status = result.status
+    if not result.ok:
+        status = f"{result.status} (exit {result.exit_code})"
+    resonance_mhz = None
+    if result.resonance_hz is not None:
+        resonance_mhz = result.resonance_hz / 1e6
+    return [
+        result.scenario_id,
+        status,
+        _fmt(result.droop_v, "{:.4f}"),
+        _fmt(result.best_fitness, "{:.4f}"),
+        _fmt(result.evaluations, "{:d}"),
+        _fmt(resonance_mhz, "{:.1f}"),
+        result.verdict or "—",
+        _fmt(result.robustness, "{:.3f}"),
+        _fmt(result.failure_voltage_v, "{:.3f}"),
+    ]
+
+
+def report_from_payload(payload: dict) -> FleetReport:
+    """Rebuild a report object from a ``report.json`` payload."""
+    shards = []
+    for row in payload.get("shards", ()):
+        shards.append(ShardResult.from_payload({**row, "timing": {}}))
+    return FleetReport(
+        scenarios=tuple(payload.get("scenarios", ())),
+        shards=tuple(shards),
+        exit_code=int(payload.get("exit_code", EXIT_FAILURE)),
+    )

@@ -1,0 +1,157 @@
+"""Scenario matrix expansion, parsing, and spec loading."""
+
+import json
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.fleet.matrix import (
+    Scenario,
+    ScenarioMatrix,
+    load_spec,
+    parse_budget,
+    parse_pdn_label,
+)
+from repro.fleet.orchestrator import chain_schedule
+
+
+class TestPdnLabels:
+    def test_nominal_is_unity(self):
+        assert parse_pdn_label("nominal") == 1.0
+
+    @pytest.mark.parametrize("label,scale", [
+        ("+10%", 1.10), ("-5%", 0.95), ("+0%", 1.0), ("-12.5%", 0.875),
+    ])
+    def test_signed_percentages(self, label, scale):
+        assert parse_pdn_label(label) == pytest.approx(scale)
+
+    @pytest.mark.parametrize("label", ["10%", "fast", "", "+%", "+10"])
+    def test_bad_labels_rejected(self, label):
+        with pytest.raises(ConfigurationError):
+            parse_pdn_label(label)
+
+    def test_tolerance_beyond_bound_rejected(self):
+        with pytest.raises(ConfigurationError, match="different\\s+board"):
+            parse_pdn_label("+60%")
+
+
+class TestBudgets:
+    def test_pop_x_gen(self):
+        assert parse_budget("12x8") == (12, 8)
+
+    @pytest.mark.parametrize("label", ["12", "x", "12x", "ax8", "1x8", "4x0"])
+    def test_bad_budgets_rejected(self, label):
+        with pytest.raises(ConfigurationError):
+            parse_budget(label)
+
+
+class TestScenario:
+    def test_id_is_deterministic_and_filesystem_safe(self):
+        scenario = Scenario(chip="phenom", pdn="+10%", threads=2,
+                            budget="8x4", mode="excitation", seed=7)
+        assert scenario.scenario_id == "phenom-pdn-p10-t2-b8x4-excitation-s7"
+
+    def test_platform_key_ignores_budget_and_seed(self):
+        a = Scenario(budget="8x4", seed=1)
+        b = Scenario(budget="16x10", seed=9)
+        assert a.platform_key == b.platform_key
+
+    @pytest.mark.parametrize("kwargs", [
+        {"chip": "alpha"}, {"mode": "chaos"}, {"threads": 0},
+        {"pdn": "broken"}, {"budget": "0x0"},
+    ])
+    def test_bad_axis_values_rejected(self, kwargs):
+        with pytest.raises(ConfigurationError):
+            Scenario(**kwargs)
+
+
+class TestMatrixExpansion:
+    def test_axis_product(self):
+        matrix = ScenarioMatrix(chip=("bulldozer", "phenom"),
+                                threads=(2, 4), seed=(1, 2))
+        assert len(matrix) == 8
+        ids = [s.scenario_id for s in matrix.expand()]
+        assert len(set(ids)) == 8
+
+    def test_values_deduplicated_order_preserved(self):
+        matrix = ScenarioMatrix(seed=(3, 1, 3, 1, 2))
+        assert matrix.seed == (3, 1, 2)
+        assert len(matrix) == 3
+
+    def test_empty_axis_rejected(self):
+        with pytest.raises(ConfigurationError, match="empty"):
+            ScenarioMatrix(chip=())
+
+    def test_unknown_axis_rejected(self):
+        with pytest.raises(ConfigurationError, match="unknown matrix axis"):
+            ScenarioMatrix.from_dict({"frequency": [1]})
+
+    def test_non_integer_threads_rejected(self):
+        with pytest.raises(ConfigurationError):
+            ScenarioMatrix(threads=("four",))
+
+    def test_platform_key_groups_are_contiguous(self):
+        matrix = ScenarioMatrix(chip=("bulldozer", "phenom"),
+                                pdn=("nominal", "+10%"),
+                                budget=("4x2", "8x4"), seed=(1, 2))
+        keys = [s.platform_key for s in matrix.expand()]
+        seen = []
+        for key in keys:
+            if not seen or seen[-1] != key:
+                assert key not in seen, "platform group split apart"
+                seen.append(key)
+        chains = chain_schedule(matrix.expand())
+        assert sum(len(chain) for chain in chains) == len(matrix)
+        assert len(chains) == 4  # 2 chips x 2 pdn variants
+
+
+class TestCliParsing:
+    def test_axes_parsed_and_merged(self):
+        matrix = ScenarioMatrix.from_cli([
+            "chip=bulldozer,phenom", "threads=2,4", "seed=1", "seed=2",
+        ])
+        assert matrix.chip == ("bulldozer", "phenom")
+        assert matrix.threads == (2, 4)
+        assert matrix.seed == (1, 2)
+
+    @pytest.mark.parametrize("entry", ["chip", "chip=", "=x", "threads=two"])
+    def test_bad_entries_rejected(self, entry):
+        with pytest.raises(ConfigurationError):
+            ScenarioMatrix.from_cli([entry])
+
+
+class TestSpecFiles:
+    def test_toml_spec(self, tmp_path):
+        spec = tmp_path / "fleet.toml"
+        spec.write_text(
+            '[matrix]\nchip = ["bulldozer", "phenom"]\nseed = [1, 2]\n'
+            "\n[fleet]\nworkers = 3\nqualify = true\n"
+        )
+        matrix, options = load_spec(spec)
+        assert len(matrix) == 4
+        assert options == {"workers": 3, "qualify": True}
+
+    def test_json_spec(self, tmp_path):
+        spec = tmp_path / "fleet.json"
+        spec.write_text(json.dumps(
+            {"matrix": {"chip": "bulldozer", "threads": [2, 4]}}
+        ))
+        matrix, options = load_spec(spec)
+        assert matrix.threads == (2, 4)
+        assert options == {}
+
+    def test_missing_matrix_table_rejected(self, tmp_path):
+        spec = tmp_path / "fleet.toml"
+        spec.write_text('[fleet]\nworkers = 2\n')
+        with pytest.raises(ConfigurationError, match="matrix"):
+            load_spec(spec)
+
+    def test_unknown_fleet_option_rejected(self, tmp_path):
+        spec = tmp_path / "fleet.toml"
+        spec.write_text('[matrix]\nseed = [1]\n\n[fleet]\nturbo = true\n')
+        with pytest.raises(ConfigurationError, match="turbo"):
+            load_spec(spec)
+
+    def test_unreadable_spec_rejected(self, tmp_path):
+        with pytest.raises(ConfigurationError, match="cannot read"):
+            load_spec(tmp_path / "absent.toml")

@@ -1,0 +1,120 @@
+"""Fleet report aggregation, exit-code taxonomy, and rendering."""
+
+import json
+
+from repro.errors import (
+    EXIT_CRASH,
+    EXIT_FAILURE,
+    EXIT_FAULTS,
+    EXIT_INVARIANT,
+    EXIT_OK,
+)
+from repro.fleet.report import (
+    FleetReport,
+    aggregate_exit_code,
+    report_from_payload,
+)
+from repro.fleet.shard import ShardResult
+
+
+def ok_result(scenario_id, chip="bulldozer", pdn="nominal", droop=0.04):
+    return ShardResult(
+        scenario={"chip": chip, "pdn": pdn, "threads": 2,
+                  "budget": "4x2", "mode": "resonant", "seed": 1},
+        scenario_id=scenario_id,
+        status="ok",
+        droop_v=droop,
+        best_fitness=droop,
+        evaluations=8,
+        resonance_hz=1e8,
+        timing={"wall_s": 1.0},
+    )
+
+
+def failed_result(scenario_id, exit_code):
+    return ShardResult(
+        scenario={"chip": "bulldozer", "pdn": "nominal", "threads": 2,
+                  "budget": "4x2", "mode": "resonant", "seed": 1},
+        scenario_id=scenario_id,
+        status="failed",
+        exit_code=exit_code,
+        error="boom",
+        timing={"wall_s": 0.5},
+    )
+
+
+class TestExitCodeAggregation:
+    def test_all_ok_and_complete_is_zero(self):
+        results = [ok_result("a"), ok_result("b")]
+        assert aggregate_exit_code(results, expected=2) == EXIT_OK
+
+    def test_most_severe_failure_wins(self):
+        results = [ok_result("a"), failed_result("b", EXIT_FAULTS),
+                   failed_result("c", EXIT_INVARIANT)]
+        assert aggregate_exit_code(results, expected=3) == EXIT_INVARIANT
+        results.append(failed_result("d", EXIT_CRASH))
+        assert aggregate_exit_code(results, expected=4) == EXIT_CRASH
+
+    def test_missing_shards_without_failures_still_fail(self):
+        results = [ok_result("a")]
+        assert aggregate_exit_code(results, expected=3) == EXIT_FAILURE
+
+
+class TestFleetReport:
+    def test_rows_sorted_and_timing_dropped(self):
+        report = FleetReport.build(
+            ["b", "a"], [ok_result("b"), ok_result("a")]
+        )
+        payload = report.to_dict()
+        assert [row["scenario_id"] for row in payload["shards"]] == ["a", "b"]
+        assert all("timing" not in row for row in payload["shards"])
+
+    def test_json_rendering_is_canonical(self):
+        results = [ok_result("a"), ok_result("b")]
+        one = FleetReport.build(["a", "b"], results).to_json()
+        two = FleetReport.build(["b", "a"], list(reversed(results))).to_json()
+        assert one == two
+
+    def test_missing_shards_reported(self):
+        report = FleetReport.build(["a", "b", "c"], [ok_result("a")])
+        assert report.missing == ("b", "c")
+        assert not report.complete
+        assert report.exit_code == EXIT_FAILURE
+        assert "| b | missing |" in report.to_markdown()
+
+    def test_best_per_platform_deepest_droop(self):
+        report = FleetReport.build(
+            ["a", "b", "c", "d"],
+            [
+                ok_result("a", droop=0.03),
+                ok_result("b", droop=0.05),
+                ok_result("c", chip="phenom", droop=0.02),
+                ok_result("d", pdn="+10%", droop=0.01),
+            ],
+        )
+        best = report.best_per_platform()
+        assert best["bulldozer/nominal"].scenario_id == "b"
+        assert best["phenom/nominal"].scenario_id == "c"
+        assert best["bulldozer/+10%"].scenario_id == "d"
+        assert report.to_dict()["best_per_platform"] == {
+            "bulldozer/+10%": "d",
+            "bulldozer/nominal": "b",
+            "phenom/nominal": "c",
+        }
+
+    def test_markdown_lists_failures_with_exit_codes(self):
+        report = FleetReport.build(
+            ["a", "b"], [ok_result("a"), failed_result("b", EXIT_FAULTS)]
+        )
+        markdown = report.to_markdown()
+        assert f"failed (exit {EXIT_FAULTS})" in markdown
+        assert "`b` exit 3: boom" in markdown
+        assert report.exit_code == EXIT_FAULTS
+
+    def test_payload_round_trip(self):
+        report = FleetReport.build(
+            ["a", "b"], [ok_result("a"), failed_result("b", EXIT_CRASH)]
+        )
+        rebuilt = report_from_payload(json.loads(report.to_json()))
+        assert rebuilt.to_json() == report.to_json()
+        assert rebuilt.exit_code == EXIT_CRASH

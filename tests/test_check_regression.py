@@ -40,6 +40,9 @@ def baseline(gate):
             "batched_pdn_speedup": 4.0,
             "batched_droop_match": True,
             "batched_rows": 32,
+            "fleet_shard_throughput_ratio": 0.97,
+            "fleet_droop_match": True,
+            "fleet_shards": 2,
         },
     }
 
@@ -132,6 +135,34 @@ class TestCompare:
         problems = gate.compare(baseline, current)
         assert len(problems) == 1
         assert "batched_droop_match" in problems[0]
+
+    def test_fleet_throughput_below_floor_fails(self, gate, baseline):
+        """Fleet overhead floor is absolute, like the batched speedup."""
+        current = copy.deepcopy(baseline)
+        current["metrics"]["fleet_shard_throughput_ratio"] = 0.5
+        problems = gate.compare(baseline, current)
+        assert len(problems) == 1
+        assert "fleet_shard_throughput_ratio below floor" in problems[0]
+
+    def test_fleet_droop_mismatch_fails(self, gate, baseline):
+        current = copy.deepcopy(baseline)
+        current["metrics"]["fleet_droop_match"] = False
+        problems = gate.compare(baseline, current)
+        assert len(problems) == 1
+        assert "fleet_droop_match" in problems[0]
+
+
+class TestSummaryMarkdown:
+    def test_pass_renders_metric_table(self, gate, baseline):
+        markdown = gate.summary_markdown(baseline, [])
+        assert "Status: ✅ passed" in markdown
+        assert "| max_droop_v | 0.08127 |" in markdown
+        assert "| fleet_shards | 2 |" in markdown
+
+    def test_failures_listed(self, gate, baseline):
+        markdown = gate.summary_markdown(baseline, ["droop drifted"])
+        assert "Status: ❌ failed (1)" in markdown
+        assert "- ❌ droop drifted" in markdown
 
 
 class TestCommittedBaseline:
