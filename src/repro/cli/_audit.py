@@ -4,7 +4,6 @@ from __future__ import annotations
 
 from repro.core.audit import AuditConfig, AuditRunner, StressmarkMode
 from repro.core.checkpoint import CampaignCheckpoint, validate_campaign_meta
-from repro.core.engine import make_executor
 from repro.core.ga import GaConfig
 from repro.core.qualify import QualificationCheckpoint, QualifyConfig
 from repro.core.telemetry import TelemetryCollector
@@ -14,11 +13,14 @@ from repro.isa.encoder import encode_program
 from repro.cli._common import (
     _add_batch_arg,
     _add_campaign_args,
+    _add_supervision_args,
     _add_telemetry_args,
     _batched,
     _fault_policy,
+    _make_supervised_executor,
     _observers,
     _platform_factory,
+    _shutdown_coordinator,
 )
 
 
@@ -65,7 +67,7 @@ def cmd_audit(args) -> int:
     observers, jsonl = _observers(args)
     collector = TelemetryCollector()
     observers.append(collector)
-    executor = make_executor(args.workers)
+    executor = _make_supervised_executor(args, observers)
     runner = AuditRunner(
         platform,
         config=config,
@@ -87,12 +89,17 @@ def cmd_audit(args) -> int:
                 f"nothing to resume in {args.resume!r}: no checkpointed "
                 "generation yet"
             )
+        if state.salvaged:
+            print(f"checkpoint salvage: {state.salvage_reason}")
         print(f"resuming campaign from generation {state.ga.generation} "
               f"({state.ga.evaluations} evaluations banked)")
+    coordinator = _shutdown_coordinator(args, observers)
     try:
-        result = runner.run(checkpoint=checkpoint, resume=resume,
-                            qualify=qualify_config,
-                            qualify_checkpoint=qualify_checkpoint)
+        with coordinator:
+            result = runner.run(checkpoint=checkpoint, resume=resume,
+                                qualify=qualify_config,
+                                qualify_checkpoint=qualify_checkpoint,
+                                stop=coordinator.stop_requested)
     finally:
         executor.close()
         if jsonl is not None:
@@ -141,6 +148,7 @@ def register(sub) -> None:
     _add_telemetry_args(audit)
     _add_batch_arg(audit)
     _add_campaign_args(audit)
+    _add_supervision_args(audit)
     audit.add_argument("--telemetry", action="store_true",
                        help="print the run-telemetry summary table")
     audit.add_argument(

@@ -22,8 +22,10 @@ from repro.errors import (  # noqa: F401 — canonical home is repro.errors
     EXIT_CRASH,
     EXIT_FAILURE,
     EXIT_FAULTS,
+    EXIT_INTERRUPTED,
     EXIT_INVARIANT,
     EXIT_OK,
+    CampaignInterrupted,
     ConfigurationError,
     ReproError,
 )
@@ -110,6 +112,52 @@ def _add_telemetry_args(parser: argparse.ArgumentParser) -> None:
     parser.add_argument(
         "--telemetry-out", default=None, metavar="PATH",
         help="append per-event telemetry as JSON lines to PATH")
+
+
+def _add_supervision_args(parser: argparse.ArgumentParser) -> None:
+    """Process-supervision knobs shared by audit/qualify/fleet campaigns."""
+    parser.add_argument(
+        "--eval-hard-timeout", type=float, default=None, metavar="SECONDS",
+        help="hard per-evaluation deadline under --workers: a stuck worker "
+             "is killed, the pool respawned, and the genome handed to the "
+             "fault policy (unlike --eval-timeout, which only measures "
+             "attempts that return)")
+    parser.add_argument(
+        "--max-pool-rebuilds", type=int, default=None, metavar="N",
+        help="total worker-pool respawns (hangs + crashes) tolerated per "
+             "evaluation batch before the run is declared systemically "
+             "unstable (default 5)")
+    parser.add_argument(
+        "--max-wall-clock", type=float, default=None, metavar="SECONDS",
+        help="stop gracefully after this much wall time: finish the "
+             "in-flight generation, write a final checkpoint, exit 75 "
+             "(same path as SIGTERM)")
+
+
+def _shutdown_coordinator(args, observers):
+    """A ShutdownCoordinator wired to SIGTERM/SIGINT + --max-wall-clock."""
+    from repro.supervision import ShutdownCoordinator
+
+    return ShutdownCoordinator(
+        max_wall_clock_s=getattr(args, "max_wall_clock", None),
+        observers=observers,
+    )
+
+
+def _make_supervised_executor(args, observers):
+    """The campaign executor from --workers + supervision flags."""
+    from repro.core.engine import make_executor
+    from repro.supervision.executor import DEFAULT_MAX_POOL_REBUILDS
+
+    rebuilds = getattr(args, "max_pool_rebuilds", None)
+    return make_executor(
+        getattr(args, "workers", None),
+        hard_timeout_s=getattr(args, "eval_hard_timeout", None),
+        max_pool_rebuilds=(
+            rebuilds if rebuilds is not None else DEFAULT_MAX_POOL_REBUILDS
+        ),
+        observers=observers,
+    )
 
 
 def _add_batch_arg(parser: argparse.ArgumentParser) -> None:

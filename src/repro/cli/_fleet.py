@@ -6,7 +6,13 @@ import json
 import sys
 from pathlib import Path
 
-from repro.cli._common import EXIT_OK, _add_fault_args, _fault_policy, _observers
+from repro.cli._common import (
+    EXIT_OK,
+    _add_fault_args,
+    _fault_policy,
+    _observers,
+    _shutdown_coordinator,
+)
 from repro.errors import CheckpointError, ConfigurationError
 from repro.fleet.matrix import ScenarioMatrix, load_spec
 from repro.fleet.orchestrator import FLEET_FILE, FleetOrchestrator
@@ -19,14 +25,22 @@ _NO_MATRIX = (
 )
 
 
-def _build_orchestrator(args) -> tuple:
+def _build_orchestrator(args, stop_check) -> tuple:
     """(orchestrator, jsonl observer) from the run flags."""
     observers, jsonl = _observers(args)
+    supervision = {
+        "shard_timeout_s": args.shard_timeout,
+        "shard_retries": args.shard_retries,
+        "stop_check": stop_check,
+    }
+    if args.max_pool_rebuilds is not None:
+        supervision["max_pool_rebuilds"] = args.max_pool_rebuilds
     if args.resume is not None:
         orchestrator = FleetOrchestrator.resume(
             args.resume,
             workers=args.workers,
             observers=observers,
+            **supervision,
         )
         return orchestrator, jsonl
     options: dict = {}
@@ -50,17 +64,21 @@ def _build_orchestrator(args) -> tuple:
         failure_voltage=failure_voltage,
         fault_policy=_fault_policy(args),
         observers=observers,
+        **supervision,
     )
     return orchestrator, jsonl
 
 
 def cmd_fleet_run(args) -> int:
-    orchestrator, jsonl = _build_orchestrator(args)
+    coordinator = _shutdown_coordinator(args, [])
+    orchestrator, jsonl = _build_orchestrator(args, coordinator.stop_requested)
+    coordinator.observers.extend(orchestrator.observers)
     scenarios = len(orchestrator.scenarios)
     workers = orchestrator.workers
     print(f"fleet: {scenarios} scenario(s), {workers} worker(s) -> {orchestrator.fleet_dir}")
     try:
-        report = orchestrator.run()
+        with coordinator:
+            report = orchestrator.run()
     finally:
         if jsonl is not None:
             jsonl.close()
@@ -199,6 +217,30 @@ def register(sub) -> None:
         default=None,
         metavar="PATH",
         help="append per-event telemetry as JSON lines to PATH",
+    )
+    run.add_argument(
+        "--shard-timeout", type=float, default=None, metavar="SECONDS",
+        help="hard wall-clock deadline per running shard: a hung shard's "
+             "worker pool is killed and respawned, innocent shards resume "
+             "from their checkpoints, and the hung shard is retried "
+             "(--shard-retries) before being declared failed",
+    )
+    run.add_argument(
+        "--shard-retries", type=int, default=1, metavar="N",
+        help="hang/crash retries per shard before it is declared failed "
+             "(default 1; retries resume from the shard checkpoint)",
+    )
+    run.add_argument(
+        "--max-pool-rebuilds", type=int, default=None, metavar="N",
+        help="total shard-pool respawns (hangs + crashes) tolerated per "
+             "fleet run before the host is declared systemically unstable "
+             "(default 5)",
+    )
+    run.add_argument(
+        "--max-wall-clock", type=float, default=None, metavar="SECONDS",
+        help="stop the fleet gracefully after this much wall time: drain "
+             "in-flight shards to their final checkpoints, write the "
+             "report, exit 75 (same path as SIGTERM)",
     )
     _add_fault_args(run)
     run.set_defaults(fn=cmd_fleet_run)

@@ -11,7 +11,12 @@ from pathlib import Path
 
 from repro.core.faults import QuarantineExhaustedError
 from repro.core.telemetry import RecentEventsObserver
-from repro.errors import ConfigurationError, InvariantViolation, ReproError
+from repro.errors import (
+    CampaignInterrupted,
+    ConfigurationError,
+    InvariantViolation,
+    ReproError,
+)
 
 from repro.cli import _audit, _common, _experiments, _fleet, _qualify, _tools
 from repro.cli._common import (
@@ -19,6 +24,7 @@ from repro.cli._common import (
     EXIT_CRASH,
     EXIT_FAULTS,
     EXIT_FAILURE,
+    EXIT_INTERRUPTED,
     EXIT_INVARIANT,
 )
 
@@ -78,6 +84,11 @@ def main(argv: list[str] | None = None) -> int:
     args = parser.parse_args(argv)
     try:
         return args.fn(args)
+    except CampaignInterrupted as error:
+        # A *sanctioned* stop (signal or wall-clock budget): the final
+        # checkpoint landed, so this run is resumable — exit 75, not 1.
+        print(f"interrupted: {error}", file=sys.stderr)
+        return EXIT_INTERRUPTED
     except ConfigurationError as error:
         print(f"configuration error: {error}", file=sys.stderr)
         return EXIT_CONFIG

@@ -15,7 +15,7 @@ from dataclasses import dataclass, field
 from enum import Enum
 from typing import Callable, Sequence
 
-from repro.errors import CheckpointError, SearchError
+from repro.errors import CampaignInterrupted, CheckpointError, SearchError
 from repro.isa.kernels import LoopKernel, ThreadProgram
 from repro.isa.opcodes import OpcodeTable, default_table
 from repro.core.checkpoint import CampaignCheckpoint
@@ -41,6 +41,7 @@ from repro.core.telemetry import (
     MeasurementStatsEvent,
     PhaseEvent,
     RunObserver,
+    SupervisorEvent,
     notify,
 )
 
@@ -244,6 +245,7 @@ class AuditRunner:
         qualify: QualifyConfig | None = None,
         qualify_checkpoint: QualificationCheckpoint | None = None,
         seed_cache: dict | None = None,
+        stop: Callable[[], str | None] | None = None,
     ) -> AuditResult:
         """Execute the complete AUDIT flow and return the best stressmark.
 
@@ -268,6 +270,12 @@ class AuditRunner:
         genome → fitness pairs measured elsewhere on an identical
         platform (the fleet orchestrator's cross-shard seeding).  Seeded
         entries never override a resumed checkpoint's own cache.
+
+        ``stop`` is a poll callable (typically
+        :meth:`~repro.supervision.ShutdownCoordinator.stop_requested`)
+        checked at each generation boundary after its checkpoint lands; a
+        non-``None`` reason stops the campaign gracefully by raising
+        :class:`~repro.errors.CampaignInterrupted`.
         """
         cfg = self.config
         if resume and checkpoint is None:
@@ -317,6 +325,12 @@ class AuditRunner:
                     "(no state.json; did the campaign checkpoint at least "
                     "one generation?)"
                 )
+            if state.salvaged:
+                notify(self.observers, SupervisorEvent(
+                    action="salvage",
+                    task=f"generation {state.ga.generation}",
+                    detail=state.salvage_reason,
+                ))
             resume_snapshot = state.ga
             engine.restore_cache(
                 state.fitness_cache,
@@ -340,9 +354,21 @@ class AuditRunner:
         if seeds is None:
             seeds = self.default_seeds(space, resonance)
         ga_start = time.perf_counter()
-        ga_result = ga.run(
-            seeds=seeds, resume=resume_snapshot, checkpoint_fn=checkpoint_fn
-        )
+        try:
+            ga_result = ga.run(
+                seeds=seeds, resume=resume_snapshot,
+                checkpoint_fn=checkpoint_fn, stop_fn=stop,
+            )
+        except CampaignInterrupted as error:
+            # Re-raise with the resume point attached: the generation
+            # boundary's checkpoint landed just before the stop check.
+            raise CampaignInterrupted(
+                error.reason,
+                generation=error.generation,
+                checkpoint_path=(
+                    str(checkpoint.state_path) if checkpoint is not None else ""
+                ),
+            ) from None
         notify(self.observers, PhaseEvent(
             name="ga-search",
             wall_s=time.perf_counter() - ga_start,

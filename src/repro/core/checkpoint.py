@@ -1,4 +1,4 @@
-"""Crash-safe campaign checkpoints: atomic snapshots, exact resume.
+"""Crash-safe campaign checkpoints: atomic snapshots, verified resume.
 
 A hardware AUDIT campaign is an overnight process on a machine that can
 thermal-throttle, wedge, or reboot (paper Section IV); losing eight hours
@@ -10,10 +10,24 @@ makes the software campaign equally durable:
   foundation of "same seeds ⇒ same final stressmark" across a crash.
 * :class:`CampaignCheckpoint` persists one campaign under a directory:
   ``meta.json`` (written once, describes the run), ``state.json``
-  (rewritten atomically every generation via ``os.replace``), and
-  ``journal.jsonl`` (append-only, one line per checkpoint, for
-  observability).  A SIGKILL mid-write leaves the previous ``state.json``
-  intact, so the newest *complete* snapshot is always loadable.
+  (rewritten atomically every generation via ``os.replace``),
+  ``state.prev.json`` (the previous generation's snapshot, rotated aside
+  before each overwrite), ``manifest.json`` (sha256 digests of the most
+  recent snapshots), and ``journal.jsonl`` (append-only, one line per
+  checkpoint, for observability and salvage confirmation).
+
+Durability is layered.  Atomic replace means a SIGKILL mid-write leaves
+the previous complete ``state.json`` intact.  The manifest catches what
+atomicity cannot — bit rot, truncation by a broken filesystem, hand
+edits: ``load`` re-hashes the snapshot bytes and a digest that matches no
+manifest entry raises :class:`~repro.errors.CheckpointCorrupt`.  And the
+rotation provides the *salvage path*: when ``state.json`` is damaged or
+missing, ``load`` falls back to ``state.prev.json``, re-verifies it
+against the manifest, confirms its generation appears in the journal, and
+returns it flagged ``salvaged=True`` — one generation of rework instead
+of a dead campaign.  A write failure (ENOSPC, quota, I/O error) is
+classified and raised *before* the previous snapshot is disturbed, so a
+full disk can never destroy the last good state.
 
 The state snapshot carries the GA's :class:`~repro.core.ga.GaSnapshot`
 (population, RNG state, best-so-far, stagnation counter, history) plus the
@@ -24,10 +38,12 @@ resumed campaign replays the remaining generations bit-identically.
 
 from __future__ import annotations
 
+import errno
+import hashlib
 import json
 import os
 import time
-from dataclasses import asdict, dataclass
+from dataclasses import asdict, dataclass, replace
 from pathlib import Path
 from typing import Callable
 
@@ -35,13 +51,22 @@ import numpy as np
 
 from repro.core.ga import GaSnapshot, GenerationStats
 from repro.core.genome import StressmarkGenome
-from repro.errors import CheckpointError
+from repro.errors import CheckpointCorrupt, CheckpointError, ConfigurationError
 
 #: Bumped when the on-disk snapshot layout changes incompatibly.
 STATE_VERSION = 1
 
 #: Bumped when the campaign meta layout changes incompatibly.
 META_VERSION = 1
+
+#: Bumped when the manifest layout changes incompatibly.
+MANIFEST_VERSION = 1
+
+#: How many snapshot digests the manifest remembers.  Only two files ever
+#: exist (``state.json`` + ``state.prev.json``) but keeping a few extra
+#: digests makes the manifest robust to a crash between rotation and the
+#: next manifest update.
+MANIFEST_HISTORY = 8
 
 #: Campaign meta fields the CLI needs to rebuild a run, with their types.
 #: ``None`` in the type tuple marks the field as nullable.
@@ -53,6 +78,27 @@ CAMPAIGN_META_FIELDS = {
     "population": (int,),
     "generations": (int,),
     "seed": (int,),
+}
+
+#: Write-fault injection seam for durability tests.  When set (see
+#: :func:`repro.supervision.chaos.inject_write_failures`) it is called with
+#: the target path before every atomic write and may raise ``OSError`` to
+#: simulate a full disk exactly at the most damaging instant.
+_write_fault_hook: Callable[[Path], None] | None = None
+
+#: ``errno`` values that mean "the storage itself failed" — transient or
+#: environmental, the previous snapshot is intact, retry elsewhere/later.
+_IO_ERRNOS = {errno.ENOSPC, errno.EDQUOT, errno.EIO, errno.EFBIG}
+
+#: ``errno`` values that mean "the checkpoint location is misconfigured" —
+#: retrying will not help, the operator pointed us at a bad place.
+_CONFIG_ERRNOS = {
+    errno.EACCES,
+    errno.EPERM,
+    errno.EROFS,
+    errno.ENOENT,
+    errno.ENOTDIR,
+    errno.EISDIR,
 }
 
 
@@ -111,19 +157,57 @@ def decode_stressmark_genome(payload: dict) -> StressmarkGenome:
 # ----------------------------------------------------------------------
 # Atomic file primitives
 # ----------------------------------------------------------------------
-def atomic_write_json(path: Path, payload) -> None:
-    """Write *payload* as JSON so readers never observe a torn file.
+def classify_write_error(error: OSError, path) -> CheckpointError:
+    """Map an ``OSError`` from a checkpoint write to the error taxonomy.
 
-    The bytes land in a sibling temp file which is fsynced and then
+    Disk-full / quota / I/O failures become :class:`CheckpointError`
+    ("storage failed; the previous snapshot is intact"); permission and
+    bad-path failures become :class:`~repro.errors.ConfigurationError`
+    ("the operator pointed the store somewhere unusable").
+    """
+    code = error.errno
+    if code in _CONFIG_ERRNOS:
+        return ConfigurationError(
+            f"cannot write checkpoint {path}: {error} — the checkpoint "
+            f"location is misconfigured (permissions / missing directory?)"
+        )
+    detail = "disk full or I/O failure" if code in _IO_ERRNOS else "OS error"
+    return CheckpointError(
+        f"cannot write checkpoint {path}: {error} ({detail}; the previous "
+        f"snapshot is intact)"
+    )
+
+
+def _atomic_write_bytes(path: Path, data: bytes) -> None:
+    """Land *data* at *path* so readers never observe a torn file.
+
+    The bytes go to a sibling temp file which is fsynced and then
     ``os.replace``d over the target — atomic on POSIX, so a crash at any
     instant leaves either the old complete file or the new complete file.
+    ``OSError`` is classified via :func:`classify_write_error` and the
+    temp file is removed best-effort, so a full disk surfaces as a
+    structured error with the previous snapshot untouched.
     """
     tmp = path.with_name(path.name + ".tmp")
-    with open(tmp, "w") as handle:
-        json.dump(payload, handle)
-        handle.flush()
-        os.fsync(handle.fileno())
-    os.replace(tmp, path)
+    try:
+        if _write_fault_hook is not None:
+            _write_fault_hook(path)
+        with open(tmp, "wb") as handle:
+            handle.write(data)
+            handle.flush()
+            os.fsync(handle.fileno())
+        os.replace(tmp, path)
+    except OSError as error:
+        try:
+            tmp.unlink(missing_ok=True)
+        except OSError:  # pragma: no cover - cleanup is best-effort
+            pass
+        raise classify_write_error(error, path) from error
+
+
+def atomic_write_json(path: Path, payload) -> None:
+    """Write *payload* as JSON via :func:`_atomic_write_bytes`."""
+    _atomic_write_bytes(Path(path), json.dumps(payload).encode("utf-8"))
 
 
 # ----------------------------------------------------------------------
@@ -131,25 +215,35 @@ def atomic_write_json(path: Path, payload) -> None:
 # ----------------------------------------------------------------------
 @dataclass(frozen=True)
 class CampaignState:
-    """One complete, resumable campaign snapshot."""
+    """One complete, resumable campaign snapshot.
+
+    ``salvaged`` is ``True`` when the snapshot came from the fallback
+    ``state.prev.json`` because the primary was corrupt or missing;
+    ``salvage_reason`` then records what was wrong with the primary.
+    """
 
     ga: GaSnapshot
     fitness_cache: dict
     cache_hits: int
+    salvaged: bool = False
+    salvage_reason: str = ""
 
 
 class CampaignCheckpoint:
-    """Atomic on-disk store for one campaign under *directory*.
+    """Verified, atomic on-disk store for one campaign under *directory*.
 
     ``save`` is called once per GA generation; ``load`` returns the newest
-    complete snapshot (or ``None`` for a fresh directory).  ``meta.json``
-    holds whatever run description the caller provides — the CLI stores
-    chip/config so ``repro audit --resume DIR`` can rebuild the exact
-    campaign without re-specifying flags.
+    *verified* snapshot (or ``None`` for a fresh directory), falling back
+    to the rotated previous snapshot when the primary is damaged.
+    ``meta.json`` holds whatever run description the caller provides — the
+    CLI stores chip/config so ``repro audit --resume DIR`` can rebuild the
+    exact campaign without re-specifying flags.
     """
 
     META_FILE = "meta.json"
     STATE_FILE = "state.json"
+    PREV_STATE_FILE = "state.prev.json"
+    MANIFEST_FILE = "manifest.json"
     JOURNAL_FILE = "journal.jsonl"
 
     def __init__(
@@ -175,6 +269,14 @@ class CampaignCheckpoint:
         return self.directory / self.STATE_FILE
 
     @property
+    def prev_state_path(self) -> Path:
+        return self.directory / self.PREV_STATE_FILE
+
+    @property
+    def manifest_path(self) -> Path:
+        return self.directory / self.MANIFEST_FILE
+
+    @property
     def meta_path(self) -> Path:
         return self.directory / self.META_FILE
 
@@ -183,7 +285,8 @@ class CampaignCheckpoint:
         return self.directory / self.JOURNAL_FILE
 
     def has_state(self) -> bool:
-        return self.state_path.exists()
+        """True when any snapshot — primary or rotated — exists."""
+        return self.state_path.exists() or self.prev_state_path.exists()
 
     # ------------------------------------------------------------------
     # Meta
@@ -193,14 +296,14 @@ class CampaignCheckpoint:
 
     def read_meta(self) -> dict:
         try:
-            with open(self.meta_path) as handle:
-                payload = json.load(handle)
+            with open(self.meta_path, "rb") as handle:
+                payload = json.loads(handle.read().decode("utf-8"))
         except FileNotFoundError:
             raise CheckpointError(
                 f"no campaign meta at {self.meta_path} "
                 "(was this directory written by --checkpoint-dir?)"
             ) from None
-        except json.JSONDecodeError as error:
+        except (json.JSONDecodeError, UnicodeDecodeError) as error:
             raise CheckpointError(
                 f"corrupt campaign meta {self.meta_path}: {error}"
             ) from error
@@ -219,11 +322,90 @@ class CampaignCheckpoint:
         return payload
 
     # ------------------------------------------------------------------
+    # Manifest + journal
+    # ------------------------------------------------------------------
+    def _read_manifest(self) -> list[dict]:
+        """The manifest's snapshot entries, or ``[]`` when unavailable.
+
+        A missing or unreadable manifest disables verification rather than
+        bricking the store: legacy directories predate it, and refusing to
+        load a healthy ``state.json`` because the *manifest* was damaged
+        would invert the durability hierarchy.
+        """
+        try:
+            with open(self.manifest_path, "rb") as handle:
+                payload = json.loads(handle.read().decode("utf-8"))
+        except FileNotFoundError:
+            return []
+        except (OSError, json.JSONDecodeError, UnicodeDecodeError):
+            return []
+        if (
+            not isinstance(payload, dict)
+            or payload.get("manifest_version") != MANIFEST_VERSION
+        ):
+            return []
+        entries = payload.get("snapshots")
+        if not isinstance(entries, list):
+            return []
+        return [e for e in entries if isinstance(e, dict)]
+
+    def _update_manifest(self, digest: str, generation: int) -> None:
+        entries = [
+            e for e in self._read_manifest() if e.get("sha256") != digest
+        ]
+        entries.append(
+            {"sha256": digest, "generation": generation, "saved_at": time.time()}
+        )
+        atomic_write_json(
+            self.manifest_path,
+            {
+                "manifest_version": MANIFEST_VERSION,
+                "snapshots": entries[-MANIFEST_HISTORY:],
+            },
+        )
+
+    def read_journal(self) -> tuple[list[dict], int]:
+        """All parseable journal entries plus the count of damaged lines.
+
+        The journal is append-only, so a crash (or bit flip) can tear its
+        last line; salvage must tolerate that, hence the lenient reader.
+        """
+        entries: list[dict] = []
+        skipped = 0
+        try:
+            with open(self.journal_path, "rb") as handle:
+                lines = handle.read().splitlines()
+        except FileNotFoundError:
+            return [], 0
+        for line in lines:
+            if not line.strip():
+                continue
+            try:
+                entry = json.loads(line.decode("utf-8"))
+            except (json.JSONDecodeError, UnicodeDecodeError):
+                skipped += 1
+                continue
+            if isinstance(entry, dict):
+                entries.append(entry)
+            else:
+                skipped += 1
+        return entries, skipped
+
+    # ------------------------------------------------------------------
     # State
     # ------------------------------------------------------------------
     def save(self, snapshot: GaSnapshot, *, fitness_cache: dict | None = None,
              cache_hits: int = 0) -> Path:
-        """Atomically persist one generation-boundary snapshot."""
+        """Atomically persist one generation-boundary snapshot.
+
+        Ordering is the durability story: (1) the manifest learns the new
+        digest *first*, so a crash at any later step leaves every on-disk
+        snapshot verifiable; (2) the current ``state.json`` rotates to
+        ``state.prev.json``, preserving the last generation; (3) the new
+        bytes land atomically; (4) the journal gains its line.  A write
+        failure at any step raises a classified error with the newest
+        pre-existing snapshot still intact and loadable.
+        """
         enc = self.encode_genome
         cache = fitness_cache or {}
         payload = {
@@ -240,42 +422,110 @@ class CampaignCheckpoint:
             "fitness_cache": [[enc(g), value] for g, value in cache.items()],
             "saved_at": time.time(),
         }
-        atomic_write_json(self.state_path, payload)
-        with open(self.journal_path, "a") as journal:
-            journal.write(json.dumps({
-                "generation": snapshot.generation,
-                "best_fitness": snapshot.best_fitness,
-                "evaluations": snapshot.evaluations,
-                "cached_genomes": len(cache),
-                "saved_at": payload["saved_at"],
-            }) + "\n")
+        data = json.dumps(payload).encode("utf-8")
+        digest = hashlib.sha256(data).hexdigest()
+        self._update_manifest(digest, snapshot.generation)
+        if self.state_path.exists():
+            try:
+                os.replace(self.state_path, self.prev_state_path)
+            except OSError as error:
+                raise classify_write_error(error, self.prev_state_path) from error
+        _atomic_write_bytes(self.state_path, data)
+        try:
+            with open(self.journal_path, "a") as journal:
+                journal.write(json.dumps({
+                    "generation": snapshot.generation,
+                    "best_fitness": snapshot.best_fitness,
+                    "evaluations": snapshot.evaluations,
+                    "cached_genomes": len(cache),
+                    "sha256": digest,
+                    "saved_at": payload["saved_at"],
+                }) + "\n")
+        except OSError as error:
+            raise classify_write_error(error, self.journal_path) from error
         return self.state_path
 
     def load(self) -> CampaignState | None:
-        """The newest complete snapshot, or ``None`` for a fresh directory."""
-        try:
-            with open(self.state_path) as handle:
-                payload = json.load(handle)
-        except FileNotFoundError:
+        """The newest verified snapshot, or ``None`` for a fresh directory.
+
+        When ``state.json`` is corrupt (or missing while a rotated
+        snapshot exists), falls back to ``state.prev.json``: re-verifies
+        it against the manifest, confirms its generation appears in the
+        journal, and returns it with ``salvaged=True``.  Only when both
+        snapshots are unusable does the primary's error propagate.
+        """
+        primary_error: CheckpointError | None = None
+        if self.state_path.exists():
+            try:
+                return self._load_state_file(self.state_path)
+            except CheckpointError as error:
+                primary_error = error
+        elif self.prev_state_path.exists():
+            primary_error = CheckpointCorrupt(
+                self.state_path,
+                "file is missing although a rotated snapshot exists "
+                "(crash between rotation and write?)",
+            )
+        else:
             return None
-        except json.JSONDecodeError as error:
-            raise CheckpointError(
-                f"corrupt checkpoint state {self.state_path}: {error} "
-                "(atomic writes should make this impossible; was the file "
-                "edited by hand?)"
+
+        if self.prev_state_path.exists():
+            try:
+                state = self._load_state_file(self.prev_state_path)
+                self._confirm_salvage(state)
+                return replace(
+                    state, salvaged=True, salvage_reason=str(primary_error)
+                )
+            except CheckpointError:
+                pass
+        raise primary_error
+
+    def _confirm_salvage(self, state: CampaignState) -> None:
+        """Journal-replay confirmation for a salvage candidate.
+
+        A snapshot we are about to trust *instead of* the primary must be
+        one the campaign actually journalled — a rotated file from some
+        other run (or a partially-recycled directory) is not a safe resume
+        point.  An absent/unreadable journal abstains rather than vetoes.
+        """
+        entries, _skipped = self.read_journal()
+        if not entries:
+            return
+        generation = state.ga.generation
+        if not any(e.get("generation") == generation for e in entries):
+            raise CheckpointCorrupt(
+                self.prev_state_path,
+                f"salvage candidate generation {generation} is not "
+                f"confirmed by any journal entry",
+            )
+
+    def _load_state_file(self, path: Path) -> CampaignState:
+        """Parse, structure-check, decode, and hash-verify one snapshot."""
+        try:
+            with open(path, "rb") as handle:
+                raw = handle.read()
+        except OSError as error:
+            raise CheckpointCorrupt(path, f"unreadable: {error}") from error
+        try:
+            payload = json.loads(raw.decode("utf-8"))
+        except (json.JSONDecodeError, UnicodeDecodeError) as error:
+            raise CheckpointCorrupt(
+                path,
+                f"does not parse as JSON ({error}) — truncated write, "
+                f"bit rot, or a hand edit",
             ) from error
         if not isinstance(payload, dict):
             raise CheckpointError(
-                f"malformed checkpoint state {self.state_path}: expected a "
+                f"malformed checkpoint state {path}: expected a "
                 f"JSON object, found {type(payload).__name__}"
             )
         version = payload.get("version")
         if version != STATE_VERSION:
             raise CheckpointError(
-                f"checkpoint state version {version!r} in {self.state_path} "
+                f"checkpoint state version {version!r} in {path} "
                 f"is not supported (expected {STATE_VERSION})"
             )
-        self._check_state_fields(payload)
+        self._check_state_fields(payload, path)
         dec = self.decode_genome
         try:
             snapshot = GaSnapshot(
@@ -296,16 +546,43 @@ class CampaignCheckpoint:
             }
         except (KeyError, TypeError, ValueError) as error:
             raise CheckpointError(
-                f"malformed checkpoint state {self.state_path}: {error}"
+                f"malformed checkpoint state {path}: {error}"
             ) from error
+        self._verify_digest(path, raw, payload)
         return CampaignState(
             ga=snapshot,
             fitness_cache=cache,
             cache_hits=int(payload.get("cache_hits", 0)),
         )
 
+    def _verify_digest(self, path: Path, raw: bytes, payload: dict) -> None:
+        """Integrity check against the sha256 manifest (when present).
+
+        Runs *after* the structural checks so a hand-edited field keeps
+        its named error message; what reaches here is structurally fine
+        but may still be silently different bytes than were written.
+        """
+        entries = self._read_manifest()
+        if not entries:
+            return  # legacy store or damaged manifest: nothing to vouch
+        digest = hashlib.sha256(raw).hexdigest()
+        matches = [e for e in entries if e.get("sha256") == digest]
+        if not matches:
+            raise CheckpointCorrupt(
+                path,
+                f"sha256 {digest[:12]}… matches no manifest entry "
+                f"(bit rot, torn write, or a hand edit)",
+            )
+        generation = payload.get("generation")
+        if not any(e.get("generation") == generation for e in matches):
+            raise CheckpointCorrupt(
+                path,
+                f"manifest entry for sha256 {digest[:12]}… does not record "
+                f"generation {generation}",
+            )
+
     # ------------------------------------------------------------------
-    def _check_state_fields(self, payload: dict) -> None:
+    def _check_state_fields(self, payload: dict, path: Path) -> None:
         """Reject truncated or hand-edited snapshots with a named field.
 
         Decoding alone surfaces *some* type errors, but e.g. a stringified
@@ -315,7 +592,7 @@ class CampaignCheckpoint:
         """
         if "best_genome" not in payload:
             raise CheckpointError(
-                f"malformed checkpoint state {self.state_path}: missing "
+                f"malformed checkpoint state {path}: missing "
                 "field 'best_genome' (truncated or hand-edited?)"
             )
         # The genome encoding is codec-defined (any JSON value), so only
@@ -333,26 +610,26 @@ class CampaignCheckpoint:
         for name, kinds in expected.items():
             if name not in payload:
                 raise CheckpointError(
-                    f"malformed checkpoint state {self.state_path}: missing "
+                    f"malformed checkpoint state {path}: missing "
                     f"field {name!r} (truncated or hand-edited?)"
                 )
             value = payload[name]
             if not isinstance(value, kinds) or isinstance(value, bool):
                 wanted = kinds[0] if isinstance(kinds, tuple) else kinds
                 raise CheckpointError(
-                    f"malformed checkpoint state {self.state_path}: field "
+                    f"malformed checkpoint state {path}: field "
                     f"{name!r} should be {wanted.__name__}, found "
                     f"{type(value).__name__}"
                 )
         for entry in payload["fitness_cache"]:
             if not isinstance(entry, list) or len(entry) != 2:
                 raise CheckpointError(
-                    f"malformed checkpoint state {self.state_path}: "
+                    f"malformed checkpoint state {path}: "
                     "fitness_cache entries must be [genome, fitness] pairs"
                 )
         if "bit_generator" not in payload["rng_state"]:
             raise CheckpointError(
-                f"malformed checkpoint state {self.state_path}: rng_state "
+                f"malformed checkpoint state {path}: rng_state "
                 "has no bit_generator"
             )
 

@@ -35,7 +35,7 @@ from typing import Callable, Generic, Hashable, Protocol, Sequence, TypeVar
 
 from repro.core.codegen import DEFAULT_ITERATIONS, genome_to_program
 from repro.core.cost import MaxDroopCost
-from repro.core.faults import EvalOutcome, FaultPolicy, GuardedFitness
+from repro.core.faults import EvalOutcome, FaultPolicy, FaultRecord, GuardedFitness
 from repro.core.platform import MeasurementPlatform
 from repro.pipeline.artifacts import MeasureRequest
 from repro.core.telemetry import (
@@ -46,6 +46,13 @@ from repro.core.telemetry import (
     notify,
 )
 from repro.errors import ConfigurationError
+from repro.supervision.executor import (
+    DEFAULT_MAX_POOL_REBUILDS,
+    SupervisedExecutor,
+    SupervisorFault,
+    WorkerCrashError,
+    WorkerHangError,
+)
 
 G = TypeVar("G", bound=Hashable)
 
@@ -132,11 +139,30 @@ class ParallelExecutor:
         self.close()
 
 
-def make_executor(workers: int | None) -> SerialExecutor | ParallelExecutor:
-    """`workers` <= 1 (or None) → serial; otherwise a process pool."""
+def make_executor(
+    workers: int | None,
+    *,
+    hard_timeout_s: float | None = None,
+    max_pool_rebuilds: int = DEFAULT_MAX_POOL_REBUILDS,
+    observers: Sequence[RunObserver] = (),
+) -> SerialExecutor | SupervisedExecutor:
+    """`workers` <= 1 (or None) → serial; otherwise a supervised pool.
+
+    Parallel evaluation always goes through the
+    :class:`~repro.supervision.executor.SupervisedExecutor` so worker
+    crashes are recovered (pool respawn + crash isolation) even without a
+    hard deadline; pass ``hard_timeout_s`` to also kill evaluations that
+    hang past it.  The bare :class:`ParallelExecutor` remains available
+    for callers that explicitly want unsupervised ``pool.map`` semantics.
+    """
     if workers is None or workers <= 1:
         return SerialExecutor()
-    return ParallelExecutor(workers)
+    return SupervisedExecutor(
+        workers,
+        task_timeout_s=hard_timeout_s,
+        max_pool_rebuilds=max_pool_rebuilds,
+        observers=observers,
+    )
 
 
 # ----------------------------------------------------------------------
@@ -388,6 +414,10 @@ class EvaluationEngine(Generic[G]):
                     outcomes = self.executor.map(
                         GuardedFitness(self.fitness, self.fault_policy), fresh
                     )
+            outcomes = [
+                self._resolve_supervised(genome, outcome)
+                for genome, outcome in zip(fresh, outcomes)
+            ]
             self._absorb_worker_stats(outcomes)
             for genome, outcome in zip(fresh, outcomes):
                 value = self._record_outcome(genome, outcome)
@@ -441,6 +471,33 @@ class EvaluationEngine(Generic[G]):
         for outcome in outcomes:
             if outcome.stats is not None:
                 absorb(outcome.stats)
+
+    # ------------------------------------------------------------------
+    def _resolve_supervised(self, genome: G, outcome) -> EvalOutcome:
+        """Fold a :class:`SupervisorFault` sentinel into the fault taxonomy.
+
+        The supervised executor hands back a sentinel for a task whose
+        *worker* misbehaved (hang past the hard deadline, process death) —
+        failures the in-worker :class:`~repro.core.faults.GuardedFitness`
+        cannot see.  With a quarantining fault policy the genome is
+        quarantined like any fault-exhausted one; with no policy (or
+        ``on_exhaust="raise"``) the failure surfaces as a
+        :class:`~repro.supervision.executor.WorkerHangError` /
+        :class:`~repro.supervision.executor.WorkerCrashError`.
+        """
+        if not isinstance(outcome, SupervisorFault):
+            return outcome
+        label = _genome_label(genome)
+        if self.fault_policy is None or self.fault_policy.on_exhaust == "raise":
+            error = WorkerHangError if outcome.kind == "hang" else WorkerCrashError
+            raise error(f"{label}: {outcome.error}")
+        record = FaultRecord(error=outcome.error, timeout=outcome.kind == "hang")
+        return EvalOutcome(
+            value=None,
+            wall_s=outcome.wall_s,
+            attempts=max(1, outcome.attempts),
+            faults=(record,),
+        )
 
     # ------------------------------------------------------------------
     def _record_outcome(self, genome: G, outcome: EvalOutcome) -> float:

@@ -24,7 +24,9 @@ a production loop defends against a mis-triggered scope capture.
 
 from __future__ import annotations
 
+import hashlib
 import math
+import os
 import time
 from dataclasses import dataclass, field
 from typing import Callable
@@ -344,17 +346,25 @@ class FaultInjectionConfig:
     hang_s: float = 0.005
     corrupt_rate: float = 0.0
     corrupt_mode: str = "nan"
+    hang_forever_rate: float = 0.0
+    hang_forever_s: float = 3600.0
+    abort_rate: float = 0.0
 
     def __post_init__(self) -> None:
-        for name in ("exception_rate", "hang_rate", "corrupt_rate"):
+        for name in ("exception_rate", "hang_rate", "corrupt_rate",
+                     "hang_forever_rate", "abort_rate"):
             rate = getattr(self, name)
             if not 0.0 <= rate <= 1.0:
                 raise ConfigurationError(f"{name} must be in [0, 1]")
         total = self.exception_rate + self.hang_rate + self.corrupt_rate
         if total > 1.0:
             raise ConfigurationError("fault rates must sum to <= 1")
-        if self.hang_s < 0:
-            raise ConfigurationError("hang_s must be >= 0")
+        if self.hang_forever_rate + self.abort_rate > 1.0:
+            raise ConfigurationError(
+                "hang_forever_rate + abort_rate must sum to <= 1"
+            )
+        if self.hang_s < 0 or self.hang_forever_s < 0:
+            raise ConfigurationError("hang durations must be >= 0")
         if self.corrupt_mode not in CORRUPT_MODES:
             raise ConfigurationError(
                 f"corrupt_mode must be one of {CORRUPT_MODES}, "
@@ -370,10 +380,13 @@ class FaultInjectionCounts:
     exceptions: int = 0
     hangs: int = 0
     corruptions: int = 0
+    hang_forevers: int = 0
+    aborts: int = 0
 
     @property
     def injected(self) -> int:
-        return self.exceptions + self.hangs + self.corruptions
+        return (self.exceptions + self.hangs + self.corruptions
+                + self.hang_forevers + self.aborts)
 
 
 @dataclass
@@ -401,6 +414,46 @@ class FaultInjectingBackend:
         self._rng = np.random.default_rng(self.config.seed)
 
     # ------------------------------------------------------------------
+    def _hard_fault(self, program) -> str | None:
+        """Hard faults (worker abort / hang-forever), targeted by content.
+
+        The soft faults above are scheduled by a per-process RNG draw —
+        fine for retries, but fatal faults kill the *worker process*, and
+        a respawned worker restarts its RNG stream: an early draw-based
+        abort would recur forever and no batch could make progress.
+        Keying on a hash of the program content instead makes the fault
+        stick to the *candidate*: the same genome hangs/aborts in every
+        worker (deterministic across respawns and executors), and once
+        the supervisor quarantines it the campaign moves on.
+        """
+        cfg = self.config
+        if cfg.abort_rate <= 0.0 and cfg.hang_forever_rate <= 0.0:
+            return None
+        key = f"{cfg.seed}:{program!r}".encode()
+        digest = hashlib.sha256(key).digest()
+        unit = int.from_bytes(digest[:8], "big") / 2.0**64
+        if unit < cfg.abort_rate:
+            return "abort"
+        if unit < cfg.abort_rate + cfg.hang_forever_rate:
+            return "hang-forever"
+        return None
+
+    def _apply_hard(self, fault: str) -> None:
+        if fault == "abort":
+            self.counts.aborts += 1
+            # A segfault does not unwind the stack or flush buffers;
+            # neither does os._exit.  The parent sees BrokenProcessPool.
+            os._exit(86)
+        self.counts.hang_forevers += 1
+        if self.config.hang_forever_s:
+            time.sleep(self.config.hang_forever_s)
+        # Only reached when hang_forever_s is short (serial test rigs) or
+        # a cooperative-timeout test outlasts the sleep.
+        raise InjectedHangError(
+            f"injected hang-forever outlasted its sleep "
+            f"(call {self.counts.calls})"
+        )
+
     def _draw_fault(self) -> str | None:
         cfg = self.config
         self.counts.calls += 1
@@ -460,6 +513,10 @@ class FaultInjectingBackend:
     # ------------------------------------------------------------------
     def measure_program(self, program, threads, *, module_phases=None,
                         supply_v=None, smt_phase_cycles=None):
+        hard = self._hard_fault(program)
+        if hard is not None:
+            self.counts.calls += 1
+            self._apply_hard(hard)
         fault = self._draw_fault()
         return self._apply(fault, lambda: self.inner.measure_program(
             program, threads,

@@ -30,7 +30,7 @@ from typing import Callable, Generic, Hashable, Sequence, TypeVar
 import numpy as np
 
 from repro.core.telemetry import GenerationEvent, RunObserver, notify
-from repro.errors import SearchError
+from repro.errors import CampaignInterrupted, SearchError
 
 G = TypeVar("G", bound=Hashable)
 
@@ -179,6 +179,7 @@ class GeneticAlgorithm(Generic[G]):
         seeds: list[G] | None = None,
         resume: GaSnapshot[G] | None = None,
         checkpoint_fn: Callable[[GaSnapshot[G]], None] | None = None,
+        stop_fn: Callable[[], str | None] | None = None,
     ) -> GaResult[G]:
         """Run to the generation budget or until droop stagnates.
 
@@ -190,6 +191,14 @@ class GeneticAlgorithm(Generic[G]):
         of every generation (before it is scored); ``resume`` restores one
         such snapshot and continues from that generation, reproducing the
         uninterrupted run exactly as long as the evaluator is deterministic.
+
+        ``stop_fn`` is polled at each generation boundary, *after* that
+        boundary's checkpoint has landed; a non-``None`` reason (SIGTERM,
+        wall-clock budget — see
+        :class:`~repro.supervision.ShutdownCoordinator`) raises
+        :class:`~repro.errors.CampaignInterrupted`, leaving the freshly
+        written checkpoint as the resume point.  The in-flight generation
+        is therefore always *finished* before a graceful stop.
         """
         cfg = self.config
         if resume is not None:
@@ -236,6 +245,10 @@ class GeneticAlgorithm(Generic[G]):
                     history=tuple(history),
                     evaluations=self._evaluator.evaluations,
                 ))
+            if stop_fn is not None:
+                reason = stop_fn()
+                if reason:
+                    raise CampaignInterrupted(reason, generation=generation)
             gen_start = time.perf_counter()
             evals_before = self._evaluator.evaluations
             scores = self._score_population(population)

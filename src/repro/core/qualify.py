@@ -480,7 +480,11 @@ class QualificationCheckpoint:
                 payload = json.load(handle)
         except FileNotFoundError:
             return {}
-        except json.JSONDecodeError as error:
+        except OSError as error:
+            raise CheckpointError(
+                f"unreadable qualification state {path}: {error}"
+            ) from error
+        except (json.JSONDecodeError, UnicodeDecodeError) as error:
             raise CheckpointError(
                 f"corrupt qualification state {path}: {error}"
             ) from error

@@ -143,6 +143,30 @@ class MeasurementStatsEvent:
 
 
 @dataclass(frozen=True)
+class SupervisorEvent:
+    """One action taken by the process-supervision layer.
+
+    ``action`` is one of ``"hang-kill"`` (a task blew its hard deadline
+    and its worker pool was killed), ``"crash"`` (a worker process died —
+    segfault, ``os._exit`` — under a task), ``"respawn"`` (the pool was
+    rebuilt), ``"requeue"`` (an innocent in-flight task was rescheduled
+    after a kill), ``"give-up"`` (a task exhausted its supervision
+    retries and was handed to the fault policy), ``"salvage"`` (a corrupt
+    checkpoint was recovered from the previous verified snapshot), or
+    ``"shutdown"`` (a graceful stop was requested).  ``task`` labels the
+    genome / shard involved, ``detail`` carries the error or reason.
+    """
+
+    action: str
+    task: str = ""
+    detail: str = ""
+    respawns: int = 0
+    wall_s: float = 0.0
+
+    kind = "supervisor"
+
+
+@dataclass(frozen=True)
 class ShardEvent:
     """One fleet shard changing state.
 
@@ -201,7 +225,7 @@ class QualificationEvent:
 TelemetryEvent = (
     EvaluationEvent | GenerationEvent | PhaseEvent | FaultEvent | CheckpointEvent
     | InvariantEvent | QualificationEvent | StageEvent | MeasurementStatsEvent
-    | ShardEvent | FleetEvent
+    | ShardEvent | FleetEvent | SupervisorEvent
 )
 
 
@@ -281,6 +305,15 @@ class ConsoleObserver:
                     f"[stage/{event.stage}{path}]{batched}{cached} "
                     f"{event.wall_s * 1e3:.1f}ms{detail}\n"
                 )
+        elif isinstance(event, SupervisorEvent):
+            # Supervision actions always narrate: a killed worker or a
+            # salvaged checkpoint is exactly what an unattended-run log
+            # must explain.
+            task = f" {event.task}" if event.task else ""
+            detail = f": {event.detail}" if event.detail else ""
+            self.stream.write(
+                f"[supervisor/{event.action}]{task}{detail}\n"
+            )
         elif isinstance(event, ShardEvent):
             if event.status == "failed":
                 self.stream.write(
@@ -396,6 +429,13 @@ class TelemetryCollector:
     shards_failed: int = 0
     shards_banked: int = 0
     shard_wall_s: float = 0.0
+    supervisor_hangs: int = 0
+    supervisor_crashes: int = 0
+    supervisor_respawns: int = 0
+    supervisor_requeues: int = 0
+    supervisor_give_ups: int = 0
+    supervisor_salvages: int = 0
+    shutdown_reason: str = ""
 
     def on_event(self, event: TelemetryEvent) -> None:
         if isinstance(event, EvaluationEvent):
@@ -451,6 +491,21 @@ class TelemetryCollector:
                 self.shard_wall_s += event.wall_s
             elif event.status == "banked":
                 self.shards_banked += 1
+        elif isinstance(event, SupervisorEvent):
+            if event.action == "hang-kill":
+                self.supervisor_hangs += 1
+            elif event.action == "crash":
+                self.supervisor_crashes += 1
+            elif event.action == "respawn":
+                self.supervisor_respawns += 1
+            elif event.action == "requeue":
+                self.supervisor_requeues += 1
+            elif event.action == "give-up":
+                self.supervisor_give_ups += 1
+            elif event.action == "salvage":
+                self.supervisor_salvages += 1
+            elif event.action == "shutdown":
+                self.shutdown_reason = event.detail or event.action
         elif isinstance(event, MeasurementStatsEvent):
             self.platform_stats = dict(event.stats)
 
@@ -506,6 +561,22 @@ class TelemetryCollector:
             if self.shards_failed:
                 rows.append(("fleet shards failed", self.shards_failed))
             rows.append(("fleet shard wall time", f"{self.shard_wall_s:.2f} s"))
+        supervised = (self.supervisor_hangs + self.supervisor_crashes
+                      + self.supervisor_respawns + self.supervisor_salvages
+                      + self.supervisor_give_ups)
+        if supervised or self.shutdown_reason:
+            rows.append(("supervisor: hung tasks killed", self.supervisor_hangs))
+            rows.append(("supervisor: worker crashes", self.supervisor_crashes))
+            rows.append(("supervisor: pool respawns", self.supervisor_respawns))
+            if self.supervisor_requeues:
+                rows.append(("supervisor: tasks requeued", self.supervisor_requeues))
+            if self.supervisor_give_ups:
+                rows.append(("supervisor: tasks given up", self.supervisor_give_ups))
+            if self.supervisor_salvages:
+                rows.append(("supervisor: checkpoints salvaged",
+                             self.supervisor_salvages))
+            if self.shutdown_reason:
+                rows.append(("graceful shutdown", self.shutdown_reason))
         if self.checkpoints:
             rows.append(("checkpoints written", self.checkpoints))
             rows.append(

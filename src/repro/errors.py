@@ -17,11 +17,18 @@ EXIT_CONFIG = 2
 EXIT_FAULTS = 3
 EXIT_INVARIANT = 4
 EXIT_CRASH = 70
+EXIT_INTERRUPTED = 75
+"""A run stopped *on purpose* (SIGTERM/SIGINT or a ``--max-wall-clock``
+budget) after finishing its in-flight generation and writing a final
+checkpoint.  75 is sysexits' EX_TEMPFAIL: "try again later" — fleet
+automation retries an interrupted shard, it does not triage it."""
 
 #: Failure severity, worst first — a fleet with mixed shard failures exits
-#: with the most severe code so automation sees the worst problem.
+#: with the most severe code so automation sees the worst problem.  An
+#: interruption is the least severe non-zero outcome: nothing is broken,
+#: the work is merely unfinished.
 EXIT_SEVERITY = (EXIT_CRASH, EXIT_INVARIANT, EXIT_FAULTS, EXIT_CONFIG,
-                 EXIT_FAILURE)
+                 EXIT_FAILURE, EXIT_INTERRUPTED)
 
 
 class ReproError(Exception):
@@ -73,6 +80,40 @@ class SearchError(ReproError):
 
 class CheckpointError(ReproError):
     """A campaign checkpoint could not be written, read, or resumed."""
+
+
+class CheckpointCorrupt(CheckpointError):
+    """A checkpoint file failed integrity verification.
+
+    Raised when a snapshot's bytes do not parse, do not match any hash in
+    the store's sha256 manifest, or cannot be confirmed against the
+    journal.  Distinct from plain :class:`CheckpointError` so resume
+    logic can tell "the file is damaged — try salvage" apart from "the
+    store was misused" (wrong version, wrong directory, bad config).
+    """
+
+    def __init__(self, path, reason: str):
+        super().__init__(f"corrupt checkpoint {path}: {reason}")
+        self.path = str(path)
+        self.reason = reason
+
+
+class CampaignInterrupted(ReproError):
+    """A run was stopped gracefully (signal or wall-clock budget).
+
+    Raised at a generation boundary after the final checkpoint landed, so
+    the campaign is resumable from exactly where it stopped.  The CLI maps
+    this to :data:`EXIT_INTERRUPTED` — "interrupted", not "crashed".
+    """
+
+    def __init__(self, reason: str, *, generation: int | None = None,
+                 checkpoint_path: str = ""):
+        detail = f" at generation {generation}" if generation is not None else ""
+        where = f" (checkpoint: {checkpoint_path})" if checkpoint_path else ""
+        super().__init__(f"campaign interrupted by {reason}{detail}{where}")
+        self.reason = reason
+        self.generation = generation
+        self.checkpoint_path = checkpoint_path
 
 
 class WorkloadError(ReproError):

@@ -281,7 +281,7 @@ def load_spec(path) -> tuple[ScenarioMatrix, dict]:
     if path.suffix.lower() == ".json":
         try:
             payload = json.loads(raw)
-        except json.JSONDecodeError as error:
+        except (json.JSONDecodeError, UnicodeDecodeError) as error:
             raise ConfigurationError(f"bad JSON in fleet spec {path}: {error}") from error
     else:
         import tomllib

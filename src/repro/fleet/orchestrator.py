@@ -33,22 +33,53 @@ from __future__ import annotations
 
 import dataclasses
 import json
+import os
+import signal
 import time
+from collections import deque
 from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
+from concurrent.futures.process import BrokenProcessPool
 from pathlib import Path
 
 from repro.core.checkpoint import atomic_write_json
 from repro.core.faults import FaultPolicy
-from repro.core.telemetry import FleetEvent, ShardEvent, notify
-from repro.errors import CheckpointError, ConfigurationError
+from repro.core.telemetry import FleetEvent, ShardEvent, SupervisorEvent, notify
+from repro.errors import (
+    EXIT_CRASH,
+    CampaignInterrupted,
+    CheckpointError,
+    ConfigurationError,
+)
 from repro.fleet.matrix import ScenarioMatrix
 from repro.fleet.report import REPORT_FILE, REPORT_MD_FILE, FleetReport
 from repro.fleet.shard import ShardResult, ShardSpec, load_result, run_shard
+from repro.supervision.executor import (
+    DEFAULT_MAX_POOL_REBUILDS,
+    SupervisionExhaustedError,
+    kill_pool_processes,
+)
 
 FLEET_FILE = "fleet.json"
 
 #: Bumped when the fleet meta layout changes incompatibly.
 FLEET_VERSION = 1
+
+#: Poll cadence (seconds) for shard deadlines and stop checks.
+_POLL_S = 0.2
+
+
+@dataclasses.dataclass
+class _ShardFlight:
+    """Book-keeping for one in-flight shard future."""
+
+    chain_index: int
+    index: int
+    scenario_id: str
+    submitted_at: float
+    started_at: float | None = None
+    """First moment the future was observed ``running()`` — the shard
+    hard deadline counts from here, so queued shards are never charged
+    for time spent waiting on a worker slot."""
 
 
 def chain_schedule(scenarios) -> tuple:
@@ -80,9 +111,27 @@ class FleetOrchestrator:
         fault_policy: FaultPolicy | None = None,
         observers=(),
         stop_after: int | None = None,
+        shard_timeout_s: float | None = None,
+        shard_retries: int = 1,
+        max_pool_rebuilds: int = DEFAULT_MAX_POOL_REBUILDS,
+        shard_max_wall_clock_s: float | None = None,
+        stop_check=None,
+        task_fn=None,
     ):
         if workers < 1:
             raise ConfigurationError("fleet workers must be >= 1")
+        if shard_timeout_s is not None and shard_timeout_s <= 0:
+            raise ConfigurationError(
+                f"shard_timeout_s must be > 0, got {shard_timeout_s}"
+            )
+        if shard_retries < 0:
+            raise ConfigurationError(
+                f"shard_retries must be >= 0, got {shard_retries}"
+            )
+        if max_pool_rebuilds < 0:
+            raise ConfigurationError(
+                f"max_pool_rebuilds must be >= 0, got {max_pool_rebuilds}"
+            )
         self.matrix = matrix
         self.fleet_dir = Path(fleet_dir)
         self.workers = workers
@@ -93,8 +142,28 @@ class FleetOrchestrator:
         self.stop_after = stop_after
         """Test hook: raise KeyboardInterrupt after this many shard
         completions — a deterministic stand-in for kill -9."""
+        self.shard_timeout_s = shard_timeout_s
+        """Hard wall-clock deadline per running shard: overrun kills the
+        worker pool, requeues innocents, and retries or fails the shard."""
+        self.shard_retries = shard_retries
+        """Hang/crash retries per shard before it is declared failed.
+        A retry resumes from the shard's campaign checkpoint, so only
+        the in-flight generation is re-run."""
+        self.max_pool_rebuilds = max_pool_rebuilds
+        """Total pool respawns (hangs + crashes) tolerated per fleet run
+        before the host is declared systemically unstable."""
+        self.shard_max_wall_clock_s = shard_max_wall_clock_s
+        """Per-shard graceful wall-clock budget, forwarded to ShardSpec."""
+        self.stop_check = stop_check
+        """Graceful-stop poll (e.g. ShutdownCoordinator.stop_requested):
+        a reason string drains the fleet, writes the report, and raises
+        CampaignInterrupted."""
+        self.task_fn = task_fn if task_fn is not None else run_shard
+        """The picklable per-shard callable; a test seam for injecting
+        hanging or crashing stand-ins for run_shard."""
         self.scenarios = matrix.expand()
         self._completed = 0
+        self._stopping = False
 
     # ------------------------------------------------------------------
     # Fleet meta
@@ -126,6 +195,12 @@ class FleetOrchestrator:
         workers: int | None = None,
         observers=(),
         stop_after: int | None = None,
+        shard_timeout_s: float | None = None,
+        shard_retries: int = 1,
+        max_pool_rebuilds: int = DEFAULT_MAX_POOL_REBUILDS,
+        shard_max_wall_clock_s: float | None = None,
+        stop_check=None,
+        task_fn=None,
     ) -> "FleetOrchestrator":
         """Rebuild the orchestrator a fleet directory was written by."""
         meta_path = Path(fleet_dir) / FLEET_FILE
@@ -134,7 +209,7 @@ class FleetOrchestrator:
         except OSError:
             msg = f"no fleet meta at {meta_path} (was this directory written by `repro fleet run`?)"
             raise CheckpointError(msg) from None
-        except json.JSONDecodeError as error:
+        except (json.JSONDecodeError, UnicodeDecodeError) as error:
             raise CheckpointError(f"corrupt fleet meta {meta_path}: {error}") from error
         version = payload.get("fleet_version")
         if version != FLEET_VERSION:
@@ -150,6 +225,12 @@ class FleetOrchestrator:
             fault_policy=None if policy is None else FaultPolicy(**policy),
             observers=observers,
             stop_after=stop_after,
+            shard_timeout_s=shard_timeout_s,
+            shard_retries=shard_retries,
+            max_pool_rebuilds=max_pool_rebuilds,
+            shard_max_wall_clock_s=shard_max_wall_clock_s,
+            stop_check=stop_check,
+            task_fn=task_fn,
         )
 
     # ------------------------------------------------------------------
@@ -172,6 +253,7 @@ class FleetOrchestrator:
             qualify=self.qualify,
             failure_voltage=self.failure_voltage,
             fault_policy=self.fault_policy,
+            max_wall_clock_s=self.shard_max_wall_clock_s,
         )
 
     def _on_result(self, result: ShardResult, results: list, start: float, running: int) -> None:
@@ -179,7 +261,7 @@ class FleetOrchestrator:
         self._completed += 1
         event = ShardEvent(
             scenario=result.scenario_id,
-            status="ok" if result.ok else "failed",
+            status=result.status,
             droop_v=result.droop_v or 0.0,
             evaluations=result.evaluations or 0,
             wall_s=result.timing.get("wall_s", 0.0),
@@ -197,6 +279,13 @@ class FleetOrchestrator:
         notify(self.observers, progress)
         if self.stop_after is not None and self._completed >= self.stop_after:
             raise KeyboardInterrupt(f"fleet stop_after={self.stop_after} reached")
+        if (result.status == "interrupted" and "signal" in result.error
+                and not self._stopping):
+            # The shard itself was TERMed (not by our drain): somebody is
+            # shutting the host down — stop the whole fleet gracefully.
+            raise CampaignInterrupted(
+                f"signal stop propagated from shard {result.scenario_id}"
+            )
 
     def _banked(self, results: list) -> dict:
         """Serve already-banked OK shards without scheduling them."""
@@ -223,6 +312,12 @@ class FleetOrchestrator:
         code reflects the most severe one.  A KeyboardInterrupt (Ctrl-C
         or the ``stop_after`` hook) propagates without writing a report,
         like a kill would; ``resume`` picks the fleet up afterwards.
+
+        A *graceful* stop (``stop_check`` reporting a signal or an
+        exhausted wall-clock budget) instead drains the in-flight shards
+        down to their final checkpoints, writes a report covering
+        everything finished so far, and raises
+        :class:`~repro.errors.CampaignInterrupted` (CLI exit 75).
         """
         self.fleet_dir.mkdir(parents=True, exist_ok=True)
         if not self.meta_path.exists():
@@ -244,11 +339,21 @@ class FleetOrchestrator:
             detail=f"{len(pending)} chain(s), {self.workers} worker(s)",
         )
         notify(self.observers, kickoff)
-        if pending:
-            if self.workers == 1:
-                self._run_serial(chains, full_chains, results, start)
-            else:
-                self._run_pool(chains, full_chains, results, start)
+        try:
+            if pending:
+                if self.workers == 1:
+                    self._run_serial(chains, full_chains, results, start)
+                else:
+                    self._run_pool(chains, full_chains, results, start)
+        except CampaignInterrupted as error:
+            # Sanctioned stop: every drained shard has a final checkpoint,
+            # so bank a report over what finished and exit resumable.
+            self.write_report(FleetReport.build(self.scenarios, results))
+            raise CampaignInterrupted(
+                error.reason,
+                generation=error.generation,
+                checkpoint_path=str(self.fleet_dir),
+            ) from None
         report = FleetReport.build(self.scenarios, results)
         self.write_report(report)
         return report
@@ -260,43 +365,296 @@ class FleetOrchestrator:
         full_chain = full_chains[chain_index]
         return self._spec(full_chain, full_chain.index(scenario))
 
+    def _check_stop(self) -> str | None:
+        if self.stop_check is None:
+            return None
+        return self.stop_check()
+
     def _run_serial(self, chains, full_chains, results, start) -> None:
         for chain_index, chain in enumerate(chains):
             for index in range(len(chain)):
+                reason = self._check_stop()
+                if reason:
+                    raise CampaignInterrupted(reason)
                 spec = self._full_spec(chains, full_chains, chain_index, index)
                 event = ShardEvent(scenario=spec.scenario.scenario_id, status="started")
                 notify(self.observers, event)
-                result = run_shard(spec)
+                result = self.task_fn(spec)
                 self._on_result(result, results, start, running=0)
 
+    def _failed_shard(self, chains, flight: _ShardFlight, error: str) -> ShardResult:
+        """A synthesized result for a shard the supervisor gave up on.
+
+        Deliberately *not* banked to ``result.json``: the next fleet run
+        retries the shard from its campaign checkpoint, so a transient
+        host problem does not permanently poison the scenario.
+        """
+        scenario = chains[flight.chain_index][flight.index]
+        return ShardResult(
+            scenario=scenario.axes(),
+            scenario_id=scenario.scenario_id,
+            status="failed",
+            exit_code=EXIT_CRASH,
+            error=error,
+        )
+
     def _run_pool(self, chains, full_chains, results, start) -> None:
-        with ProcessPoolExecutor(max_workers=self.workers) as pool:
-            futures = {}
+        """The supervised pool loop.
 
-            def submit(chain_index: int, index: int) -> None:
-                spec = self._full_spec(chains, full_chains, chain_index, index)
-                event = ShardEvent(scenario=spec.scenario.scenario_id, status="started")
-                notify(self.observers, event)
-                futures[pool.submit(run_shard, spec)] = (chain_index, index)
+        Beyond the original submit/collect cycle this adds:
 
-            for chain_index, chain in enumerate(chains):
-                if chain:
-                    submit(chain_index, 0)
-            try:
-                while futures:
-                    done, _ = wait(futures, return_when=FIRST_COMPLETED)
-                    for future in done:
-                        chain_index, index = futures.pop(future)
+        * a hard per-shard deadline (``shard_timeout_s``, measured from
+          the first ``running()`` observation) — overrun SIGKILLs the
+          pool, respawns it, requeues the innocent in-flight shards
+          (they resume from their checkpoints) and retries or fails the
+          hung one;
+        * worker-crash recovery — a ``BrokenProcessPool`` kills and
+          respawns the pool; a lone victim takes a strike, several
+          victims are replayed one at a time (suspects isolation) so
+          only the actual crasher accumulates strikes;
+        * a shared ``max_pool_rebuilds`` budget across both, after which
+          :class:`SupervisionExhaustedError` declares the host unstable;
+        * a graceful drain — a ``stop_check`` reason stops new
+          submissions, forwards SIGTERM to the shard workers (each runs
+          its own ShutdownCoordinator, checkpoints, and returns an
+          ``interrupted`` result), then raises
+          :class:`~repro.errors.CampaignInterrupted`.
+        """
+        queue: deque = deque()
+        for chain_index, chain in enumerate(chains):
+            if chain:
+                queue.append((chain_index, 0))
+        suspects: deque = deque()
+        strikes: dict = {}
+        inflight: dict = {}
+        rebuilds = 0
+        stop_reason: str | None = None
+        pool = ProcessPoolExecutor(max_workers=self.workers)
+
+        def submit_from(source: deque) -> None:
+            chain_index, index = source.popleft()
+            spec = self._full_spec(chains, full_chains, chain_index, index)
+            scenario_id = spec.scenario.scenario_id
+            notify(self.observers, ShardEvent(scenario=scenario_id, status="started"))
+            future = pool.submit(self.task_fn, spec)
+            inflight[future] = _ShardFlight(
+                chain_index, index, scenario_id, time.monotonic()
+            )
+
+        def fill() -> None:
+            if self._stopping:
+                return
+            if suspects:
+                # Isolation mode: replay one suspect at a time so a crash
+                # unambiguously identifies its culprit.
+                if not inflight:
+                    submit_from(suspects)
+                return
+            while queue and len(inflight) < self.workers:
+                submit_from(queue)
+
+        def advance(flight: _ShardFlight) -> None:
+            # Next-in-chain first, so its seeding sees whatever the
+            # finished shard banked.  Nothing new enters the queue once
+            # a drain has begun.
+            if self._stopping:
+                return
+            if flight.index + 1 < len(chains[flight.chain_index]):
+                queue.append((flight.chain_index, flight.index + 1))
+
+        def finish(flight: _ShardFlight, result: ShardResult) -> None:
+            advance(flight)
+            self._on_result(result, results, start, running=len(inflight))
+
+        def respawn(detail: str) -> None:
+            nonlocal pool, rebuilds
+            rebuilds += 1
+            kill_pool_processes(pool)
+            if rebuilds > self.max_pool_rebuilds:
+                raise SupervisionExhaustedError(
+                    f"fleet pool rebuilt {rebuilds - 1} time(s) (budget "
+                    f"{self.max_pool_rebuilds}); the host looks systemically "
+                    f"unstable (last cause: {detail})"
+                )
+            notify(self.observers, SupervisorEvent(
+                action="respawn", detail=detail, respawns=rebuilds,
+            ))
+            pool = ProcessPoolExecutor(max_workers=self.workers)
+
+        def give_up(flight: _ShardFlight, error: str) -> None:
+            notify(self.observers, SupervisorEvent(
+                action="give-up", task=flight.scenario_id, detail=error,
+            ))
+            finish(flight, self._failed_shard(chains, flight, error))
+
+        def harvest_or_condemn() -> list:
+            """Drain inflight: completed futures finish normally, the
+            rest are victims of the pool going down."""
+            victims = []
+            for future in list(inflight):
+                flight = inflight.pop(future)
+                if future.done():
+                    try:
                         result = future.result()
-                        # Next-in-chain first, so its seeding sees the
-                        # result this future just banked.
-                        if index + 1 < len(chains[chain_index]):
-                            submit(chain_index, index + 1)
-                        self._on_result(result, results, start, running=len(futures))
-            except KeyboardInterrupt:
-                for future in futures:
-                    future.cancel()
-                raise
+                    except BaseException:  # noqa: BLE001 — pool death
+                        victims.append(flight)
+                    else:
+                        finish(flight, result)
+                else:
+                    victims.append(flight)
+            return victims
+
+        def handle_crash() -> None:
+            victims = harvest_or_condemn()
+            if len(victims) == 1:
+                flight = victims[0]
+                key = (flight.chain_index, flight.index)
+                strikes[key] = strikes.get(key, 0) + 1
+                notify(self.observers, SupervisorEvent(
+                    action="crash", task=flight.scenario_id,
+                    detail=f"worker process died (strike {strikes[key]})",
+                ))
+                if strikes[key] > self.shard_retries:
+                    give_up(flight, (
+                        f"WorkerCrashError: shard worker died "
+                        f"{strikes[key]} time(s); giving up"
+                    ))
+                else:
+                    suspects.appendleft(key)
+            else:
+                # Ambiguous: several shards were in flight when the pool
+                # broke.  Replay them one at a time; none takes a strike
+                # until it crashes alone.
+                notify(self.observers, SupervisorEvent(
+                    action="crash",
+                    detail=(f"worker process died with {len(victims)} "
+                            "shard(s) in flight; isolating"),
+                ))
+                for flight in victims:
+                    suspects.append((flight.chain_index, flight.index))
+            respawn("worker crash")
+
+        def sweep_deadlines() -> None:
+            if self.shard_timeout_s is None:
+                return
+            now = time.monotonic()
+            hung = [
+                future for future, flight in inflight.items()
+                if not future.done() and flight.started_at is not None
+                and now - flight.started_at > self.shard_timeout_s
+            ]
+            if not hung:
+                return
+            hung_flights = [inflight[future] for future in hung]
+            for future in hung:
+                del inflight[future]
+            victims = harvest_or_condemn()
+            for flight in hung_flights:
+                key = (flight.chain_index, flight.index)
+                strikes[key] = strikes.get(key, 0) + 1
+                wall = now - (flight.started_at or flight.submitted_at)
+                notify(self.observers, SupervisorEvent(
+                    action="hang-kill", task=flight.scenario_id,
+                    detail=(f"no result after {wall:.1f}s "
+                            f"(deadline {self.shard_timeout_s:g}s, "
+                            f"strike {strikes[key]})"),
+                    wall_s=wall,
+                ))
+                if strikes[key] > self.shard_retries:
+                    give_up(flight, (
+                        f"WorkerHangError: no result within the "
+                        f"{self.shard_timeout_s:g}s hard deadline after "
+                        f"{strikes[key]} attempt(s)"
+                    ))
+                else:
+                    # Retry resumes from the shard checkpoint, so only
+                    # the in-flight generation is re-run.
+                    queue.appendleft(key)
+            requeued = []
+            for flight in victims:
+                notify(self.observers, SupervisorEvent(
+                    action="requeue", task=flight.scenario_id,
+                    detail="innocent shard killed with the pool",
+                ))
+                requeued.append((flight.chain_index, flight.index))
+            queue.extendleft(reversed(requeued))
+            respawn("shard hang")
+
+        def begin_drain(reason: str) -> None:
+            self._stopping = True
+            queue.clear()
+            suspects.clear()
+            notify(self.observers, SupervisorEvent(
+                action="shutdown",
+                detail=f"{reason}: draining {len(inflight)} shard(s)",
+            ))
+            # Ask running shards to stop at their next generation
+            # boundary.  Idle workers die on SIGTERM and break the pool;
+            # that is tolerated below — every shard checkpoints per
+            # generation, so at most the in-flight generation is lost.
+            for process in list(getattr(pool, "_processes", {}).values()):
+                try:
+                    os.kill(process.pid, signal.SIGTERM)
+                except (OSError, TypeError):
+                    pass
+
+        try:
+            while queue or suspects or inflight:
+                if not self._stopping:
+                    reason = self._check_stop()
+                    if reason:
+                        stop_reason = reason
+                        begin_drain(reason)
+                fill()
+                if not inflight:
+                    continue
+                now = time.monotonic()
+                for future, flight in inflight.items():
+                    if flight.started_at is None and future.running():
+                        flight.started_at = now
+                poll = (
+                    _POLL_S
+                    if (self.shard_timeout_s is not None
+                        or self.stop_check is not None
+                        or self._stopping)
+                    else None
+                )
+                done, _ = wait(set(inflight), timeout=poll,
+                               return_when=FIRST_COMPLETED)
+                crashed = False
+                for future in done:
+                    flight = inflight.pop(future)
+                    try:
+                        result = future.result()
+                    except BrokenProcessPool:
+                        inflight[future] = flight
+                        crashed = True
+                    else:
+                        finish(flight, result)
+                if crashed:
+                    if self._stopping:
+                        # Expected during the drain (idle workers died on
+                        # SIGTERM); the interrupted shards resume from
+                        # their checkpoints on the next fleet run.
+                        for flight in inflight.values():
+                            notify(self.observers, ShardEvent(
+                                scenario=flight.scenario_id,
+                                status="interrupted",
+                            ))
+                        inflight.clear()
+                        break
+                    handle_crash()
+                    continue
+                sweep_deadlines()
+            if stop_reason is not None:
+                raise CampaignInterrupted(stop_reason)
+        except KeyboardInterrupt:
+            for future in inflight:
+                future.cancel()
+            kill_pool_processes(pool)
+            raise
+        finally:
+            pool.shutdown(wait=False, cancel_futures=True)
 
     # ------------------------------------------------------------------
     # Report

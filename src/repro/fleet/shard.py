@@ -11,15 +11,23 @@ the winner and sweeps its failure voltage, and lands an atomic
 
 Failures never escape as exceptions: they are classified into the CLI's
 exit-code taxonomy (2 config / 3 fault-exhaustion / 4 invariant /
-70 crash) and returned as a failed :class:`ShardResult`, with a
-``crash_report.json`` written next to the shard checkpoint for the
+70 crash / 75 interrupted) and returned as a failed :class:`ShardResult`,
+with a ``crash_report.json`` written next to the shard checkpoint for the
 unexpected ones — so one bad scenario cannot take the fleet down.
+
+Each shard also installs its own worker-side
+:class:`~repro.supervision.ShutdownCoordinator` for SIGTERM, so a fleet
+host draining its workers gets a final campaign checkpoint from every
+shard instead of half-written state: the shard reports ``interrupted``
+(exit 75), keeps its ``result.json`` unwritten, and resumes from the
+banked generation on the next fleet run.
 """
 
 from __future__ import annotations
 
 import dataclasses
 import json
+import signal
 import time
 import traceback
 from dataclasses import asdict, dataclass, field
@@ -42,8 +50,10 @@ from repro.errors import (
     EXIT_CRASH,
     EXIT_FAILURE,
     EXIT_FAULTS,
+    EXIT_INTERRUPTED,
     EXIT_INVARIANT,
     EXIT_OK,
+    CampaignInterrupted,
     ConfigurationError,
     InvariantViolation,
     ReproError,
@@ -51,6 +61,7 @@ from repro.errors import (
 from repro.experiments.setup import program_failure_voltage
 from repro.fleet.matrix import Scenario
 from repro.pdn.elements import bulldozer_pdn, phenom_pdn
+from repro.supervision import ShutdownCoordinator
 from repro.uarch.config import bulldozer_chip, phenom_chip
 
 RESULT_FILE = "result.json"
@@ -86,6 +97,8 @@ def scenario_platform(scenario: Scenario) -> MeasurementPlatform:
 
 def classify_failure(error: BaseException) -> int:
     """Map a shard failure onto the CLI exit-code taxonomy."""
+    if isinstance(error, CampaignInterrupted):
+        return EXIT_INTERRUPTED
     if isinstance(error, QuarantineExhaustedError):
         return EXIT_FAULTS
     if isinstance(error, InvariantViolation):
@@ -109,6 +122,9 @@ class ShardSpec:
     qualify: bool = False
     failure_voltage: bool = False
     fault_policy: FaultPolicy | None = None
+    max_wall_clock_s: float | None = None
+    """Per-shard wall-clock budget; overrun stops the campaign gracefully
+    at the next generation boundary (status ``interrupted``, exit 75)."""
 
 
 @dataclass(frozen=True)
@@ -217,10 +233,11 @@ def run_shard(spec: ShardSpec) -> ShardResult:
         exit_code = classify_failure(error)
         if exit_code == EXIT_CRASH:
             _shard_crash_report(spec, error)
+        interrupted = isinstance(error, CampaignInterrupted)
         return ShardResult(
             scenario=scenario.axes(),
             scenario_id=scenario.scenario_id,
-            status="failed",
+            status="interrupted" if interrupted else "failed",
             exit_code=exit_code,
             error=f"{type(error).__name__}: {error}",
             timing={"wall_s": time.perf_counter() - start},
@@ -273,14 +290,24 @@ def _run_campaign(spec: ShardSpec) -> ShardResult:
         qualify_config = QualifyConfig(seed=scenario.seed)
         qualify_checkpoint = QualificationCheckpoint(checkpoint.directory)
     start = time.perf_counter()
-    audit = runner.run(
-        name=scenario.scenario_id,
-        checkpoint=checkpoint,
-        resume=resume,
-        qualify=qualify_config,
-        qualify_checkpoint=qualify_checkpoint,
-        seed_cache=collect_seed_cache(spec.seed_state_dirs),
+    # SIGTERM only: pool workers execute shards on their main thread, so
+    # the handler installs; SIGINT keeps its default disposition so a
+    # Ctrl-C on the fleet still tears workers down the ordinary way.
+    coordinator = ShutdownCoordinator(
+        max_wall_clock_s=spec.max_wall_clock_s,
+        signals=(signal.SIGTERM,),
+        observers=(collector,),
     )
+    with coordinator:
+        audit = runner.run(
+            name=scenario.scenario_id,
+            checkpoint=checkpoint,
+            resume=resume,
+            qualify=qualify_config,
+            qualify_checkpoint=qualify_checkpoint,
+            seed_cache=collect_seed_cache(spec.seed_state_dirs),
+            stop=coordinator.stop_requested,
+        )
     wall_s = time.perf_counter() - start
     failure_voltage_v = None
     if spec.failure_voltage:

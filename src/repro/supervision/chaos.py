@@ -1,0 +1,112 @@
+"""Deterministic corruption and fault injection for durability tests.
+
+The supervision layer's claims — "a truncated checkpoint salvages", "a
+full disk cannot destroy the last snapshot" — are only worth anything if
+they are *tested*, and testing them needs reproducible damage.  This
+module provides the damage:
+
+* :func:`truncate_file` / :func:`bitflip_file` corrupt an on-disk file
+  deterministically (seeded), simulating torn writes and bit rot.
+* :func:`inject_write_failures` arms the write-fault seam inside
+  :mod:`repro.core.checkpoint` so the next N atomic writes fail with a
+  chosen ``errno`` (default ``ENOSPC``) *before* touching the target —
+  exactly what a full disk does at the worst instant.
+
+These complement the evaluation-level chaos in
+:class:`~repro.core.faults.FaultInjectingBackend` (exceptions, hangs,
+hang-forever, worker aborts, corrupt captures): together every failure
+mode the supervisor handles has a reproducible trigger.
+"""
+
+from __future__ import annotations
+
+import errno as errno_module
+import os
+import random
+from contextlib import contextmanager
+from pathlib import Path
+
+from repro.core import checkpoint as _checkpoint
+from repro.errors import ConfigurationError
+
+__all__ = ["bitflip_file", "inject_write_failures", "truncate_file"]
+
+
+def truncate_file(path, *, keep_fraction: float = 0.5,
+                  keep_bytes: int | None = None) -> int:
+    """Chop the tail off *path* (a torn / interrupted write).
+
+    Returns the number of bytes kept.  ``keep_bytes`` overrides
+    ``keep_fraction`` when given.
+    """
+    path = Path(path)
+    size = path.stat().st_size
+    if keep_bytes is None:
+        if not 0.0 <= keep_fraction <= 1.0:
+            raise ConfigurationError(
+                f"keep_fraction must be in [0, 1], got {keep_fraction}"
+            )
+        keep_bytes = int(size * keep_fraction)
+    keep_bytes = max(0, min(size, keep_bytes))
+    with open(path, "r+b") as handle:
+        handle.truncate(keep_bytes)
+    return keep_bytes
+
+
+def bitflip_file(path, *, offset: int | None = None, bit: int = 0,
+                 seed: int = 0) -> int:
+    """Flip one bit in *path* (bit rot); returns the byte offset flipped.
+
+    With ``offset=None`` the position is drawn from ``random.Random(seed)``
+    so tests are reproducible without hard-coding file layouts.
+    """
+    path = Path(path)
+    size = path.stat().st_size
+    if size == 0:
+        raise ConfigurationError(f"cannot bit-flip empty file {path}")
+    if offset is None:
+        offset = random.Random(seed).randrange(size)
+    if not 0 <= offset < size:
+        raise ConfigurationError(
+            f"offset {offset} out of range for {size}-byte file {path}"
+        )
+    with open(path, "r+b") as handle:
+        handle.seek(offset)
+        byte = handle.read(1)[0]
+        handle.seek(offset)
+        handle.write(bytes([byte ^ (1 << (bit % 8))]))
+        handle.flush()
+        os.fsync(handle.fileno())
+    return offset
+
+
+@contextmanager
+def inject_write_failures(*, count: int = 1,
+                          errno: int = errno_module.ENOSPC,
+                          match: str = ""):
+    """Make the next *count* checkpoint writes fail with *errno*.
+
+    Arms the ``_write_fault_hook`` seam in :mod:`repro.core.checkpoint`:
+    every atomic write whose target path contains *match* (substring;
+    empty matches all) raises ``OSError(errno)`` before any byte lands,
+    until *count* failures have been delivered.  Yields a one-entry list
+    whose element counts the failures actually injected.
+    """
+    remaining = [count]
+    delivered = [0]
+
+    def hook(path: Path) -> None:
+        if match and match not in str(path):
+            return
+        if remaining[0] <= 0:
+            return
+        remaining[0] -= 1
+        delivered[0] += 1
+        raise OSError(errno, os.strerror(errno), str(path))
+
+    previous = _checkpoint._write_fault_hook
+    _checkpoint._write_fault_hook = hook
+    try:
+        yield delivered
+    finally:
+        _checkpoint._write_fault_hook = previous

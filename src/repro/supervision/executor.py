@@ -1,0 +1,443 @@
+"""Supervised process-pool execution: hard deadlines, crash recovery.
+
+The :class:`~repro.core.engine.ParallelExecutor` trusts its workers: the
+cooperative watchdog in :mod:`repro.core.faults` only measures an attempt's
+wall time *after it returns*, so a genuinely hung evaluation stalls a
+campaign forever, and a worker that dies (segfault, ``os._exit``, OOM kill)
+surfaces as :class:`~concurrent.futures.process.BrokenProcessPool` and
+aborts the whole run.  :class:`SupervisedExecutor` closes both gaps at the
+process level:
+
+hard deadlines
+    Each task's wall time is tracked from submission.  Submission is
+    throttled to the pool width, so a submitted task is (to within one
+    scheduling quantum) a *running* task and the deadline measures real
+    execution time.  A task that outlives ``task_timeout_s`` has its pool
+    killed (``SIGKILL`` to every worker — a hung worker ignores polite
+    requests), the pool is respawned, innocent in-flight tasks are
+    requeued, and the hung task resolves to a :class:`SupervisorFault`
+    sentinel instead of a result.  Hung tasks are *not* retried by the
+    supervisor: each retry would burn another full deadline of wall
+    clock.  The engine folds the sentinel into the existing
+    :class:`~repro.core.faults.FaultPolicy` quarantine taxonomy.
+
+crash recovery
+    ``BrokenProcessPool`` condemns every in-flight future, so the culprit
+    is unidentifiable from the exception alone.  The supervisor moves all
+    condemned tasks into an *isolation* queue and replays them one at a
+    time: a lone task that crashes again is definitively the culprit and
+    takes a strike (``crash_retries`` strikes allowed — transient crashes
+    deserve one more chance; deterministic crashers resolve to a
+    ``SupervisorFault``), while innocent tasks simply complete on replay.
+    Every pool rebuild — hang or crash — draws from one shared
+    ``max_pool_rebuilds`` budget so a pathological batch cannot respawn
+    forever; exhausting it raises :class:`SupervisionExhaustedError`.
+
+Everything the supervisor does is narrated through
+:class:`~repro.core.telemetry.SupervisorEvent` so operators can see hangs,
+crashes, respawns, and requeues in the run summary.
+"""
+
+from __future__ import annotations
+
+import time
+from collections import deque
+from collections.abc import Callable, Iterable, Sequence
+from concurrent.futures import FIRST_COMPLETED, Future, ProcessPoolExecutor, wait
+from concurrent.futures.process import BrokenProcessPool
+from dataclasses import dataclass
+
+from repro.core.faults import QuarantineExhaustedError
+from repro.core.telemetry import RunObserver, SupervisorEvent, notify
+from repro.errors import ConfigurationError, ReproError
+
+__all__ = [
+    "SupervisedExecutor",
+    "SupervisorFault",
+    "SupervisionExhaustedError",
+    "WorkerCrashError",
+    "WorkerHangError",
+    "kill_pool_processes",
+]
+
+#: Default total pool-rebuild budget per ``map`` call.  Generous enough for
+#: a handful of poison genomes per generation, small enough that a
+#: systemically broken platform fails fast instead of thrashing.
+DEFAULT_MAX_POOL_REBUILDS = 5
+
+
+class SupervisionExhaustedError(ReproError):
+    """The supervised executor ran out of pool-rebuild budget.
+
+    So many hangs/crashes occurred in one batch that continuing would mean
+    respawning pools indefinitely — the platform (or the chaos injection
+    rate) is systemically broken, not one bad genome.
+    """
+
+
+class WorkerHangError(QuarantineExhaustedError):
+    """An evaluation blew its hard deadline and its worker was killed.
+
+    Subclasses :class:`~repro.core.faults.QuarantineExhaustedError` so a
+    hang surfaced with ``on_exhaust="raise"`` (or with no fault policy at
+    all) classifies as a fault-budget failure (exit code 3), matching the
+    cooperative-timeout taxonomy.
+    """
+
+
+class WorkerCrashError(QuarantineExhaustedError):
+    """A worker process died (segfault / ``os._exit``) under an evaluation."""
+
+
+@dataclass(frozen=True)
+class SupervisorFault:
+    """Sentinel result for a task the supervisor gave up on.
+
+    Takes the slot an :class:`~repro.core.faults.EvalOutcome` (or plain
+    fitness value) would occupy in the executor's result list.  The
+    evaluation engine converts it into the fault-policy taxonomy —
+    quarantine, penalty, or a raised :class:`WorkerHangError` /
+    :class:`WorkerCrashError`.
+
+    ``kind`` is ``"hang"`` or ``"crash"``; ``attempts`` counts executions
+    (1 for a hang, 1 + retries for a crash); ``wall_s`` is the wall time
+    burned across all attempts.
+    """
+
+    kind: str
+    error: str
+    attempts: int = 1
+    wall_s: float = 0.0
+
+    #: Parallels ``EvalOutcome.stats`` so stats-absorbing code can treat
+    #: either uniformly.
+    stats = None
+
+
+def kill_pool_processes(pool: ProcessPoolExecutor | None) -> None:
+    """Hard-kill a pool's workers and abandon it.
+
+    ``shutdown(wait=True)`` on a pool with a hung worker never returns, so
+    the only reliable teardown is SIGKILL to each worker process first.
+    Also used by the fleet orchestrator on hung/crashed shards.
+    """
+    if pool is None:
+        return
+    for process in list(getattr(pool, "_processes", {}).values()):
+        try:
+            process.kill()
+        except OSError:  # pragma: no cover - already-reaped worker
+            pass
+    pool.shutdown(wait=False, cancel_futures=True)
+
+
+@dataclass
+class _Flight:
+    """Book-keeping for one submitted task."""
+
+    index: int
+    submitted_at: float
+
+
+class SupervisedExecutor:
+    """Process-pool executor with hard deadlines and crash recovery.
+
+    Drop-in :class:`~repro.core.engine.FitnessExecutor`: ``map`` preserves
+    request order and propagates ordinary exceptions raised *by the task
+    function* exactly like ``ParallelExecutor`` — supervision only
+    intervenes when the worker process itself misbehaves (hang past
+    ``task_timeout_s``, death under a task).  Those slots resolve to
+    :class:`SupervisorFault` sentinels for the caller to adjudicate.
+
+    With ``task_timeout_s=None`` the deadline sweep is disabled and only
+    crash recovery is active; the executor then adds no polling overhead
+    (the event loop blocks until a future completes).
+    """
+
+    name = "supervised"
+
+    def __init__(
+        self,
+        workers: int,
+        *,
+        task_timeout_s: float | None = None,
+        max_pool_rebuilds: int = DEFAULT_MAX_POOL_REBUILDS,
+        crash_retries: int = 1,
+        observers: Sequence[RunObserver] = (),
+        poll_s: float = 0.1,
+    ):
+        if workers < 1:
+            raise ConfigurationError(f"workers must be >= 1, got {workers}")
+        if task_timeout_s is not None and task_timeout_s <= 0:
+            raise ConfigurationError(
+                f"task_timeout_s must be positive, got {task_timeout_s}"
+            )
+        if max_pool_rebuilds < 0:
+            raise ConfigurationError(
+                f"max_pool_rebuilds must be >= 0, got {max_pool_rebuilds}"
+            )
+        self.workers = workers
+        self.task_timeout_s = task_timeout_s
+        self.max_pool_rebuilds = max_pool_rebuilds
+        self.crash_retries = max(0, crash_retries)
+        self.observers = list(observers)
+        self.poll_s = poll_s
+        self.rebuilds = 0
+        self._pool: ProcessPoolExecutor | None = None
+
+    # -- pool lifecycle ----------------------------------------------------
+
+    def _ensure_pool(self) -> ProcessPoolExecutor:
+        if self._pool is None:
+            self._pool = ProcessPoolExecutor(max_workers=self.workers)
+        return self._pool
+
+    def _kill_and_respawn(self, *, reason: str) -> None:
+        """Destroy the current pool and account one rebuild."""
+        kill_pool_processes(self._pool)
+        self._pool = None
+        self.rebuilds += 1
+        notify(
+            self.observers,
+            SupervisorEvent(
+                action="respawn", detail=reason, respawns=self.rebuilds
+            ),
+        )
+        if self.rebuilds > self.max_pool_rebuilds:
+            raise SupervisionExhaustedError(
+                f"pool rebuilt {self.rebuilds} times (budget "
+                f"{self.max_pool_rebuilds}); the platform is systemically "
+                f"unstable — last cause: {reason}"
+            )
+
+    def _abort(self) -> None:
+        """Tear down after a task-level exception (mirrors ParallelExecutor)."""
+        if self._pool is not None:
+            self._pool.shutdown(wait=True, cancel_futures=True)
+            self._pool = None
+
+    def close(self) -> None:
+        if self._pool is not None:
+            self._pool.shutdown(wait=True)
+            self._pool = None
+
+    # -- the supervised event loop ----------------------------------------
+
+    def map(self, fn: Callable, items: Iterable) -> list:
+        items = list(items)
+        if not items:
+            return []
+
+        unset = object()
+        results: list = [unset] * len(items)
+        # Normal work queue, FIFO over item indexes.
+        queue: deque[int] = deque(range(len(items)))
+        # Isolation queue: tasks condemned by a pool crash, replayed one
+        # at a time so a repeat crash identifies its culprit.
+        suspects: deque[int] = deque()
+        strikes: dict[int, int] = {}
+        wall_spent: dict[int, float] = {}
+        inflight: dict[Future, _Flight] = {}
+
+        def submit_next() -> None:
+            if suspects:
+                # Isolation mode: drain in-flight work first, then replay
+                # suspects strictly one at a time.
+                if not inflight:
+                    index = suspects.popleft()
+                    future = self._ensure_pool().submit(fn, items[index])
+                    inflight[future] = _Flight(index, time.monotonic())
+                return
+            while queue and len(inflight) < self.workers:
+                index = queue.popleft()
+                future = self._ensure_pool().submit(fn, items[index])
+                inflight[future] = _Flight(index, time.monotonic())
+
+        def condemn() -> list[_Flight]:
+            """Collect every in-flight task; harvest finished results."""
+            condemned: list[_Flight] = []
+            for future, flight in inflight.items():
+                if future.done():
+                    try:
+                        results[flight.index] = future.result()
+                        continue
+                    except BaseException:
+                        # Died with the pool (or raised); adjudicate below.
+                        pass
+                condemned.append(flight)
+            inflight.clear()
+            return condemned
+
+        try:
+            while queue or suspects or inflight:
+                submit_next()
+                timeout = None
+                if self.task_timeout_s is not None:
+                    timeout = self.poll_s
+                done, _ = wait(
+                    set(inflight), timeout=timeout, return_when=FIRST_COMPLETED
+                )
+
+                crashed = False
+                for future in done:
+                    flight = inflight.pop(future)
+                    try:
+                        results[flight.index] = future.result()
+                    except BrokenProcessPool:
+                        # Put the flight back so condemn() sees it along
+                        # with every other in-flight victim.
+                        inflight[future] = flight
+                        crashed = True
+                        break
+                    except Exception:
+                        self._abort()
+                        raise
+
+                if crashed:
+                    self._handle_crash(
+                        condemn(), suspects, strikes, wall_spent, results
+                    )
+                    continue
+
+                if self.task_timeout_s is not None:
+                    self._sweep_deadlines(
+                        inflight, queue, suspects, wall_spent, results
+                    )
+        except BaseException:
+            kill_pool_processes(self._pool)
+            self._pool = None
+            raise
+
+        assert not any(r is unset for r in results)
+        return results
+
+    # -- hang handling -----------------------------------------------------
+
+    def _sweep_deadlines(self, inflight, queue, suspects, wall_spent, results):
+        now = time.monotonic()
+        hung = [
+            (future, flight)
+            for future, flight in inflight.items()
+            if now - flight.submitted_at > self.task_timeout_s
+            and not future.done()
+        ]
+        if not hung:
+            return
+        hung_indexes = {flight.index for _, flight in hung}
+        for _, flight in hung:
+            wall = now - flight.submitted_at
+            notify(
+                self.observers,
+                SupervisorEvent(
+                    action="hang-kill",
+                    task=f"task[{flight.index}]",
+                    detail=(
+                        f"no result after {wall:.1f}s "
+                        f"(deadline {self.task_timeout_s:.1f}s); "
+                        f"worker pool killed"
+                    ),
+                    wall_s=wall,
+                ),
+            )
+            results[flight.index] = SupervisorFault(
+                kind="hang",
+                error=(
+                    f"evaluation hung: no result after {wall:.1f}s "
+                    f"(hard deadline {self.task_timeout_s:.1f}s); "
+                    f"worker killed"
+                ),
+                attempts=1,
+                wall_s=wall + wall_spent.get(flight.index, 0.0),
+            )
+        # Innocent in-flight tasks go back to the *front* of their queue —
+        # they were already scheduled, so they keep their place in line.
+        innocents = [
+            flight for _, flight in inflight.items()
+            if flight.index not in hung_indexes
+        ]
+        for flight in innocents:
+            wall_spent[flight.index] = (
+                wall_spent.get(flight.index, 0.0) + (now - flight.submitted_at)
+            )
+            notify(
+                self.observers,
+                SupervisorEvent(
+                    action="requeue",
+                    task=f"task[{flight.index}]",
+                    detail="in flight during a hang-kill; rescheduled",
+                ),
+            )
+        target = suspects if suspects else queue
+        target.extendleft(
+            flight.index for flight in reversed(innocents)
+        )
+        inflight.clear()
+        self._kill_and_respawn(
+            reason=f"{len(hung)} task(s) past the {self.task_timeout_s:.1f}s "
+            f"hard deadline"
+        )
+
+    # -- crash handling ----------------------------------------------------
+
+    def _handle_crash(self, condemned, suspects, strikes, wall_spent, results):
+        now = time.monotonic()
+        notify(
+            self.observers,
+            SupervisorEvent(
+                action="crash",
+                detail=(
+                    f"worker process died; {len(condemned)} in-flight "
+                    f"task(s) condemned"
+                ),
+            ),
+        )
+        if len(condemned) == 1:
+            # Running alone (isolation mode, or a one-task tail): the
+            # culprit is identified beyond doubt.
+            flight = condemned[0]
+            index = flight.index
+            strikes[index] = strikes.get(index, 0) + 1
+            wall_spent[index] = (
+                wall_spent.get(index, 0.0) + (now - flight.submitted_at)
+            )
+            if strikes[index] > self.crash_retries:
+                notify(
+                    self.observers,
+                    SupervisorEvent(
+                        action="give-up",
+                        task=f"task[{index}]",
+                        detail=(
+                            f"crashed the worker {strikes[index]} time(s); "
+                            f"handing to the fault policy"
+                        ),
+                    ),
+                )
+                results[index] = SupervisorFault(
+                    kind="crash",
+                    error=(
+                        f"worker process died under this evaluation "
+                        f"{strikes[index]} time(s) (segfault/os._exit?)"
+                    ),
+                    attempts=strikes[index],
+                    wall_s=wall_spent[index],
+                )
+            else:
+                suspects.appendleft(index)
+        else:
+            # The culprit is unidentifiable: isolate everyone.  No strikes
+            # for the innocent — they are simply replayed one at a time.
+            for flight in condemned:
+                wall_spent[flight.index] = (
+                    wall_spent.get(flight.index, 0.0)
+                    + (now - flight.submitted_at)
+                )
+                notify(
+                    self.observers,
+                    SupervisorEvent(
+                        action="requeue",
+                        task=f"task[{flight.index}]",
+                        detail="condemned by a worker crash; isolating",
+                    ),
+                )
+            suspects.extend(flight.index for flight in condemned)
+        self._kill_and_respawn(reason="worker process crash")

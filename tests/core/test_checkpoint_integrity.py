@@ -1,0 +1,184 @@
+"""Checkpoint durability: corruption, salvage, and disk-full tolerance.
+
+Every scenario here must land in either a successful salvage (the last
+verified generation, flagged ``salvaged=True``) or a structured
+:class:`CheckpointError` — never an unhandled crash, and never silently
+loading corrupt bytes.
+"""
+
+import errno
+import json
+
+import numpy as np
+import pytest
+
+from repro.core.audit import AuditConfig, AuditRunner
+from repro.core.checkpoint import CampaignCheckpoint
+from repro.core.ga import GaConfig, GaSnapshot, GenerationStats
+from repro.core.genome import StressmarkGenome
+from repro.errors import CheckpointCorrupt, CheckpointError, ConfigurationError
+from repro.experiments.setup import bulldozer_testbed
+from repro.supervision.chaos import (
+    bitflip_file,
+    inject_write_failures,
+    truncate_file,
+)
+
+
+def snapshot(generation=0, evaluations=10):
+    rng = np.random.default_rng(3)
+    rng.random(2)
+    genomes = tuple(
+        StressmarkGenome(subblock=("mulpd",) * 4, lp_nops=i) for i in range(4)
+    )
+    return GaSnapshot(
+        generation=generation,
+        population=genomes,
+        rng_state=rng.bit_generator.state,
+        best_genome=genomes[0],
+        best_fitness=0.01 * (generation + 1),
+        stale=0,
+        history=(
+            GenerationStats(generation=0, best_fitness=0.01,
+                            mean_fitness=0.005, evaluations_so_far=10),
+        ),
+        evaluations=evaluations,
+    )
+
+
+def store_with_generations(tmp_path, generations=2):
+    store = CampaignCheckpoint(tmp_path / "campaign")
+    for generation in range(generations):
+        store.save(snapshot(generation=generation,
+                            evaluations=10 * (generation + 1)),
+                   fitness_cache={}, cache_hits=0)
+    return store
+
+
+class TestSalvage:
+    def test_truncated_state_salvages_previous_generation(self, tmp_path):
+        store = store_with_generations(tmp_path)
+        truncate_file(store.state_path, keep_fraction=0.4)
+        state = store.load()
+        assert state is not None
+        assert state.salvaged
+        assert state.ga.generation == 0
+        assert state.salvage_reason
+
+    def test_missing_state_with_rotated_snapshot_salvages(self, tmp_path):
+        store = store_with_generations(tmp_path)
+        store.state_path.unlink()
+        state = store.load()
+        assert state.salvaged
+        assert state.ga.generation == 0
+        assert "missing" in state.salvage_reason
+
+    def test_bitflipped_state_fails_digest_and_salvages(self, tmp_path):
+        """A single flipped bit may still parse as JSON — only the
+        sha256 manifest check can catch it."""
+        store = store_with_generations(tmp_path)
+        bitflip_file(store.state_path, seed=5)
+        state = store.load()
+        assert state.salvaged
+        assert state.ga.generation == 0
+
+    def test_both_snapshots_corrupt_is_a_named_error(self, tmp_path):
+        store = store_with_generations(tmp_path)
+        truncate_file(store.state_path, keep_bytes=7)
+        truncate_file(store.prev_state_path, keep_bytes=7)
+        with pytest.raises(CheckpointCorrupt) as excinfo:
+            store.load()
+        assert str(store.state_path) in str(excinfo.value)
+
+    def test_single_generation_corruption_is_not_salvageable(self, tmp_path):
+        store = store_with_generations(tmp_path, generations=1)
+        truncate_file(store.state_path, keep_bytes=7)
+        with pytest.raises(CheckpointCorrupt):
+            store.load()
+
+
+class TestManifestAndJournal:
+    def test_missing_manifest_disables_verification_only(self, tmp_path):
+        """Pre-manifest checkpoint directories keep loading."""
+        store = store_with_generations(tmp_path)
+        store.manifest_path.unlink()
+        state = store.load()
+        assert not state.salvaged
+        assert state.ga.generation == 1
+
+    def test_corrupt_manifest_does_not_brick_a_healthy_state(self, tmp_path):
+        store = store_with_generations(tmp_path)
+        store.manifest_path.write_text("{ not json")
+        state = store.load()
+        assert state.ga.generation == 1
+
+    def test_journal_records_digests(self, tmp_path):
+        store = store_with_generations(tmp_path)
+        entries, skipped = store.read_journal()
+        assert skipped == 0
+        assert [e["generation"] for e in entries] == [0, 1]
+        assert all(len(e["sha256"]) == 64 for e in entries)
+
+    def test_bitflipped_journal_line_is_skipped_not_fatal(self, tmp_path):
+        store = store_with_generations(tmp_path)
+        lines = store.journal_path.read_text().splitlines()
+        lines[0] = lines[0][: len(lines[0]) // 2]  # torn first line
+        store.journal_path.write_text("\n".join(lines) + "\n")
+        entries, skipped = store.read_journal()
+        assert skipped == 1
+        assert [e["generation"] for e in entries] == [1]
+        # Loading is unaffected: the journal is advisory.
+        assert store.load().ga.generation == 1
+
+
+class TestWriteFailureTolerance:
+    def test_enospc_mid_save_keeps_previous_snapshot_loadable(self, tmp_path):
+        store = store_with_generations(tmp_path, generations=1)
+        with inject_write_failures(count=1, errno=errno.ENOSPC) as delivered:
+            with pytest.raises(CheckpointError) as excinfo:
+                store.save(snapshot(generation=1, evaluations=20),
+                           fitness_cache={}, cache_hits=0)
+        assert delivered[0] == 1
+        assert "disk full or I/O failure" in str(excinfo.value)
+        assert not isinstance(excinfo.value, ConfigurationError)
+        # The generation-0 snapshot survived the failed save.
+        state = store.load()
+        assert state.ga.generation == 0
+
+    def test_permission_errors_classify_as_configuration(self, tmp_path):
+        store = store_with_generations(tmp_path, generations=1)
+        with inject_write_failures(count=1, errno=errno.EACCES):
+            with pytest.raises(ConfigurationError):
+                store.save(snapshot(generation=1), fitness_cache={},
+                           cache_hits=0)
+
+
+class TestEndToEndTruncatedResume:
+    CONFIG = AuditConfig(
+        threads=2,
+        ga=GaConfig(population_size=6, generations=3, seed=1),
+    )
+
+    def test_resume_after_truncation_is_bit_identical(self, tmp_path):
+        """The acceptance criterion: truncate the latest checkpoint of a
+        finished campaign, resume, and reproduce the uncorrupted
+        campaign's result exactly."""
+        control = AuditRunner(bulldozer_testbed(), config=self.CONFIG).run()
+
+        store = CampaignCheckpoint(tmp_path / "campaign")
+        AuditRunner(bulldozer_testbed(), config=self.CONFIG).run(
+            checkpoint=store
+        )
+        truncate_file(store.state_path, keep_fraction=0.5)
+
+        banked = store.load()
+        assert banked.salvaged
+
+        resumed = AuditRunner(bulldozer_testbed(), config=self.CONFIG).run(
+            checkpoint=store, resume=True
+        )
+        assert resumed.genome == control.genome
+        assert resumed.max_droop_v == control.max_droop_v
+        assert resumed.ga_result.best_fitness == control.ga_result.best_fitness
+        assert resumed.ga_result.history == control.ga_result.history
+        assert resumed.ga_result.evaluations == control.ga_result.evaluations

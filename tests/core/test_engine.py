@@ -14,6 +14,7 @@ from repro.core.engine import (
     StressmarkFitness,
     make_executor,
 )
+from repro.supervision import SupervisedExecutor
 from repro.core.genome import GenomeSpace
 from repro.core.platform import (
     Measurement,
@@ -136,9 +137,16 @@ class TestEvaluationEngine:
         assert isinstance(make_executor(None), SerialExecutor)
         assert isinstance(make_executor(1), SerialExecutor)
         pool = make_executor(3)
-        assert isinstance(pool, ParallelExecutor)
+        # Parallel evaluation is supervised: crashes respawn the pool,
+        # and an optional hard deadline kills hung workers.
+        assert isinstance(pool, SupervisedExecutor)
         assert pool.workers == 3
+        assert pool.task_timeout_s is None
         pool.close()
+        deadlined = make_executor(2, hard_timeout_s=30.0, max_pool_rebuilds=7)
+        assert deadlined.task_timeout_s == 30.0
+        assert deadlined.max_pool_rebuilds == 7
+        deadlined.close()
 
 
 class TestParallelExecutor:
