@@ -42,7 +42,7 @@ from pathlib import Path
 REPO_ROOT = Path(__file__).resolve().parent.parent
 sys.path.insert(0, str(REPO_ROOT / "src"))
 
-SCHEMA_VERSION = 4
+SCHEMA_VERSION = 5
 DEFAULT_BASELINE = Path(__file__).resolve().parent / "baselines" / "bulldozer.json"
 DEFAULT_SCENARIO = {
     "chip": "bulldozer",
@@ -54,7 +54,8 @@ DEFAULT_SCENARIO = {
 EXACT_METRICS = ("max_droop_v", "best_fitness", "evaluations", "resonance_hz",
                  "qualify_verdict", "qualify_robustness",
                  "qualify_evaluations", "batched_droop_match",
-                 "fleet_droop_match", "fleet_shards")
+                 "fleet_droop_match", "fleet_shards",
+                 "registry_records", "registry_verify_match")
 THROUGHPUT_METRICS = ("evals_per_second", "qualify_evals_per_second")
 #: Absolute floors (not baseline-relative): the batched PDN path must beat
 #: serial per-measurement solves by at least this factor, and a fleet
@@ -62,6 +63,9 @@ THROUGHPUT_METRICS = ("evals_per_second", "qualify_evals_per_second")
 #: evaluation throughput (orchestration overhead stays off the hot path).
 FLOOR_METRICS = {"batched_pdn_speedup": 2.0,
                  "fleet_shard_throughput_ratio": 0.9}
+#: Absolute ceilings: publishing a campaign's records into the registry
+#: must cost a negligible fraction of the campaign itself.
+CEILING_METRICS = {"registry_publish_overhead": 0.05}
 
 
 class SlowdownBackend:
@@ -193,7 +197,9 @@ def _fleet_benchmark(scenario: dict) -> dict:
         standalone = run_shard(ShardSpec(
             scenario=matrix.expand()[0], shard_dir=serial_dir,
         ))
+        start = time.perf_counter()
         report = FleetOrchestrator(matrix, fleet_dir, workers=1).run()
+        fleet_wall = time.perf_counter() - start
         shard_eps = [result.timing["evals_per_second"]
                      for result in report.ok_shards]
         nominal = next(result for result in report.ok_shards
@@ -206,10 +212,50 @@ def _fleet_benchmark(scenario: dict) -> dict:
                 nominal.droop_v == standalone.droop_v
             ),
             "fleet_shards": len(report.ok_shards),
+            **_registry_benchmark(report, fleet_wall),
         }
     finally:
         shutil.rmtree(serial_dir, ignore_errors=True)
         shutil.rmtree(fleet_dir, ignore_errors=True)
+
+
+def _registry_benchmark(report, fleet_wall: float) -> dict:
+    """Registry publish overhead and replay fidelity for a fleet's shards.
+
+    Publishes every OK shard of *report* into a scratch registry, timing
+    the complete publish path (content hashing, atomic object write,
+    index append, flock) against the campaign's own wall clock — the
+    overhead a ``--registry`` flag adds to a real fleet.  Then replays
+    one published record through ``verify`` and reports whether the
+    recorded droop reproduced bit for bit.
+    """
+    import shutil
+    import tempfile
+
+    from repro.registry import (
+        StressmarkRegistry,
+        provenance_stamp,
+        record_from_shard,
+        verify_record,
+    )
+
+    registry_dir = tempfile.mkdtemp(prefix="bench-registry-")
+    try:
+        stamp = provenance_stamp(campaign="bench")
+        records = [record_from_shard(result, provenance=stamp)
+                   for result in report.ok_shards]
+        start = time.perf_counter()
+        registry = StressmarkRegistry(registry_dir)
+        outcomes = [registry.publish(record) for record in records]
+        publish_wall = time.perf_counter() - start
+        verified = verify_record(registry.get(outcomes[0].record_id))
+        return {
+            "registry_publish_overhead": round(publish_wall / fleet_wall, 4),
+            "registry_records": len(outcomes),
+            "registry_verify_match": bool(verified.ok),
+        }
+    finally:
+        shutil.rmtree(registry_dir, ignore_errors=True)
 
 
 def collect_metrics(scenario: dict | None = None,
@@ -271,6 +317,9 @@ def collect_metrics(scenario: dict | None = None,
                 fleet["fleet_shard_throughput_ratio"]),
             "fleet_droop_match": fleet["fleet_droop_match"],
             "fleet_shards": fleet["fleet_shards"],
+            "registry_publish_overhead": fleet["registry_publish_overhead"],
+            "registry_records": fleet["registry_records"],
+            "registry_verify_match": fleet["registry_verify_match"],
         },
     }
 
@@ -314,6 +363,13 @@ def compare(baseline: dict, current: dict, tolerance: float = 0.15) -> list[str]
                 f"{name} below floor: {cur[name]:.2f} < {floor:.2f} "
                 "(the batched PDN path must beat serial solves by at "
                 "least this factor)"
+            )
+    for name, ceiling in CEILING_METRICS.items():
+        if cur[name] > ceiling:
+            problems.append(
+                f"{name} above ceiling: {cur[name]:.4f} > {ceiling:.4f} "
+                "(publishing must stay a negligible fraction of the "
+                "campaign wall clock)"
             )
     return problems
 
@@ -378,6 +434,9 @@ def main(argv: list[str] | None = None) -> int:
     print(f"fleet: {metrics['fleet_shards']} shards at "
           f"{metrics['fleet_shard_throughput_ratio']:.2f}x standalone "
           f"throughput, droop match: {metrics['fleet_droop_match']}")
+    print(f"registry: {metrics['registry_records']} records published at "
+          f"{metrics['registry_publish_overhead'] * 100:.2f}% of campaign "
+          f"wall, verify match: {metrics['registry_verify_match']}")
 
     if args.out is not None:
         args.out.parent.mkdir(parents=True, exist_ok=True)

@@ -26,4 +26,22 @@ Sub-packages: :mod:`repro.isa` (instruction substrate), :mod:`repro.uarch`
 
 __version__ = "1.0.0"
 
-__all__ = ["__version__"]
+
+def package_version() -> str:
+    """The installed distribution version, falling back to the source tree's.
+
+    ``importlib.metadata`` reports what ``pip install`` actually put on the
+    machine; a source checkout run via ``PYTHONPATH=src`` has no
+    distribution, so the in-tree ``__version__`` stands in.
+    """
+    try:
+        from importlib.metadata import PackageNotFoundError, version
+    except ImportError:  # pragma: no cover - py3.11+ always has it
+        return __version__
+    try:
+        return version("repro")
+    except PackageNotFoundError:
+        return __version__
+
+
+__all__ = ["__version__", "package_version"]

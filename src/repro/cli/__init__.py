@@ -16,6 +16,11 @@ Usage (also available as ``python -m repro``)::
     python -m repro fleet status fleet/
     python -m repro fleet report fleet/ --check
     python -m repro qualify a-res --threads 4
+    python -m repro audit --registry library/ --registry-campaign nightly
+    python -m repro registry list library/
+    python -m repro registry verify library/ <id-prefix>
+    python -m repro registry compare library/ campaign:before campaign:after
+    python -m repro registry export library/ marks.tar.gz
     python -m repro bench-evals --generations 6
     python -m repro experiment table1
     python -m repro list
@@ -50,6 +55,15 @@ from repro.cli._experiments import EXPERIMENTS, cmd_experiment, cmd_list
 from repro.cli._fleet import cmd_fleet_report, cmd_fleet_run, cmd_fleet_status
 from repro.cli._main import build_parser, main
 from repro.cli._qualify import CANNED_STRESSMARKS, cmd_qualify
+from repro.cli._registry import (
+    cmd_registry_compare,
+    cmd_registry_export,
+    cmd_registry_import,
+    cmd_registry_list,
+    cmd_registry_query,
+    cmd_registry_show,
+    cmd_registry_verify,
+)
 from repro.cli._tools import cmd_bench_evals, cmd_netlist, cmd_sweep
 
 __all__ = [
@@ -71,6 +85,13 @@ __all__ = [
     "cmd_list",
     "cmd_netlist",
     "cmd_qualify",
+    "cmd_registry_compare",
+    "cmd_registry_export",
+    "cmd_registry_import",
+    "cmd_registry_list",
+    "cmd_registry_query",
+    "cmd_registry_show",
+    "cmd_registry_verify",
     "cmd_sweep",
     "main",
     "_batched",

@@ -13,6 +13,7 @@ from repro.isa.encoder import encode_program
 from repro.cli._common import (
     _add_batch_arg,
     _add_campaign_args,
+    _add_registry_args,
     _add_supervision_args,
     _add_telemetry_args,
     _batched,
@@ -20,6 +21,7 @@ from repro.cli._common import (
     _make_supervised_executor,
     _observers,
     _platform_factory,
+    _publish_record,
     _shutdown_coordinator,
 )
 
@@ -119,6 +121,29 @@ def cmd_audit(args) -> int:
         else:
             print(f"qualification: {qual.verdict} "
                   f"(robustness {qual.chosen_report.robustness:.2f})")
+    if args.registry is not None:
+        from repro.registry import (
+            platform_descriptor,
+            provenance_stamp,
+            record_from_audit,
+        )
+
+        record = record_from_audit(
+            result,
+            platform=platform,
+            descriptor=platform_descriptor(args.chip, throttle=args.throttle),
+            seed=args.seed,
+            provenance=provenance_stamp(
+                campaign=args.registry_campaign,
+                extra={"telemetry": {
+                    "evaluations": collector.evaluations,
+                    "cache_hits": collector.cache_hits,
+                    "eval_wall_s": round(collector.eval_wall_s, 3),
+                    "generations": collector.generations,
+                }},
+            ),
+        )
+        _publish_record(args, record, observers)
     asm = encode_program(result.program(), name=result.name.lower().replace("-", "_"))
     if args.asm_out:
         with open(args.asm_out, "w") as handle:
@@ -149,6 +174,7 @@ def register(sub) -> None:
     _add_batch_arg(audit)
     _add_campaign_args(audit)
     _add_supervision_args(audit)
+    _add_registry_args(audit)
     audit.add_argument("--telemetry", action="store_true",
                        help="print the run-telemetry summary table")
     audit.add_argument(

@@ -200,3 +200,25 @@ def _add_fault_args(parser: argparse.ArgumentParser) -> None:
         help="what to do with a genome once retries are exhausted: kill "
              "the run, quarantine at -inf fitness, or quarantine at the "
              "penalty fitness (enables the fault policy)")
+
+
+def _add_registry_args(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--registry", default=None, metavar="DIR",
+        help="publish the result into the stressmark registry at DIR "
+             "(content-addressed; republishing an identical result "
+             "deduplicates)")
+    parser.add_argument(
+        "--registry-campaign", default="", metavar="LABEL",
+        help="campaign label stored in the record's provenance "
+             "(used by `repro registry compare campaign:A campaign:B`)")
+
+
+def _publish_record(args, record, observers) -> None:
+    """Publish *record* into ``args.registry`` and narrate the outcome."""
+    from repro.registry import StressmarkRegistry
+
+    registry = StressmarkRegistry(args.registry, observers=observers)
+    outcome = registry.publish(record)
+    state = "already published as" if outcome.deduped else "published as"
+    print(f"registry: {state} {outcome.record_id[:12]} in {args.registry}")

@@ -40,6 +40,7 @@ def _build_orchestrator(args, stop_check) -> tuple:
             args.resume,
             workers=args.workers,
             observers=observers,
+            registry_dir=args.registry,
             **supervision,
         )
         return orchestrator, jsonl
@@ -56,6 +57,9 @@ def _build_orchestrator(args, stop_check) -> tuple:
     if workers is None:
         workers = int(options.get("workers", 2))
     failure_voltage = args.failure_voltage or bool(options.get("failure_voltage", False))
+    registry = args.registry
+    if registry is None and options.get("registry"):
+        registry = str(options["registry"])
     orchestrator = FleetOrchestrator(
         matrix,
         args.dir,
@@ -64,6 +68,7 @@ def _build_orchestrator(args, stop_check) -> tuple:
         failure_voltage=failure_voltage,
         fault_policy=_fault_policy(args),
         observers=observers,
+        registry_dir=registry,
         **supervision,
     )
     return orchestrator, jsonl
@@ -235,6 +240,13 @@ def register(sub) -> None:
         help="total shard-pool respawns (hangs + crashes) tolerated per "
              "fleet run before the host is declared systemically unstable "
              "(default 5)",
+    )
+    run.add_argument(
+        "--registry", default=None, metavar="DIR",
+        help="publish every OK shard's winner into the stressmark registry "
+             "at DIR once the report is banked (the fleet directory name "
+             "becomes the campaign label; persisted in fleet.json, so a "
+             "resumed fleet keeps publishing)",
     )
     run.add_argument(
         "--max-wall-clock", type=float, default=None, metavar="SECONDS",

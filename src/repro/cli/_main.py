@@ -18,7 +18,16 @@ from repro.errors import (
     ReproError,
 )
 
-from repro.cli import _audit, _common, _experiments, _fleet, _qualify, _tools
+from repro import package_version
+from repro.cli import (
+    _audit,
+    _common,
+    _experiments,
+    _fleet,
+    _qualify,
+    _registry,
+    _tools,
+)
 from repro.cli._common import (
     EXIT_CONFIG,
     EXIT_CRASH,
@@ -34,11 +43,14 @@ def build_parser() -> argparse.ArgumentParser:
         prog="repro",
         description="AUDIT reproduction: di/dt stressmark generation",
     )
+    parser.add_argument("--version", action="version",
+                        version=f"%(prog)s {package_version()}")
     sub = parser.add_subparsers(dest="command", required=True)
     _tools.register_sweep(sub)
     _audit.register(sub)
     _fleet.register(sub)
     _qualify.register(sub)
+    _registry.register(sub)
     _tools.register_bench(sub)
     _tools.register_netlist(sub)
     _experiments.register(sub)
@@ -64,6 +76,7 @@ def _crash_report(args, error: BaseException) -> str | None:
             key: value for key, value in vars(args).items()
             if isinstance(value, (str, int, float, bool, type(None)))
         },
+        "version": package_version(),
         "error": f"{type(error).__name__}: {error}",
         "traceback": traceback.format_exc(),
         "recent_events": _common._flight_recorder.tail(),

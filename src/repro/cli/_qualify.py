@@ -9,42 +9,19 @@ from repro.core.qualify import (
     StressmarkQualifier,
 )
 from repro.core.telemetry import TelemetryCollector
-from repro.errors import ConfigurationError
 from repro.isa.opcodes import default_table
+from repro.workloads.stressmarks import CANNED_STRESSMARKS
 
 from repro.cli._common import (
     EXIT_OK,
     _add_batch_arg,
+    _add_registry_args,
     _add_telemetry_args,
     _batched,
     _observers,
     _platform_factory,
+    _publish_record,
 )
-
-#: Canned stressmarks ``repro qualify`` can re-measure by name.
-CANNED_STRESSMARKS = ("a-res", "a-ex", "sm-res", "sm1", "sm2", "joseph-brooks")
-
-
-def _canned_kernel(name: str, pool):
-    from repro.workloads import stressmarks as sm
-
-    builders = {
-        "a-res": sm.a_res_canned,
-        "a-ex": sm.a_ex_canned,
-        "sm-res": sm.sm_res,
-        "sm1": sm.sm1,
-        "sm2": sm.sm2,
-        "joseph-brooks": sm.joseph_brooks,
-    }
-    try:
-        builder = builders[name]
-    except KeyError:
-        raise ConfigurationError(
-            f"unknown stressmark {name!r} "
-            f"(expected one of {', '.join(CANNED_STRESSMARKS)})"
-        ) from None
-    return builder(pool)
-
 
 def cmd_qualify(args) -> int:
     """Qualify one canned stressmark: perturbation sweep + verdict."""
@@ -52,9 +29,9 @@ def cmd_qualify(args) -> int:
 
     platform = _batched(_platform(args.chip), args)
     pool = default_table().supported_on(platform.chip.extensions)
-    from repro.workloads.stressmarks import stressmark_program
+    from repro.workloads.stressmarks import canned_stressmark, stressmark_program
 
-    program = stressmark_program(_canned_kernel(args.stressmark, pool))
+    program = stressmark_program(canned_stressmark(args.stressmark, pool))
     config = QualifyConfig(
         seed=args.seed,
         jitter_repeats=args.jitter_repeats,
@@ -88,6 +65,20 @@ def cmd_qualify(args) -> int:
           f"(robustness {report.robustness:.2f}, "
           f"{report.evaluations} evaluations, "
           f"{report.cache_hits} cache hits, {report.wall_s:.1f}s)")
+    if args.registry is not None:
+        from repro.registry import (
+            platform_descriptor,
+            provenance_stamp,
+            record_from_qualification,
+        )
+
+        record = record_from_qualification(
+            report,
+            platform=platform,
+            descriptor=platform_descriptor(args.chip),
+            provenance=provenance_stamp(campaign=args.registry_campaign),
+        )
+        _publish_record(args, record, observers)
     if args.telemetry:
         print("\n" + collector.summary_table(platform.stats()))
     return EXIT_OK
@@ -121,4 +112,5 @@ def register(sub) -> None:
                          help="print the run-telemetry summary table")
     _add_telemetry_args(qualify)
     _add_batch_arg(qualify)
+    _add_registry_args(qualify)
     qualify.set_defaults(fn=cmd_qualify)

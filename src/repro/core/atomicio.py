@@ -1,0 +1,145 @@
+"""Shared atomic file-write primitives: fsynced replace, durable appends.
+
+Every durable artifact in the project — campaign checkpoints, fleet
+shard results and reports, registry objects and indexes — lands on disk
+through the same two idioms:
+
+* :func:`atomic_write_bytes` (and its :func:`atomic_write_json` /
+  :func:`atomic_write_text` wrappers): bytes go to a sibling temp file
+  which is fsynced and then ``os.replace``d over the target — atomic on
+  POSIX, so a crash at any instant leaves either the old complete file
+  or the new complete file, never a torn one.
+* :func:`append_jsonl`: one JSON line appended, flushed, and fsynced —
+  the idiom for append-only journals and indexes where a crash may tear
+  at most the final line (readers must be lenient; see
+  :meth:`repro.core.checkpoint.CampaignCheckpoint.read_journal`).
+
+``OSError`` from any of these is classified by
+:func:`classify_write_error` into the project error taxonomy:
+disk-full / quota / I/O failures become
+:class:`~repro.errors.CheckpointError` ("storage failed; the previous
+file is intact"), permission and bad-path failures become
+:class:`~repro.errors.ConfigurationError` ("the operator pointed the
+store somewhere unusable").
+
+This module grew out of ``core/checkpoint.py`` (which re-exports the
+names for compatibility) when the fleet and registry layers started
+duplicating the pattern.
+"""
+
+from __future__ import annotations
+
+import errno
+import json
+import os
+from pathlib import Path
+from typing import Callable
+
+from repro.errors import CheckpointError, ConfigurationError
+
+#: Write-fault injection seam for durability tests.  When set (see
+#: :func:`repro.supervision.chaos.inject_write_failures`) it is called with
+#: the target path before every atomic write and may raise ``OSError`` to
+#: simulate a full disk exactly at the most damaging instant.
+_write_fault_hook: Callable[[Path], None] | None = None
+
+#: ``errno`` values that mean "the storage itself failed" — transient or
+#: environmental, the previous file is intact, retry elsewhere/later.
+_IO_ERRNOS = {errno.ENOSPC, errno.EDQUOT, errno.EIO, errno.EFBIG}
+
+#: ``errno`` values that mean "the target location is misconfigured" —
+#: retrying will not help, the operator pointed us at a bad place.
+_CONFIG_ERRNOS = {
+    errno.EACCES,
+    errno.EPERM,
+    errno.EROFS,
+    errno.ENOENT,
+    errno.ENOTDIR,
+    errno.EISDIR,
+}
+
+
+def classify_write_error(error: OSError, path) -> CheckpointError:
+    """Map an ``OSError`` from a durable write to the error taxonomy.
+
+    Disk-full / quota / I/O failures become :class:`CheckpointError`
+    ("storage failed; the previous file is intact"); permission and
+    bad-path failures become :class:`~repro.errors.ConfigurationError`
+    ("the operator pointed the store somewhere unusable").
+    """
+    code = error.errno
+    if code in _CONFIG_ERRNOS:
+        return ConfigurationError(
+            f"cannot write checkpoint {path}: {error} — the checkpoint "
+            f"location is misconfigured (permissions / missing directory?)"
+        )
+    detail = "disk full or I/O failure" if code in _IO_ERRNOS else "OS error"
+    return CheckpointError(
+        f"cannot write checkpoint {path}: {error} ({detail}; the previous "
+        f"snapshot is intact)"
+    )
+
+
+def atomic_write_bytes(path: Path, data: bytes) -> None:
+    """Land *data* at *path* so readers never observe a torn file.
+
+    The bytes go to a sibling temp file which is fsynced and then
+    ``os.replace``d over the target — atomic on POSIX, so a crash at any
+    instant leaves either the old complete file or the new complete file.
+    ``OSError`` is classified via :func:`classify_write_error` and the
+    temp file is removed best-effort, so a full disk surfaces as a
+    structured error with the previous file untouched.
+    """
+    path = Path(path)
+    tmp = path.with_name(path.name + ".tmp")
+    try:
+        if _write_fault_hook is not None:
+            _write_fault_hook(path)
+        with open(tmp, "wb") as handle:
+            handle.write(data)
+            handle.flush()
+            os.fsync(handle.fileno())
+        os.replace(tmp, path)
+    except OSError as error:
+        try:
+            tmp.unlink(missing_ok=True)
+        except OSError:  # pragma: no cover - cleanup is best-effort
+            pass
+        raise classify_write_error(error, path) from error
+
+
+def atomic_write_json(path: Path, payload, *, indent: int | None = None,
+                      sort_keys: bool = False, newline: bool = False) -> None:
+    """Write *payload* as JSON via :func:`atomic_write_bytes`.
+
+    The keyword knobs exist for artifacts with a canonical human-diffable
+    form (fleet reports: ``indent=2, sort_keys=True, newline=True``); the
+    default compact form matches ``json.dumps`` exactly as checkpoints
+    have always written it.
+    """
+    text = json.dumps(payload, indent=indent, sort_keys=sort_keys)
+    if newline:
+        text += "\n"
+    atomic_write_bytes(Path(path), text.encode("utf-8"))
+
+
+def atomic_write_text(path: Path, text: str) -> None:
+    """Write *text* (UTF-8) via :func:`atomic_write_bytes`."""
+    atomic_write_bytes(Path(path), text.encode("utf-8"))
+
+
+def append_jsonl(path: Path, payload) -> None:
+    """Append *payload* as one JSON line, flushed and fsynced.
+
+    Appends are not atomic — a crash mid-append can tear the final line —
+    so every reader of an append-only file must tolerate (and count) a
+    damaged tail line.  The fsync bounds the loss to that one line.
+    ``OSError`` is classified via :func:`classify_write_error`.
+    """
+    try:
+        with open(path, "a", encoding="utf-8") as handle:
+            handle.write(json.dumps(payload) + "\n")
+            handle.flush()
+            os.fsync(handle.fileno())
+    except OSError as error:
+        raise classify_write_error(error, path) from error

@@ -127,6 +127,9 @@ class AuditResult:
     ga_result: GaResult
     threads: int
     qualification: CampaignQualification | None = None
+    config: AuditConfig | None = None
+    """The configuration the campaign ran under — provenance for the
+    registry (mode, replications, GA budget alongside the genome)."""
 
     @property
     def max_droop_v(self) -> float:
@@ -427,6 +430,7 @@ class AuditRunner:
             ga_result=ga_result,
             threads=cfg.threads,
             qualification=qualification,
+            config=cfg,
         )
 
     # ------------------------------------------------------------------

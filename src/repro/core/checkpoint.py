@@ -38,7 +38,6 @@ resumed campaign replays the remaining generations bit-identically.
 
 from __future__ import annotations
 
-import errno
 import hashlib
 import json
 import os
@@ -49,9 +48,15 @@ from typing import Callable
 
 import numpy as np
 
+from repro.core.atomicio import (  # noqa: F401  (re-exported compat names)
+    append_jsonl,
+    atomic_write_bytes as _atomic_write_bytes,
+    atomic_write_json,
+    classify_write_error,
+)
 from repro.core.ga import GaSnapshot, GenerationStats
 from repro.core.genome import StressmarkGenome
-from repro.errors import CheckpointCorrupt, CheckpointError, ConfigurationError
+from repro.errors import CheckpointCorrupt, CheckpointError
 
 #: Bumped when the on-disk snapshot layout changes incompatibly.
 STATE_VERSION = 1
@@ -79,28 +84,6 @@ CAMPAIGN_META_FIELDS = {
     "generations": (int,),
     "seed": (int,),
 }
-
-#: Write-fault injection seam for durability tests.  When set (see
-#: :func:`repro.supervision.chaos.inject_write_failures`) it is called with
-#: the target path before every atomic write and may raise ``OSError`` to
-#: simulate a full disk exactly at the most damaging instant.
-_write_fault_hook: Callable[[Path], None] | None = None
-
-#: ``errno`` values that mean "the storage itself failed" — transient or
-#: environmental, the previous snapshot is intact, retry elsewhere/later.
-_IO_ERRNOS = {errno.ENOSPC, errno.EDQUOT, errno.EIO, errno.EFBIG}
-
-#: ``errno`` values that mean "the checkpoint location is misconfigured" —
-#: retrying will not help, the operator pointed us at a bad place.
-_CONFIG_ERRNOS = {
-    errno.EACCES,
-    errno.EPERM,
-    errno.EROFS,
-    errno.ENOENT,
-    errno.ENOTDIR,
-    errno.EISDIR,
-}
-
 
 # ----------------------------------------------------------------------
 # RNG state round-tripping
@@ -152,62 +135,6 @@ def decode_stressmark_genome(payload: dict) -> StressmarkGenome:
     return StressmarkGenome(
         subblock=tuple(payload["subblock"]), lp_nops=int(payload["lp_nops"])
     )
-
-
-# ----------------------------------------------------------------------
-# Atomic file primitives
-# ----------------------------------------------------------------------
-def classify_write_error(error: OSError, path) -> CheckpointError:
-    """Map an ``OSError`` from a checkpoint write to the error taxonomy.
-
-    Disk-full / quota / I/O failures become :class:`CheckpointError`
-    ("storage failed; the previous snapshot is intact"); permission and
-    bad-path failures become :class:`~repro.errors.ConfigurationError`
-    ("the operator pointed the store somewhere unusable").
-    """
-    code = error.errno
-    if code in _CONFIG_ERRNOS:
-        return ConfigurationError(
-            f"cannot write checkpoint {path}: {error} — the checkpoint "
-            f"location is misconfigured (permissions / missing directory?)"
-        )
-    detail = "disk full or I/O failure" if code in _IO_ERRNOS else "OS error"
-    return CheckpointError(
-        f"cannot write checkpoint {path}: {error} ({detail}; the previous "
-        f"snapshot is intact)"
-    )
-
-
-def _atomic_write_bytes(path: Path, data: bytes) -> None:
-    """Land *data* at *path* so readers never observe a torn file.
-
-    The bytes go to a sibling temp file which is fsynced and then
-    ``os.replace``d over the target — atomic on POSIX, so a crash at any
-    instant leaves either the old complete file or the new complete file.
-    ``OSError`` is classified via :func:`classify_write_error` and the
-    temp file is removed best-effort, so a full disk surfaces as a
-    structured error with the previous snapshot untouched.
-    """
-    tmp = path.with_name(path.name + ".tmp")
-    try:
-        if _write_fault_hook is not None:
-            _write_fault_hook(path)
-        with open(tmp, "wb") as handle:
-            handle.write(data)
-            handle.flush()
-            os.fsync(handle.fileno())
-        os.replace(tmp, path)
-    except OSError as error:
-        try:
-            tmp.unlink(missing_ok=True)
-        except OSError:  # pragma: no cover - cleanup is best-effort
-            pass
-        raise classify_write_error(error, path) from error
-
-
-def atomic_write_json(path: Path, payload) -> None:
-    """Write *payload* as JSON via :func:`_atomic_write_bytes`."""
-    _atomic_write_bytes(Path(path), json.dumps(payload).encode("utf-8"))
 
 
 # ----------------------------------------------------------------------
@@ -431,18 +358,14 @@ class CampaignCheckpoint:
             except OSError as error:
                 raise classify_write_error(error, self.prev_state_path) from error
         _atomic_write_bytes(self.state_path, data)
-        try:
-            with open(self.journal_path, "a") as journal:
-                journal.write(json.dumps({
-                    "generation": snapshot.generation,
-                    "best_fitness": snapshot.best_fitness,
-                    "evaluations": snapshot.evaluations,
-                    "cached_genomes": len(cache),
-                    "sha256": digest,
-                    "saved_at": payload["saved_at"],
-                }) + "\n")
-        except OSError as error:
-            raise classify_write_error(error, self.journal_path) from error
+        append_jsonl(self.journal_path, {
+            "generation": snapshot.generation,
+            "best_fitness": snapshot.best_fitness,
+            "evaluations": snapshot.evaluations,
+            "cached_genomes": len(cache),
+            "sha256": digest,
+            "saved_at": payload["saved_at"],
+        })
         return self.state_path
 
     def load(self) -> CampaignState | None:

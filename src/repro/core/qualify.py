@@ -40,7 +40,7 @@ from typing import Callable, Sequence
 import numpy as np
 
 from repro.analysis.report import format_table
-from repro.core.checkpoint import atomic_write_json
+from repro.core.atomicio import atomic_write_json
 from repro.core.cost import MaxDroopCost
 from repro.core.engine import (
     _WORKER_PLATFORMS,
@@ -397,6 +397,35 @@ class QualificationReport:
             if dist.axis == name:
                 return dist
         raise KeyError(name)
+
+    def to_payload(self) -> dict:
+        """A JSON-ready summary of the verdict and per-axis distributions.
+
+        Deterministic for a given run configuration — ``wall_s`` is
+        deliberately excluded so the payload can take part in
+        content-addressed registry records.
+        """
+        return {
+            "stressmark": self.stressmark,
+            "threads": self.threads,
+            "nominal_droop_v": self.nominal_droop_v,
+            "robustness": self.robustness,
+            "verdict": self.verdict,
+            "evaluations": self.evaluations,
+            "cache_hits": self.cache_hits,
+            "axes": [
+                {
+                    "axis": dist.axis,
+                    "samples": len(dist.droops),
+                    "min_droop_v": dist.min_droop_v,
+                    "max_droop_v": dist.max_droop_v,
+                    "mean_droop_v": dist.mean_droop_v,
+                    "retention": dist.retention,
+                    "failed": dist.failed,
+                }
+                for dist in self.axes
+            ],
+        }
 
     def summary_table(self) -> str:
         rows = []

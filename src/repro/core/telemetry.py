@@ -222,10 +222,33 @@ class QualificationEvent:
     kind = "qualification"
 
 
+@dataclass(frozen=True)
+class RegistryEvent:
+    """One stressmark-registry operation.
+
+    ``action`` is ``"publish"`` (a record landed in the store — or was
+    already there, ``deduped=True``), ``"verify"`` (a stored record was
+    replayed through the measurement pipeline; ``detail`` carries the
+    verdict), ``"export"`` / ``"import"`` (tarball round-trips, ``detail``
+    counts the records), or ``"salvage"`` (a damaged index was rebuilt
+    from the object store).  ``record_id`` is the content hash involved
+    (empty for whole-store actions).
+    """
+
+    action: str
+    record_id: str = ""
+    path: str = ""
+    detail: str = ""
+    deduped: bool = False
+    wall_s: float = 0.0
+
+    kind = "registry"
+
+
 TelemetryEvent = (
     EvaluationEvent | GenerationEvent | PhaseEvent | FaultEvent | CheckpointEvent
     | InvariantEvent | QualificationEvent | StageEvent | MeasurementStatsEvent
-    | ShardEvent | FleetEvent | SupervisorEvent
+    | ShardEvent | FleetEvent | SupervisorEvent | RegistryEvent
 )
 
 
@@ -314,6 +337,19 @@ class ConsoleObserver:
             self.stream.write(
                 f"[supervisor/{event.action}]{task}{detail}\n"
             )
+        elif isinstance(event, RegistryEvent):
+            # Publishes and salvages always narrate — a record entering
+            # the library (or an index being rebuilt) is the registry's
+            # whole story; dedups only in verbose mode.
+            if event.deduped and not self.verbose:
+                pass
+            else:
+                record = f" {event.record_id[:12]}" if event.record_id else ""
+                dup = " (already published)" if event.deduped else ""
+                detail = f": {event.detail}" if event.detail else ""
+                self.stream.write(
+                    f"[registry/{event.action}]{record}{dup}{detail}\n"
+                )
         elif isinstance(event, ShardEvent):
             if event.status == "failed":
                 self.stream.write(
@@ -436,6 +472,11 @@ class TelemetryCollector:
     supervisor_give_ups: int = 0
     supervisor_salvages: int = 0
     shutdown_reason: str = ""
+    registry_published: int = 0
+    registry_deduped: int = 0
+    registry_verified: int = 0
+    registry_salvages: int = 0
+    registry_wall_s: float = 0.0
 
     def on_event(self, event: TelemetryEvent) -> None:
         if isinstance(event, EvaluationEvent):
@@ -506,6 +547,17 @@ class TelemetryCollector:
                 self.supervisor_salvages += 1
             elif event.action == "shutdown":
                 self.shutdown_reason = event.detail or event.action
+        elif isinstance(event, RegistryEvent):
+            self.registry_wall_s += event.wall_s
+            if event.action == "publish":
+                if event.deduped:
+                    self.registry_deduped += 1
+                else:
+                    self.registry_published += 1
+            elif event.action == "verify":
+                self.registry_verified += 1
+            elif event.action == "salvage":
+                self.registry_salvages += 1
         elif isinstance(event, MeasurementStatsEvent):
             self.platform_stats = dict(event.stats)
 
@@ -577,6 +629,16 @@ class TelemetryCollector:
                              self.supervisor_salvages))
             if self.shutdown_reason:
                 rows.append(("graceful shutdown", self.shutdown_reason))
+        if (self.registry_published or self.registry_deduped
+                or self.registry_verified or self.registry_salvages):
+            rows.append(("registry records published", self.registry_published))
+            if self.registry_deduped:
+                rows.append(("registry records deduplicated", self.registry_deduped))
+            if self.registry_verified:
+                rows.append(("registry records verified", self.registry_verified))
+            if self.registry_salvages:
+                rows.append(("registry indexes salvaged", self.registry_salvages))
+            rows.append(("registry wall time", f"{self.registry_wall_s:.2f} s"))
         if self.checkpoints:
             rows.append(("checkpoints written", self.checkpoints))
             rows.append(

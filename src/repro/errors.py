@@ -118,3 +118,8 @@ class CampaignInterrupted(ReproError):
 
 class WorkloadError(ReproError):
     """A benchmark or stressmark definition is invalid."""
+
+
+class RegistryError(ReproError):
+    """A stressmark-registry operation failed (bad record, tampered
+    object, unresolvable reference, or a damaged store)."""

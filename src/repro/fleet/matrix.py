@@ -262,7 +262,7 @@ def load_spec(path) -> tuple[ScenarioMatrix, dict]:
 
     The file holds a ``[matrix]`` table of axes plus an optional
     ``[fleet]`` table of orchestrator options (``workers``, ``qualify``,
-    ``failure_voltage``)::
+    ``failure_voltage``, ``registry``)::
 
         [matrix]
         chip = ["bulldozer", "phenom"]
@@ -295,7 +295,7 @@ def load_spec(path) -> tuple[ScenarioMatrix, dict]:
     options = payload.get("fleet", {})
     if not isinstance(options, dict):
         raise ConfigurationError(f"fleet spec {path}: [fleet] must be a table")
-    unknown = set(options) - {"workers", "qualify", "failure_voltage"}
+    unknown = set(options) - {"workers", "qualify", "failure_voltage", "registry"}
     if unknown:
         raise ConfigurationError(f"fleet spec {path}: unknown fleet option(s) {sorted(unknown)}")
     return ScenarioMatrix.from_dict(payload["matrix"]), dict(options)

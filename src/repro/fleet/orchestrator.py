@@ -41,7 +41,7 @@ from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
 from concurrent.futures.process import BrokenProcessPool
 from pathlib import Path
 
-from repro.core.checkpoint import atomic_write_json
+from repro.core.atomicio import atomic_write_json, atomic_write_text
 from repro.core.faults import FaultPolicy
 from repro.core.telemetry import FleetEvent, ShardEvent, SupervisorEvent, notify
 from repro.errors import (
@@ -117,6 +117,7 @@ class FleetOrchestrator:
         shard_max_wall_clock_s: float | None = None,
         stop_check=None,
         task_fn=None,
+        registry_dir=None,
     ):
         if workers < 1:
             raise ConfigurationError("fleet workers must be >= 1")
@@ -161,6 +162,11 @@ class FleetOrchestrator:
         self.task_fn = task_fn if task_fn is not None else run_shard
         """The picklable per-shard callable; a test seam for injecting
         hanging or crashing stand-ins for run_shard."""
+        self.registry_dir = None if registry_dir is None else Path(registry_dir)
+        """When set, every OK shard is published into the stressmark
+        registry at this directory once the fleet report is banked (the
+        fleet directory's name becomes the campaign label).  Persisted
+        in ``fleet.json`` so a resumed fleet keeps publishing."""
         self.scenarios = matrix.expand()
         self._completed = 0
         self._stopping = False
@@ -184,6 +190,9 @@ class FleetOrchestrator:
             "qualify": self.qualify,
             "failure_voltage": self.failure_voltage,
             "fault_policy": None if policy is None else dataclasses.asdict(policy),
+            # Additive field (absent in pre-registry fleets — .get() on
+            # resume keeps FLEET_VERSION at 1).
+            "registry": None if self.registry_dir is None else str(self.registry_dir),
         }
         atomic_write_json(self.meta_path, meta)
 
@@ -201,6 +210,7 @@ class FleetOrchestrator:
         shard_max_wall_clock_s: float | None = None,
         stop_check=None,
         task_fn=None,
+        registry_dir=None,
     ) -> "FleetOrchestrator":
         """Rebuild the orchestrator a fleet directory was written by."""
         meta_path = Path(fleet_dir) / FLEET_FILE
@@ -231,6 +241,8 @@ class FleetOrchestrator:
             shard_max_wall_clock_s=shard_max_wall_clock_s,
             stop_check=stop_check,
             task_fn=task_fn,
+            registry_dir=(registry_dir if registry_dir is not None
+                          else payload.get("registry")),
         )
 
     # ------------------------------------------------------------------
@@ -348,7 +360,9 @@ class FleetOrchestrator:
         except CampaignInterrupted as error:
             # Sanctioned stop: every drained shard has a final checkpoint,
             # so bank a report over what finished and exit resumable.
-            self.write_report(FleetReport.build(self.scenarios, results))
+            partial = FleetReport.build(self.scenarios, results)
+            self.write_report(partial)
+            self.publish_results(partial)
             raise CampaignInterrupted(
                 error.reason,
                 generation=error.generation,
@@ -356,6 +370,7 @@ class FleetOrchestrator:
             ) from None
         report = FleetReport.build(self.scenarios, results)
         self.write_report(report)
+        self.publish_results(report)
         return report
 
     def _full_spec(self, chains, full_chains, chain_index, index) -> ShardSpec:
@@ -660,12 +675,33 @@ class FleetOrchestrator:
     # Report
     # ------------------------------------------------------------------
     def write_report(self, report: FleetReport) -> None:
-        tmp = self.fleet_dir / (REPORT_FILE + ".tmp")
-        tmp.write_text(report.to_json())
-        tmp.replace(self.fleet_dir / REPORT_FILE)
-        tmp_md = self.fleet_dir / (REPORT_MD_FILE + ".tmp")
-        tmp_md.write_text(report.to_markdown())
-        tmp_md.replace(self.fleet_dir / REPORT_MD_FILE)
+        atomic_write_text(self.fleet_dir / REPORT_FILE, report.to_json())
+        atomic_write_text(self.fleet_dir / REPORT_MD_FILE, report.to_markdown())
+
+    def publish_results(self, report: FleetReport) -> list:
+        """Publish every OK shard of *report* into the registry.
+
+        A no-op without ``registry_dir``.  Publishing is content-addressed
+        and deduplicating, so re-running (or resuming) a fleet republishes
+        the same records harmlessly.  Returns the publish outcomes.
+        """
+        if self.registry_dir is None:
+            return []
+        from repro.registry import StressmarkRegistry, provenance_stamp, record_from_shard
+
+        registry = StressmarkRegistry(self.registry_dir, observers=self.observers)
+        stamp = provenance_stamp(
+            campaign=self.fleet_dir.name,
+            extra={"fleet_report_key": report.content_key},
+        )
+        outcomes = []
+        for result in report.ok_shards:
+            if result.genome is None:
+                continue
+            outcomes.append(registry.publish(
+                record_from_shard(result, provenance=stamp)
+            ))
+        return outcomes
 
     def collect_report(self) -> FleetReport:
         """Aggregate whatever is banked right now, without running."""

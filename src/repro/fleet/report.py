@@ -130,6 +130,19 @@ class FleetReport:
         """Canonical rendering: sorted keys, fixed separators — diffable."""
         return json.dumps(self.to_dict(), indent=2, sort_keys=True) + "\n"
 
+    @property
+    def content_key(self) -> str:
+        """sha256 prefix of the canonical JSON — a campaign identity.
+
+        Two fleets that produced bit-identical reports (the resumability
+        guarantee) share a content key; registry records carry it so
+        ``repro registry compare campaign:A campaign:B`` can tell replays
+        apart from genuinely different campaigns.
+        """
+        import hashlib
+
+        return hashlib.sha256(self.to_json().encode("utf-8")).hexdigest()[:16]
+
     def to_markdown(self) -> str:
         """Table-3-style cross-platform comparison in GitHub markdown."""
         lines = [

@@ -33,10 +33,10 @@ import traceback
 from dataclasses import asdict, dataclass, field
 from pathlib import Path
 
+from repro.core.atomicio import atomic_write_json
 from repro.core.audit import AuditConfig, AuditRunner, StressmarkMode
 from repro.core.checkpoint import (
     CampaignCheckpoint,
-    atomic_write_json,
     decode_stressmark_genome,
     encode_stressmark_genome,
 )

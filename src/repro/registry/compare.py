@@ -1,0 +1,168 @@
+"""Comparisons: two records, or two campaigns, axis by axis.
+
+Record comparison lines up the measured quantities (droop, fitness,
+evaluations, resonance, robustness) plus the structural axes (platform,
+threads, mode, genome) and reports per-axis deltas.  Campaign comparison
+joins two campaigns' records *by scenario name* — the natural key when
+the same matrix ran before and after a code change — and summarises
+which scenarios improved, regressed, or held bit-identical, which is the
+longitudinal view the registry exists to provide.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.report import format_table
+from repro.errors import RegistryError
+from repro.registry.record import RegistryRecord
+from repro.registry.store import StressmarkRegistry
+
+
+def compare_records(a: RegistryRecord, b: RegistryRecord) -> list[dict]:
+    """Per-axis rows ``{axis, a, b, delta}`` (delta for numeric axes)."""
+    rows: list[dict] = []
+
+    def row(axis, va, vb):
+        delta = None
+        if isinstance(va, (int, float)) and isinstance(vb, (int, float)):
+            delta = vb - va
+        rows.append({"axis": axis, "a": va, "b": vb, "delta": delta})
+
+    row("kind", a.kind, b.kind)
+    row("name", a.name, b.name)
+    row("chip", a.platform.get("chip"), b.platform.get("chip"))
+    row("pdn_scale", a.platform.get("pdn_scale"), b.platform.get("pdn_scale"))
+    row("platform_hash", a.platform_hash, b.platform_hash)
+    row("threads", a.threads, b.threads)
+    row("mode", a.mode, b.mode)
+    row("seed", a.seed, b.seed)
+    row("droop_v", a.droop_v, b.droop_v)
+    row("best_fitness", a.best_fitness, b.best_fitness)
+    row("evaluations", a.evaluations, b.evaluations)
+    row("resonance_hz", a.resonance_hz, b.resonance_hz)
+    row("verdict", a.verdict, b.verdict)
+    row("robustness", a.robustness, b.robustness)
+    row("genome", _genome_label(a), _genome_label(b))
+    row("genome slots changed", *_genome_difference(a, b))
+    return rows
+
+
+def render_record_comparison(rows: list[dict]) -> str:
+    table = []
+    for entry in rows:
+        delta = entry["delta"]
+        table.append([
+            entry["axis"],
+            _fmt(entry["a"]),
+            _fmt(entry["b"]),
+            "" if delta is None else f"{delta:+g}",
+        ])
+    return format_table(["axis", "a", "b", "delta"], table,
+                        title="record comparison")
+
+
+def _genome_label(record: RegistryRecord) -> str:
+    program = record.program
+    if program.get("source") == "canned":
+        return f"canned:{program.get('stressmark', '?')}"
+    subblock = program.get("subblock") or []
+    return f"{len(subblock)} slots, {program.get('lp_nops', '?')} LP nops"
+
+
+def _genome_difference(a: RegistryRecord, b: RegistryRecord):
+    sa = a.program.get("subblock")
+    sb = b.program.get("subblock")
+    if not isinstance(sa, list) or not isinstance(sb, list):
+        return "-", "-"
+    if len(sa) != len(sb):
+        return f"len {len(sa)}", f"len {len(sb)}"
+    changed = sum(1 for x, y in zip(sa, sb) if x != y)
+    return 0, changed
+
+
+# ----------------------------------------------------------------------
+# Campaigns
+# ----------------------------------------------------------------------
+def compare_campaigns(registry: StressmarkRegistry, campaign_a: str,
+                      campaign_b: str) -> dict:
+    """Join two campaigns' records by name; per-scenario droop deltas."""
+    a_entries = _campaign_entries(registry, campaign_a)
+    b_entries = _campaign_entries(registry, campaign_b)
+    names = sorted(set(a_entries) | set(b_entries))
+    scenarios = []
+    identical = improved = regressed = 0
+    for name in names:
+        ea, eb = a_entries.get(name), b_entries.get(name)
+        entry = {
+            "name": name,
+            "a_droop_v": None if ea is None else ea.get("droop_v"),
+            "b_droop_v": None if eb is None else eb.get("droop_v"),
+            "a_verdict": "" if ea is None else ea.get("verdict", ""),
+            "b_verdict": "" if eb is None else eb.get("verdict", ""),
+            "delta_v": None,
+        }
+        if ea is not None and eb is not None:
+            da, db = ea.get("droop_v"), eb.get("droop_v")
+            if isinstance(da, (int, float)) and isinstance(db, (int, float)):
+                entry["delta_v"] = db - da
+                if db == da:
+                    identical += 1
+                elif db > da:
+                    improved += 1
+                else:
+                    regressed += 1
+        scenarios.append(entry)
+    return {
+        "campaign_a": campaign_a,
+        "campaign_b": campaign_b,
+        "scenarios": scenarios,
+        "shared": identical + improved + regressed,
+        "identical": identical,
+        "improved": improved,
+        "regressed": regressed,
+    }
+
+
+def render_campaign_comparison(diff: dict) -> str:
+    rows = []
+    for entry in diff["scenarios"]:
+        rows.append([
+            entry["name"],
+            _fmt_droop(entry["a_droop_v"]),
+            _fmt_droop(entry["b_droop_v"]),
+            "" if entry["delta_v"] is None else f"{entry['delta_v'] * 1e3:+.3f} mV",
+            "/".join(v for v in (entry["a_verdict"], entry["b_verdict"]) if v),
+        ])
+    table = format_table(
+        ["scenario", diff["campaign_a"], diff["campaign_b"], "delta", "verdicts"],
+        rows,
+        title="campaign comparison",
+    )
+    summary = (
+        f"{diff['shared']} shared scenario(s): {diff['identical']} "
+        f"bit-identical, {diff['improved']} improved (deeper droop), "
+        f"{diff['regressed']} regressed"
+    )
+    return f"{table}\n{summary}"
+
+
+def _campaign_entries(registry: StressmarkRegistry, campaign: str) -> dict:
+    entries = registry.query(campaign=campaign)
+    if not entries:
+        raise RegistryError(
+            f"no records for campaign {campaign!r} in {registry.directory}"
+        )
+    return {entry.get("name", entry["record_id"]): entry for entry in entries}
+
+
+def _fmt(value) -> str:
+    if value is None:
+        return "-"
+    if isinstance(value, float):
+        return f"{value:g}"
+    return str(value)
+
+
+def _fmt_droop(value) -> str:
+    if not isinstance(value, (int, float)):
+        return "-"
+    return f"{value * 1e3:.3f} mV"

@@ -8,9 +8,10 @@ module provides the damage:
 * :func:`truncate_file` / :func:`bitflip_file` corrupt an on-disk file
   deterministically (seeded), simulating torn writes and bit rot.
 * :func:`inject_write_failures` arms the write-fault seam inside
-  :mod:`repro.core.checkpoint` so the next N atomic writes fail with a
-  chosen ``errno`` (default ``ENOSPC``) *before* touching the target —
-  exactly what a full disk does at the worst instant.
+  :mod:`repro.core.atomicio` (shared by checkpoints, fleet artifacts,
+  and the registry) so the next N atomic writes fail with a chosen
+  ``errno`` (default ``ENOSPC``) *before* touching the target — exactly
+  what a full disk does at the worst instant.
 
 These complement the evaluation-level chaos in
 :class:`~repro.core.faults.FaultInjectingBackend` (exceptions, hangs,
@@ -26,7 +27,7 @@ import random
 from contextlib import contextmanager
 from pathlib import Path
 
-from repro.core import checkpoint as _checkpoint
+from repro.core import atomicio as _atomicio
 from repro.errors import ConfigurationError
 
 __all__ = ["bitflip_file", "inject_write_failures", "truncate_file"]
@@ -84,9 +85,9 @@ def bitflip_file(path, *, offset: int | None = None, bit: int = 0,
 def inject_write_failures(*, count: int = 1,
                           errno: int = errno_module.ENOSPC,
                           match: str = ""):
-    """Make the next *count* checkpoint writes fail with *errno*.
+    """Make the next *count* durable writes fail with *errno*.
 
-    Arms the ``_write_fault_hook`` seam in :mod:`repro.core.checkpoint`:
+    Arms the ``_write_fault_hook`` seam in :mod:`repro.core.atomicio`:
     every atomic write whose target path contains *match* (substring;
     empty matches all) raises ``OSError(errno)`` before any byte lands,
     until *count* failures have been delivered.  Yields a one-entry list
@@ -104,9 +105,9 @@ def inject_write_failures(*, count: int = 1,
         delivered[0] += 1
         raise OSError(errno, os.strerror(errno), str(path))
 
-    previous = _checkpoint._write_fault_hook
-    _checkpoint._write_fault_hook = hook
+    previous = _atomicio._write_fault_hook
+    _atomicio._write_fault_hook = hook
     try:
         yield delivered
     finally:
-        _checkpoint._write_fault_hook = previous
+        _atomicio._write_fault_hook = previous

@@ -230,3 +230,32 @@ def joseph_brooks(
 def stressmark_program(kernel: LoopKernel) -> ThreadProgram:
     """Wrap a stressmark kernel in a runnable program."""
     return ThreadProgram(kernel, STRESSMARK_ITERATIONS)
+
+
+#: Canned stressmarks buildable by name (``repro qualify``, registry verify).
+CANNED_STRESSMARKS = ("a-res", "a-ex", "sm-res", "sm1", "sm2", "joseph-brooks")
+
+
+def canned_stressmark(name: str, table: OpcodeTable) -> LoopKernel:
+    """Build the canned stressmark *name* against the opcode pool *table*.
+
+    The single name→builder mapping shared by the CLI and the registry's
+    replay verification, so a record that says ``"stressmark": "a-res"``
+    re-measures through exactly the kernel ``repro qualify a-res`` used.
+    """
+    builders = {
+        "a-res": a_res_canned,
+        "a-ex": a_ex_canned,
+        "sm-res": sm_res,
+        "sm1": sm1,
+        "sm2": sm2,
+        "joseph-brooks": joseph_brooks,
+    }
+    try:
+        builder = builders[name]
+    except KeyError:
+        raise WorkloadError(
+            f"unknown stressmark {name!r} "
+            f"(expected one of {', '.join(CANNED_STRESSMARKS)})"
+        ) from None
+    return builder(table)

@@ -1,0 +1,95 @@
+"""The shared atomic-write primitives extracted from the checkpoint store."""
+
+import errno
+import json
+
+import pytest
+
+from repro.core.atomicio import (
+    append_jsonl,
+    atomic_write_bytes,
+    atomic_write_json,
+    atomic_write_text,
+    classify_write_error,
+)
+from repro.errors import CheckpointError, ConfigurationError
+from repro.supervision.chaos import inject_write_failures
+
+
+class TestAtomicWrites:
+    def test_bytes_land_and_tmp_is_gone(self, tmp_path):
+        target = tmp_path / "blob.bin"
+        atomic_write_bytes(target, b"payload")
+        assert target.read_bytes() == b"payload"
+        assert not (tmp_path / "blob.bin.tmp").exists()
+
+    def test_json_compact_default(self, tmp_path):
+        target = tmp_path / "data.json"
+        atomic_write_json(target, {"b": 1, "a": 2})
+        assert json.loads(target.read_text()) == {"b": 1, "a": 2}
+
+    def test_json_pretty_form(self, tmp_path):
+        target = tmp_path / "report.json"
+        atomic_write_json(target, {"b": 1, "a": 2}, indent=2,
+                          sort_keys=True, newline=True)
+        text = target.read_text()
+        assert text.endswith("\n")
+        assert text.index('"a"') < text.index('"b"')
+
+    def test_text_round_trips(self, tmp_path):
+        target = tmp_path / "notes.md"
+        atomic_write_text(target, "# héllo\n")
+        assert target.read_text() == "# héllo\n"
+
+    def test_failed_write_leaves_previous_file_intact(self, tmp_path):
+        target = tmp_path / "data.json"
+        atomic_write_json(target, {"generation": 1})
+        with inject_write_failures(count=1, errno=errno.ENOSPC):
+            with pytest.raises(CheckpointError, match="No space left"):
+                atomic_write_json(target, {"generation": 2})
+        assert json.loads(target.read_text()) == {"generation": 1}
+        assert not (tmp_path / "data.json.tmp").exists()
+
+    def test_missing_directory_is_a_configuration_error(self, tmp_path):
+        with pytest.raises(ConfigurationError, match="misconfigured"):
+            atomic_write_bytes(tmp_path / "nodir" / "data.bin", b"x")
+
+
+class TestAppendJsonl:
+    def test_appends_one_line_per_call(self, tmp_path):
+        target = tmp_path / "journal.jsonl"
+        append_jsonl(target, {"n": 1})
+        append_jsonl(target, {"n": 2})
+        lines = target.read_text().splitlines()
+        assert [json.loads(line)["n"] for line in lines] == [1, 2]
+
+    def test_bad_location_classified(self, tmp_path):
+        with pytest.raises(ConfigurationError):
+            append_jsonl(tmp_path / "nodir" / "journal.jsonl", {"n": 1})
+
+
+class TestClassification:
+    @pytest.mark.parametrize("code", [errno.ENOSPC, errno.EDQUOT,
+                                      errno.EIO, errno.EFBIG])
+    def test_storage_failures_are_checkpoint_errors(self, code):
+        error = classify_write_error(OSError(code, "boom"), "p")
+        assert isinstance(error, CheckpointError)
+        assert not isinstance(error, ConfigurationError)
+
+    @pytest.mark.parametrize("code", [errno.EACCES, errno.EROFS,
+                                      errno.ENOENT])
+    def test_bad_locations_are_configuration_errors(self, code):
+        assert isinstance(classify_write_error(OSError(code, "boom"), "p"),
+                          ConfigurationError)
+
+    def test_unknown_errno_defaults_to_checkpoint_error(self):
+        error = classify_write_error(OSError(errno.EINTR, "boom"), "p")
+        assert isinstance(error, CheckpointError)
+
+    def test_checkpoint_module_reexports(self):
+        """Legacy import sites keep working after the extraction."""
+        from repro.core import checkpoint
+
+        assert checkpoint.atomic_write_json is atomic_write_json
+        assert checkpoint.classify_write_error is classify_write_error
+        assert checkpoint.append_jsonl is append_jsonl

@@ -43,6 +43,9 @@ def baseline(gate):
             "fleet_shard_throughput_ratio": 0.97,
             "fleet_droop_match": True,
             "fleet_shards": 2,
+            "registry_publish_overhead": 0.002,
+            "registry_records": 2,
+            "registry_verify_match": True,
         },
     }
 
@@ -151,6 +154,28 @@ class TestCompare:
         assert len(problems) == 1
         assert "fleet_droop_match" in problems[0]
 
+    def test_registry_overhead_above_ceiling_fails(self, gate, baseline):
+        """The 5 % publish-overhead ceiling is absolute, like the floors."""
+        current = copy.deepcopy(baseline)
+        current["metrics"]["registry_publish_overhead"] = 0.08
+        problems = gate.compare(baseline, current)
+        assert len(problems) == 1
+        assert "registry_publish_overhead above ceiling" in problems[0]
+
+    def test_registry_overhead_wobble_below_ceiling_passes(self, gate,
+                                                           baseline):
+        """Publish timing is noisy; only the ceiling gates it."""
+        current = copy.deepcopy(baseline)
+        current["metrics"]["registry_publish_overhead"] = 0.04
+        assert gate.compare(baseline, current) == []
+
+    def test_registry_verify_mismatch_fails(self, gate, baseline):
+        current = copy.deepcopy(baseline)
+        current["metrics"]["registry_verify_match"] = False
+        problems = gate.compare(baseline, current)
+        assert len(problems) == 1
+        assert "registry_verify_match" in problems[0]
+
 
 class TestSummaryMarkdown:
     def test_pass_renders_metric_table(self, gate, baseline):
@@ -174,6 +199,14 @@ class TestCommittedBaseline:
             assert metric in payload["metrics"]
         for metric in gate.FLOOR_METRICS:
             assert metric in payload["metrics"]
+        for metric in gate.CEILING_METRICS:
+            assert metric in payload["metrics"]
+
+    def test_baseline_registry_path_holds_its_ceiling(self, gate):
+        metrics = json.loads(BASELINE.read_text())["metrics"]
+        assert metrics["registry_verify_match"] is True
+        assert (metrics["registry_publish_overhead"]
+                <= gate.CEILING_METRICS["registry_publish_overhead"])
 
     def test_baseline_batched_path_holds_its_floor(self, gate):
         metrics = json.loads(BASELINE.read_text())["metrics"]
