@@ -21,6 +21,9 @@ Usage (also available as ``python -m repro``)::
     python -m repro registry verify library/ <id-prefix>
     python -m repro registry compare library/ campaign:before campaign:after
     python -m repro registry export library/ marks.tar.gz
+    python -m repro telemetry analyze run.jsonl
+    python -m repro telemetry compare golden.jsonl run.jsonl --check
+    python -m repro telemetry export run.jsonl --md-out telemetry.md
     python -m repro bench-evals --generations 6
     python -m repro experiment table1
     python -m repro list
@@ -64,6 +67,11 @@ from repro.cli._registry import (
     cmd_registry_show,
     cmd_registry_verify,
 )
+from repro.cli._telemetry import (
+    cmd_telemetry_analyze,
+    cmd_telemetry_compare,
+    cmd_telemetry_export,
+)
 from repro.cli._tools import cmd_bench_evals, cmd_netlist, cmd_sweep
 
 __all__ = [
@@ -93,6 +101,9 @@ __all__ = [
     "cmd_registry_show",
     "cmd_registry_verify",
     "cmd_sweep",
+    "cmd_telemetry_analyze",
+    "cmd_telemetry_compare",
+    "cmd_telemetry_export",
     "main",
     "_batched",
     "_fault_policy",

@@ -23,6 +23,7 @@ from repro.cli._common import (
     _platform_factory,
     _publish_record,
     _shutdown_coordinator,
+    _tracing_scope,
 )
 
 
@@ -97,7 +98,7 @@ def cmd_audit(args) -> int:
               f"({state.ga.evaluations} evaluations banked)")
     coordinator = _shutdown_coordinator(args, observers)
     try:
-        with coordinator:
+        with _tracing_scope(args, observers), coordinator:
             result = runner.run(checkpoint=checkpoint, resume=resume,
                                 qualify=qualify_config,
                                 qualify_checkpoint=qualify_checkpoint,
@@ -126,6 +127,7 @@ def cmd_audit(args) -> int:
             platform_descriptor,
             provenance_stamp,
             record_from_audit,
+            telemetry_summary,
         )
 
         record = record_from_audit(
@@ -135,12 +137,7 @@ def cmd_audit(args) -> int:
             seed=args.seed,
             provenance=provenance_stamp(
                 campaign=args.registry_campaign,
-                extra={"telemetry": {
-                    "evaluations": collector.evaluations,
-                    "cache_hits": collector.cache_hits,
-                    "eval_wall_s": round(collector.eval_wall_s, 3),
-                    "generations": collector.generations,
-                }},
+                extra={"telemetry": telemetry_summary(collector)},
             ),
         )
         _publish_record(args, record, observers)

@@ -78,13 +78,34 @@ def _observers(args):
     telemetry_out = getattr(args, "telemetry_out", None)
     if telemetry_out:
         try:
-            jsonl = JsonlObserver(telemetry_out)
+            # Buffered writes keep tracing overhead off the campaign's
+            # critical path; ShutdownCoordinator flushes the buffer on a
+            # graceful drain and close() flushes on the way out.
+            jsonl = JsonlObserver(telemetry_out, flush_every=32)
         except OSError as error:
             raise ConfigurationError(
                 f"cannot open telemetry log {telemetry_out!r}: {error}"
             ) from error
         observers.append(jsonl)
     return observers, jsonl
+
+
+def _tracing_scope(args, observers):
+    """Scoped ambient tracer, active whenever a telemetry sink is on.
+
+    The tracer holds the live *observers* list, so sinks appended after
+    this call (the run collector, for instance) still see every span.
+    With no telemetry flags the scope installs ``None`` and the span call
+    sites stay no-ops.
+    """
+    from repro.obs.spans import Tracer, tracing
+
+    wanted = (
+        getattr(args, "telemetry_out", None)
+        or getattr(args, "progress", False)
+        or getattr(args, "telemetry", False)
+    )
+    return tracing(Tracer(observers) if wanted else None)
 
 
 def _fault_policy(args) -> FaultPolicy | None:

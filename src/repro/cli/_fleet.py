@@ -12,6 +12,7 @@ from repro.cli._common import (
     _fault_policy,
     _observers,
     _shutdown_coordinator,
+    _tracing_scope,
 )
 from repro.errors import CheckpointError, ConfigurationError
 from repro.fleet.matrix import ScenarioMatrix, load_spec
@@ -81,15 +82,34 @@ def cmd_fleet_run(args) -> int:
     scenarios = len(orchestrator.scenarios)
     workers = orchestrator.workers
     print(f"fleet: {scenarios} scenario(s), {workers} worker(s) -> {orchestrator.fleet_dir}")
+    observers = list(orchestrator.observers)
     try:
-        with coordinator:
+        with _tracing_scope(args, observers), coordinator:
             report = orchestrator.run()
     finally:
         if jsonl is not None:
             jsonl.close()
     print(f"report: {orchestrator.fleet_dir / REPORT_FILE}")
+    if args.telemetry_out:
+        _export_fleet_telemetry(args.telemetry_out, orchestrator.fleet_dir)
     _print_summary(report)
     return report.exit_code
+
+
+def _export_fleet_telemetry(trace_path, fleet_dir: Path) -> None:
+    """Render the campaign trace as ``telemetry.md`` next to the report."""
+    from repro.obs import analyze_trace, render_markdown
+
+    try:
+        analysis = analyze_trace(trace_path)
+    except (ConfigurationError, OSError) as error:
+        print(f"telemetry export skipped: {error}", file=sys.stderr)
+        return
+    out = fleet_dir / "telemetry.md"
+    out.write_text(render_markdown(
+        analysis, title=f"Fleet telemetry: {fleet_dir.name}"
+    ))
+    print(f"telemetry: {out}")
 
 
 def _print_summary(report: FleetReport) -> None:

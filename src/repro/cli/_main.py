@@ -26,6 +26,7 @@ from repro.cli import (
     _fleet,
     _qualify,
     _registry,
+    _telemetry,
     _tools,
 )
 from repro.cli._common import (
@@ -51,6 +52,7 @@ def build_parser() -> argparse.ArgumentParser:
     _fleet.register(sub)
     _qualify.register(sub)
     _registry.register(sub)
+    _telemetry.register(sub)
     _tools.register_bench(sub)
     _tools.register_netlist(sub)
     _experiments.register(sub)

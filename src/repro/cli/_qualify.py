@@ -21,6 +21,7 @@ from repro.cli._common import (
     _observers,
     _platform_factory,
     _publish_record,
+    _tracing_scope,
 )
 
 def cmd_qualify(args) -> int:
@@ -55,7 +56,8 @@ def cmd_qualify(args) -> int:
         checkpoint=checkpoint,
     )
     try:
-        report = qualifier.qualify_program(program, name=args.stressmark)
+        with _tracing_scope(args, observers):
+            report = qualifier.qualify_program(program, name=args.stressmark)
     finally:
         executor.close()
         if jsonl is not None:

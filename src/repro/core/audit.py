@@ -44,6 +44,7 @@ from repro.core.telemetry import (
     SupervisorEvent,
     notify,
 )
+from repro.obs.spans import span
 
 
 class StressmarkMode(str, Enum):
@@ -280,6 +281,18 @@ class AuditRunner:
         non-``None`` reason stops the campaign gracefully by raising
         :class:`~repro.errors.CampaignInterrupted`.
         """
+        with span("audit.campaign", mode=self.config.mode.value,
+                  threads=self.config.threads, campaign=name or ""):
+            return self._run(
+                name=name, seeds=seeds, checkpoint=checkpoint, resume=resume,
+                qualify=qualify, qualify_checkpoint=qualify_checkpoint,
+                seed_cache=seed_cache, stop=stop,
+            )
+
+    def _run(
+        self, *, name, seeds, checkpoint, resume, qualify,
+        qualify_checkpoint, seed_cache, stop,
+    ) -> AuditResult:
         cfg = self.config
         if resume and checkpoint is None:
             raise CheckpointError("resume=True needs a checkpoint store")
@@ -295,12 +308,13 @@ class AuditRunner:
                 observers=self.observers, label="closed-loop-measurement",
             )
         sweep_start = time.perf_counter()
-        resonance = find_resonance(
-            measure_platform,
-            self.table,
-            threads=1,
-            period_candidates=list(range(8, 133, cfg.lp_sweep_step)),
-        )
+        with span("audit.resonance-sweep"):
+            resonance = find_resonance(
+                measure_platform,
+                self.table,
+                threads=1,
+                period_candidates=list(range(8, 133, cfg.lp_sweep_step)),
+            )
         notify(self.observers, PhaseEvent(
             name="resonance-sweep",
             wall_s=time.perf_counter() - sweep_start,
@@ -358,10 +372,11 @@ class AuditRunner:
             seeds = self.default_seeds(space, resonance)
         ga_start = time.perf_counter()
         try:
-            ga_result = ga.run(
-                seeds=seeds, resume=resume_snapshot,
-                checkpoint_fn=checkpoint_fn, stop_fn=stop,
-            )
+            with span("audit.ga-search", generations=cfg.ga.generations):
+                ga_result = ga.run(
+                    seeds=seeds, resume=resume_snapshot,
+                    checkpoint_fn=checkpoint_fn, stop_fn=stop,
+                )
         except CampaignInterrupted as error:
             # Re-raise with the resume point attached: the generation
             # boundary's checkpoint landed just before the stop check.
@@ -384,7 +399,8 @@ class AuditRunner:
         kernel = genome_to_kernel(ga_result.best_genome, space, name=label)
         program = ThreadProgram(kernel, DEFAULT_ITERATIONS)
         final_start = time.perf_counter()
-        measurement = measure_platform.measure_program(program, cfg.threads)
+        with span("audit.final-measurement", threads=cfg.threads):
+            measurement = measure_platform.measure_program(program, cfg.threads)
         notify(self.observers, PhaseEvent(
             name="final-measurement",
             wall_s=time.perf_counter() - final_start,
@@ -394,15 +410,16 @@ class AuditRunner:
         qualification = None
         if qualify is not None:
             qual_start = time.perf_counter()
-            qualification, genome, kernel = self._qualify_winner(
-                engine=engine,
-                space=space,
-                winner=genome,
-                label=label,
-                kernel=kernel,
-                config=qualify,
-                checkpoint=qualify_checkpoint,
-            )
+            with span("audit.qualification"):
+                qualification, genome, kernel = self._qualify_winner(
+                    engine=engine,
+                    space=space,
+                    winner=genome,
+                    label=label,
+                    kernel=kernel,
+                    config=qualify,
+                    checkpoint=qualify_checkpoint,
+                )
             if qualification.demoted:
                 measurement = measure_platform.measure_program(
                     ThreadProgram(kernel, DEFAULT_ITERATIONS), cfg.threads

@@ -37,6 +37,7 @@ from repro.core.codegen import DEFAULT_ITERATIONS, genome_to_program
 from repro.core.cost import MaxDroopCost
 from repro.core.faults import EvalOutcome, FaultPolicy, FaultRecord, GuardedFitness
 from repro.core.platform import MeasurementPlatform
+from repro.obs.spans import TracedTask, current_tracer, span
 from repro.pipeline.artifacts import MeasureRequest
 from repro.core.telemetry import (
     EvaluationEvent,
@@ -399,25 +400,9 @@ class EvaluationEngine(Generic[G]):
                 fresh.append(genome)
                 seen.add(genome)
         if fresh:
-            outcomes = None
-            if (
-                self.fault_policy is None
-                and getattr(self.executor, "workers", 1) <= 1
-            ):
-                batch_eval = getattr(self.fitness, "evaluate_batch", None)
-                if batch_eval is not None:
-                    outcomes = batch_eval(fresh)
-            if outcomes is None:
-                if self.fault_policy is None:
-                    outcomes = self.executor.map(_TimedFitness(self.fitness), fresh)
-                else:
-                    outcomes = self.executor.map(
-                        GuardedFitness(self.fitness, self.fault_policy), fresh
-                    )
-            outcomes = [
-                self._resolve_supervised(genome, outcome)
-                for genome, outcome in zip(fresh, outcomes)
-            ]
+            with span("engine.evaluate_batch", size=len(fresh),
+                      backend=self.executor.name):
+                outcomes = self._evaluate_fresh(fresh)
             self._absorb_worker_stats(outcomes)
             for genome, outcome in zip(fresh, outcomes):
                 value = self._record_outcome(genome, outcome)
@@ -454,6 +439,44 @@ class EvaluationEngine(Generic[G]):
         return out
 
     # ------------------------------------------------------------------
+    def _evaluate_fresh(self, fresh: Sequence[G]) -> list:
+        """Dispatch the deduplicated batch and resolve supervisor faults.
+
+        Under an active tracer and a parallel executor the task callable
+        is wrapped in :class:`~repro.obs.spans.TracedTask`, so each
+        worker records its own ``worker.eval`` (+ pipeline) spans and
+        ships them back on the outcome; they are re-emitted here, in the
+        parent, into the ordinary observer chain.
+        """
+        outcomes = None
+        if (
+            self.fault_policy is None
+            and getattr(self.executor, "workers", 1) <= 1
+        ):
+            batch_eval = getattr(self.fitness, "evaluate_batch", None)
+            if batch_eval is not None:
+                outcomes = batch_eval(fresh)
+        if outcomes is None:
+            if self.fault_policy is None:
+                task = _TimedFitness(self.fitness)
+            else:
+                task = GuardedFitness(self.fitness, self.fault_policy)
+            tracer = current_tracer()
+            if tracer is not None and getattr(self.executor, "workers", 1) > 1:
+                task = TracedTask(task, tracer.context())
+            outcomes = self.executor.map(task, fresh)
+        outcomes = [
+            self._resolve_supervised(genome, outcome)
+            for genome, outcome in zip(fresh, outcomes)
+        ]
+        tracer = current_tracer()
+        if tracer is not None:
+            for outcome in outcomes:
+                for event in getattr(outcome, "spans", ()):
+                    tracer.emit(event)
+        return outcomes
+
+    # ------------------------------------------------------------------
     def _absorb_worker_stats(self, outcomes: Sequence[EvalOutcome]) -> None:
         """Merge per-worker measurement stats into the engine's platform.
 
@@ -488,6 +511,15 @@ class EvaluationEngine(Generic[G]):
         if not isinstance(outcome, SupervisorFault):
             return outcome
         label = _genome_label(genome)
+        tracer = current_tracer()
+        if tracer is not None:
+            # The worker died holding its spans; close the loss in the
+            # parent so the trace tree shows a "lost" leaf instead of a
+            # silently missing subtree.
+            tracer.lost(
+                "worker.eval", wall_s=outcome.wall_s,
+                genome=label, fault=outcome.kind,
+            )
         if self.fault_policy is None or self.fault_policy.on_exhaust == "raise":
             error = WorkerHangError if outcome.kind == "hang" else WorkerCrashError
             raise error(f"{label}: {outcome.error}")

@@ -158,6 +158,12 @@ class EvalOutcome:
     work this evaluation performed (set when the fitness exposes a
     ``stats_probe``).  Parallel engines merge worker deltas into the
     parent platform so ``--workers N`` telemetry stays complete."""
+    spans: tuple = ()
+    """Closed :class:`~repro.core.telemetry.SpanEvent` records this
+    evaluation produced in a pool worker (set by
+    :class:`~repro.obs.spans.TracedTask` when tracing is active); the
+    engine re-emits them into the parent's observer chain so the JSONL
+    trace stays one coherent tree."""
 
     @property
     def exhausted(self) -> bool:

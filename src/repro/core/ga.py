@@ -31,6 +31,7 @@ import numpy as np
 
 from repro.core.telemetry import GenerationEvent, RunObserver, notify
 from repro.errors import CampaignInterrupted, SearchError
+from repro.obs.spans import span
 
 G = TypeVar("G", bound=Hashable)
 
@@ -224,7 +225,8 @@ class GeneticAlgorithm(Generic[G]):
             while len(population) < cfg.population_size:
                 population.append(self._random_fn(rng))
             history = []
-            self._score_population(population)
+            with span("ga.init-population", population=len(population)):
+                self._score_population(population)
             # Python max (not np.argmax): NaN fitness must never win
             # selection.
             best_genome = max(population, key=self._fitness)
@@ -251,7 +253,9 @@ class GeneticAlgorithm(Generic[G]):
                     raise CampaignInterrupted(reason, generation=generation)
             gen_start = time.perf_counter()
             evals_before = self._evaluator.evaluations
-            scores = self._score_population(population)
+            with span("ga.generation", generation=generation,
+                      population=len(population)):
+                scores = self._score_population(population)
             gen_best = max(scores)
             if gen_best > best_fitness + 1e-12:
                 best_fitness = gen_best

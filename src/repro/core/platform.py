@@ -91,11 +91,11 @@ class MeasurementStats:
     stage_analyze_s: float = 0.0
 
     def merge(self, other: "MeasurementStats") -> "MeasurementStats":
-        """Field-wise sum — combining counters from separate platforms."""
-        return MeasurementStats(**{
-            f.name: getattr(self, f.name) + getattr(other, f.name)
-            for f in fields(self)
-        })
+        """Sum of two platforms' counters, routed through the shared
+        :class:`~repro.obs.metrics.MetricsRegistry` so every counter path
+        in the codebase merges with one (order-independent) semantics."""
+        merged = self.to_metrics().merge(other.to_metrics())
+        return MeasurementStats.from_metrics(merged)
 
     def delta(self, baseline: "MeasurementStats") -> "MeasurementStats":
         """Field-wise difference — the work done since *baseline*."""
@@ -106,6 +106,24 @@ class MeasurementStats:
 
     def to_dict(self) -> dict:
         return {f.name: getattr(self, f.name) for f in fields(self)}
+
+    def to_metrics(self):
+        """Project into the shared metrics registry (``platform.*``)."""
+        from repro.obs.metrics import MetricsRegistry
+
+        registry = MetricsRegistry()
+        for spec in fields(self):
+            registry.inc(f"platform.{spec.name}", getattr(self, spec.name))
+        return registry
+
+    @classmethod
+    def from_metrics(cls, registry) -> "MeasurementStats":
+        """Rebuild from a registry produced by :meth:`to_metrics`."""
+        values = {}
+        for spec in fields(cls):
+            value = registry.counter(f"platform.{spec.name}", 0)
+            values[spec.name] = int(value) if str(spec.type) == "int" else float(value)
+        return cls(**values)
 
 
 @runtime_checkable

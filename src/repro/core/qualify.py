@@ -59,6 +59,7 @@ from repro.core.telemetry import (
 )
 from repro.errors import CheckpointError, ConfigurationError
 from repro.isa.kernels import ThreadProgram
+from repro.obs.spans import span
 from repro.pipeline.artifacts import MeasureRequest
 from repro.pipeline.batch import BatchMeasurementBackend
 
@@ -647,6 +648,12 @@ class StressmarkQualifier:
         self, program: ThreadProgram, *, name: str = "stressmark"
     ) -> QualificationReport:
         """Measure *program* across every axis and render the verdict."""
+        with span("qualify.stressmark", stressmark=name, threads=self.threads):
+            return self._qualify_program(program, name=name)
+
+    def _qualify_program(
+        self, program: ThreadProgram, *, name: str
+    ) -> QualificationReport:
         start = time.perf_counter()
         attach = getattr(self.platform, "attach_observers", None)
         if attach is not None:
@@ -674,7 +681,9 @@ class StressmarkQualifier:
         axes = []
         for axis_name, perturbations in self.perturbation_axes():
             axis_start = time.perf_counter()
-            droops = engine.evaluate_many(perturbations)
+            with span("qualify.axis", axis=axis_name,
+                      samples=len(perturbations)):
+                droops = engine.evaluate_many(perturbations)
             dist = AxisDistribution(
                 axis=axis_name,
                 labels=tuple(p.label for p in perturbations),

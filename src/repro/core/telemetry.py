@@ -19,6 +19,7 @@ from __future__ import annotations
 import json
 import sys
 from dataclasses import asdict, dataclass, field
+from dataclasses import fields as dataclass_fields
 from typing import IO, Protocol, runtime_checkable
 
 from repro.analysis.report import format_kv_table
@@ -245,17 +246,71 @@ class RegistryEvent:
     kind = "registry"
 
 
+@dataclass(frozen=True)
+class SpanEvent:
+    """One closed trace span: a timed, nested slice of the closed loop.
+
+    Spans form a tree: ``trace_id`` names the campaign-wide trace,
+    ``span_id`` this span, and ``parent_id`` the enclosing span (empty
+    for the root).  ``t0_s`` is ``time.monotonic()`` at open —
+    CLOCK_MONOTONIC is system-wide on Linux, so spans recorded in pool
+    workers and fleet shard subprocesses order correctly against their
+    parent.  ``status`` is ``"ok"``, ``"error"`` (the span body raised),
+    or ``"lost"`` (the process holding the open span was SIGKILLed and a
+    supervisor closed it on its behalf).  ``attrs`` carries structured
+    attributes (genome label, pipeline path, batch size, ...).
+    """
+
+    name: str
+    trace_id: str
+    span_id: str
+    parent_id: str
+    t0_s: float
+    wall_s: float
+    status: str = "ok"
+    attrs: dict = field(default_factory=dict)
+    pid: int = 0
+
+    kind = "span"
+
+
 TelemetryEvent = (
     EvaluationEvent | GenerationEvent | PhaseEvent | FaultEvent | CheckpointEvent
     | InvariantEvent | QualificationEvent | StageEvent | MeasurementStatsEvent
-    | ShardEvent | FleetEvent | SupervisorEvent | RegistryEvent
+    | ShardEvent | FleetEvent | SupervisorEvent | RegistryEvent | SpanEvent
 )
+
+#: Every concrete event class, keyed by its ``kind`` tag.  The telemetry
+#: conformance suite iterates this registry so a new event kind cannot
+#: ship without a golden schema, and the trace loader uses it to rebuild
+#: typed events from JSONL rows.
+EVENT_TYPES: dict = {
+    cls.kind: cls
+    for cls in (
+        EvaluationEvent, GenerationEvent, PhaseEvent, FaultEvent,
+        CheckpointEvent, InvariantEvent, QualificationEvent, StageEvent,
+        MeasurementStatsEvent, ShardEvent, FleetEvent, SupervisorEvent,
+        RegistryEvent, SpanEvent,
+    )
+}
 
 
 def event_to_dict(event: TelemetryEvent) -> dict:
     payload = asdict(event)
     payload["kind"] = event.kind
     return payload
+
+
+def event_from_dict(payload: dict) -> TelemetryEvent:
+    """Rebuild the typed event a JSONL row was rendered from.
+
+    Unknown keys are dropped (forward compatibility); an unknown
+    ``kind`` raises ``KeyError`` — the caller decides whether to skip.
+    """
+    payload = dict(payload)
+    cls = EVENT_TYPES[payload.pop("kind")]
+    names = {f.name for f in dataclass_fields(cls)}
+    return cls(**{key: value for key, value in payload.items() if key in names})
 
 
 # ----------------------------------------------------------------------
@@ -388,6 +443,14 @@ class ConsoleObserver:
             self.stream.write(
                 f"[eval/{tag}] {event.fitness:.5f}  {event.wall_s * 1e3:.1f}ms\n"
             )
+        elif isinstance(event, SpanEvent):
+            # Lost spans always narrate (a worker died holding them);
+            # routine span closures only in verbose mode.
+            if event.status == "lost" or self.verbose:
+                self.stream.write(
+                    f"[span/{event.status}] {event.name}  "
+                    f"{event.wall_s * 1e3:.1f}ms\n"
+                )
         self.stream.flush()
 
 
@@ -412,21 +475,43 @@ class RecentEventsObserver:
 
 
 class JsonlObserver:
-    """Appends one JSON object per event to a file (or open stream)."""
+    """Appends one JSON object per event to a file (or open stream).
 
-    def __init__(self, path_or_stream):
+    ``flush_every`` batches writes: lines are buffered and flushed to the
+    stream every N events (span-instrumented campaigns emit hundreds of
+    events per generation, and a write+fsync per event is the single
+    biggest observer cost).  The buffer is drained by :meth:`flush`,
+    :meth:`close`, and — critically — by :class:`~repro.supervision
+    .ShutdownCoordinator` when a SIGTERM / wall-clock drain begins, so
+    the last generation's events survive a ``--max-wall-clock`` stop
+    even if the process is killed before the CLI's ``finally`` runs.
+    """
+
+    def __init__(self, path_or_stream, *, flush_every: int = 1):
+        if flush_every < 1:
+            raise ValueError(f"flush_every must be >= 1, got {flush_every}")
         if hasattr(path_or_stream, "write"):
             self._stream = path_or_stream
             self._owns = False
         else:
             self._stream = open(path_or_stream, "a")
             self._owns = True
+        self._flush_every = flush_every
+        self._buffer: list[str] = []
 
     def on_event(self, event: TelemetryEvent) -> None:
-        self._stream.write(json.dumps(event_to_dict(event)) + "\n")
+        self._buffer.append(json.dumps(event_to_dict(event)) + "\n")
+        if len(self._buffer) >= self._flush_every:
+            self.flush()
+
+    def flush(self) -> None:
+        if self._buffer:
+            self._stream.write("".join(self._buffer))
+            self._buffer.clear()
         self._stream.flush()
 
     def close(self) -> None:
+        self.flush()
         if self._owns:
             self._stream.close()
 
@@ -477,6 +562,9 @@ class TelemetryCollector:
     registry_verified: int = 0
     registry_salvages: int = 0
     registry_wall_s: float = 0.0
+    span_counts: dict = field(default_factory=dict)
+    span_wall_s: dict = field(default_factory=dict)
+    spans_lost: int = 0
 
     def on_event(self, event: TelemetryEvent) -> None:
         if isinstance(event, EvaluationEvent):
@@ -560,6 +648,64 @@ class TelemetryCollector:
                 self.registry_salvages += 1
         elif isinstance(event, MeasurementStatsEvent):
             self.platform_stats = dict(event.stats)
+        elif isinstance(event, SpanEvent):
+            self.span_counts[event.name] = self.span_counts.get(event.name, 0) + 1
+            self.span_wall_s[event.name] = (
+                self.span_wall_s.get(event.name, 0.0) + event.wall_s
+            )
+            if event.status == "lost":
+                self.spans_lost += 1
+
+    # ------------------------------------------------------------------
+    def merge(self, other: "TelemetryCollector") -> "TelemetryCollector":
+        """Fold *other*'s counters into this collector, in place.
+
+        The merge is commutative and associative over the counter fields
+        (ints and wall-times sum, per-key dicts sum) so aggregating
+        per-worker or per-shard collectors in any completion order yields
+        the same totals.  ``shutdown_reason`` keeps the lexicographically
+        smallest non-empty reason and ``platform_stats`` sums per key —
+        both order-independent by construction.
+        """
+        for spec in dataclass_fields(self):
+            mine = getattr(self, spec.name)
+            theirs = getattr(other, spec.name)
+            if isinstance(mine, bool) or isinstance(theirs, bool):
+                continue
+            if isinstance(mine, (int, float)):
+                setattr(self, spec.name, mine + theirs)
+            elif isinstance(mine, dict):
+                for key, value in theirs.items():
+                    if isinstance(value, (int, float)) and not isinstance(value, bool):
+                        mine[key] = mine.get(key, 0) + value
+                    elif key not in mine:
+                        mine[key] = value
+        reasons = sorted(r for r in (self.shutdown_reason, other.shutdown_reason) if r)
+        self.shutdown_reason = reasons[0] if reasons else ""
+        return self
+
+    def counter_snapshot(self) -> dict:
+        """The deterministic counters only — no wall-clock, no rates.
+
+        A seeded campaign must produce an identical snapshot whether it
+        ran serially or under ``--workers N``; the telemetry-merge tests
+        assert exactly this.
+        """
+        snapshot: dict = {}
+        for spec in dataclass_fields(self):
+            if spec.name.endswith("_wall_s") or spec.name in (
+                "phases", "platform_stats", "shutdown_reason",
+            ):
+                continue
+            value = getattr(self, spec.name)
+            if isinstance(value, dict):
+                snapshot[spec.name] = {
+                    key: value[key] for key in sorted(value)
+                    if not str(key).endswith("_s")
+                }
+            else:
+                snapshot[spec.name] = value
+        return snapshot
 
     # ------------------------------------------------------------------
     @property
@@ -650,6 +796,10 @@ class TelemetryCollector:
             hits = self.stage_cache_hits.get(name, 0)
             cached = f" ({hits} cached)" if hits else ""
             rows.append((f"stage: {name}", f"{wall:.2f} s{cached}"))
+        if self.span_counts:
+            rows.append(("trace spans", sum(self.span_counts.values())))
+            if self.spans_lost:
+                rows.append(("trace spans lost", self.spans_lost))
         if self.stage_fallbacks:
             rows.append(("transient fallbacks", self.stage_fallbacks))
         if self.batched_solves:

@@ -43,7 +43,13 @@ from pathlib import Path
 
 from repro.core.atomicio import atomic_write_json, atomic_write_text
 from repro.core.faults import FaultPolicy
-from repro.core.telemetry import FleetEvent, ShardEvent, SupervisorEvent, notify
+from repro.core.telemetry import (
+    FleetEvent,
+    ShardEvent,
+    SupervisorEvent,
+    event_from_dict,
+    notify,
+)
 from repro.errors import (
     EXIT_CRASH,
     CampaignInterrupted,
@@ -53,6 +59,7 @@ from repro.errors import (
 from repro.fleet.matrix import ScenarioMatrix
 from repro.fleet.report import REPORT_FILE, REPORT_MD_FILE, FleetReport
 from repro.fleet.shard import ShardResult, ShardSpec, load_result, run_shard
+from repro.obs.spans import current_tracer, span
 from repro.supervision.executor import (
     DEFAULT_MAX_POOL_REBUILDS,
     SupervisionExhaustedError,
@@ -258,6 +265,7 @@ class FleetOrchestrator:
             if banked is not None and banked.ok:
                 seed_dirs.append(str(directory))
         scenario = chain[index]
+        tracer = current_tracer()
         return ShardSpec(
             scenario=scenario,
             shard_dir=str(self.shard_dir(scenario)),
@@ -266,11 +274,13 @@ class FleetOrchestrator:
             failure_voltage=self.failure_voltage,
             fault_policy=self.fault_policy,
             max_wall_clock_s=self.shard_max_wall_clock_s,
+            trace_context=None if tracer is None else tracer.context(),
         )
 
     def _on_result(self, result: ShardResult, results: list, start: float, running: int) -> None:
         results.append(result)
         self._completed += 1
+        self._emit_shard_spans(result)
         event = ShardEvent(
             scenario=result.scenario_id,
             status=result.status,
@@ -298,6 +308,27 @@ class FleetOrchestrator:
             raise CampaignInterrupted(
                 f"signal stop propagated from shard {result.scenario_id}"
             )
+
+    def _emit_shard_spans(self, result: ShardResult) -> None:
+        """Stitch a shard's buffered spans into the orchestrator trace.
+
+        Only spans carrying *this* trace's id are re-emitted — a result
+        banked by a previous fleet run ships spans from a dead trace, and
+        replaying those would seed orphans in the current tree.
+        """
+        tracer = current_tracer()
+        payloads = (
+            result.timing.get("spans") if isinstance(result.timing, dict) else None
+        )
+        if tracer is None or not payloads:
+            return
+        for payload in payloads:
+            try:
+                event = event_from_dict(payload)
+            except (KeyError, TypeError):
+                continue
+            if getattr(event, "trace_id", "") == tracer.trace_id:
+                tracer.emit(event)
 
     def _banked(self, results: list) -> dict:
         """Serve already-banked OK shards without scheduling them."""
@@ -331,6 +362,11 @@ class FleetOrchestrator:
         everything finished so far, and raises
         :class:`~repro.errors.CampaignInterrupted` (CLI exit 75).
         """
+        with span("fleet.campaign", scenarios=len(self.scenarios),
+                  workers=self.workers):
+            return self._run()
+
+    def _run(self) -> FleetReport:
         self.fleet_dir.mkdir(parents=True, exist_ok=True)
         if not self.meta_path.exists():
             self.write_meta()
@@ -500,6 +536,13 @@ class FleetOrchestrator:
             notify(self.observers, SupervisorEvent(
                 action="give-up", task=flight.scenario_id, detail=error,
             ))
+            tracer = current_tracer()
+            if tracer is not None:
+                # The shard died holding its span buffer: close the loss
+                # explicitly so the trace tree has no dangling branch.
+                tracer.lost(
+                    "fleet.shard", scenario=flight.scenario_id, error=error
+                )
             finish(flight, self._failed_shard(chains, flight, error))
 
         def harvest_or_condemn() -> list:

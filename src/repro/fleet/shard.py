@@ -27,6 +27,7 @@ from __future__ import annotations
 
 import dataclasses
 import json
+import os
 import signal
 import time
 import traceback
@@ -44,7 +45,7 @@ from repro.core.faults import FaultPolicy, QuarantineExhaustedError
 from repro.core.ga import GaConfig
 from repro.core.platform import MeasurementPlatform
 from repro.core.qualify import QualificationCheckpoint, QualifyConfig
-from repro.core.telemetry import TelemetryCollector
+from repro.core.telemetry import TelemetryCollector, event_to_dict
 from repro.errors import (
     EXIT_CONFIG,
     EXIT_CRASH,
@@ -60,6 +61,7 @@ from repro.errors import (
 )
 from repro.experiments.setup import program_failure_voltage
 from repro.fleet.matrix import Scenario
+from repro.obs.spans import SpanBuffer, TraceContext, adopt, span, tracing
 from repro.pdn.elements import bulldozer_pdn, phenom_pdn
 from repro.supervision import ShutdownCoordinator
 from repro.uarch.config import bulldozer_chip, phenom_chip
@@ -125,6 +127,10 @@ class ShardSpec:
     max_wall_clock_s: float | None = None
     """Per-shard wall-clock budget; overrun stops the campaign gracefully
     at the next generation boundary (status ``interrupted``, exit 75)."""
+    trace_context: TraceContext | None = None
+    """Coordinates of the orchestrator's ``fleet.campaign`` span; when set
+    the shard records its spans and ships them back in
+    ``ShardResult.timing["spans"]``."""
 
 
 @dataclass(frozen=True)
@@ -227,8 +233,9 @@ def run_shard(spec: ShardSpec) -> ShardResult:
         return banked
     scenario = spec.scenario
     start = time.perf_counter()
+    buffer = SpanBuffer(cap=200)
     try:
-        result = _run_campaign(spec)
+        result = _traced_campaign(spec, buffer)
     except BaseException as error:  # noqa: BLE001 — classified, not hidden
         exit_code = classify_failure(error)
         if exit_code == EXIT_CRASH:
@@ -240,10 +247,42 @@ def run_shard(spec: ShardSpec) -> ShardResult:
             status="interrupted" if interrupted else "failed",
             exit_code=exit_code,
             error=f"{type(error).__name__}: {error}",
-            timing={"wall_s": time.perf_counter() - start},
+            timing=_with_spans(
+                {"wall_s": time.perf_counter() - start}, buffer
+            ),
         )
+    result = dataclasses.replace(result, timing=_with_spans(result.timing, buffer))
     atomic_write_json(result_path(spec.shard_dir), result.to_payload())
     return result
+
+
+def _traced_campaign(spec: ShardSpec, buffer: SpanBuffer) -> ShardResult:
+    """Run the campaign under a ``fleet.shard`` span.
+
+    In a pool worker the orchestrator's :class:`TraceContext` is adopted
+    and spans collect in *buffer* for the trip home; run in-process
+    (serial fleet) the ambient tracer — when one is installed — takes the
+    spans directly and the buffer stays empty.
+    """
+    if spec.trace_context is None:
+        with span("fleet.shard", scenario=spec.scenario.scenario_id):
+            return _run_campaign(spec)
+    tracer = adopt(spec.trace_context, observers=(buffer,))
+    with tracing(tracer):
+        with tracer.span(
+            "fleet.shard", scenario=spec.scenario.scenario_id, pid=os.getpid()
+        ):
+            return _run_campaign(spec)
+
+
+def _with_spans(timing: dict, buffer: SpanBuffer) -> dict:
+    if not buffer.records:
+        return timing
+    return {
+        **timing,
+        "spans": [event_to_dict(event) for event in buffer.records],
+        "spans_dropped": buffer.dropped,
+    }
 
 
 def _run_campaign(spec: ShardSpec) -> ShardResult:

@@ -17,6 +17,7 @@ import numpy as np
 
 from repro.core.telemetry import StageEvent, notify
 from repro.errors import ConfigurationError, MeasurementError
+from repro.obs.spans import span
 from repro.pipeline.artifacts import Measurement, MeasureRequest
 from repro.pipeline.stages import (
     DEFAULT_JITTER_SEED,
@@ -84,15 +85,17 @@ class MeasurementPipeline:
     # ------------------------------------------------------------------
     def measure(self, request: MeasureRequest) -> Measurement:
         phases, supply = self._validated(request)
-        self.counters.measurements += 1
-        profile = self._profile_for(request)
-        self.counters.path_counts[profile.path] += 1
-        response = self._timed_pdn(profile, phases, supply)
-        start = time.perf_counter()
-        measurement = self.analyze.run(profile, response)
-        wall = time.perf_counter() - start
-        self.counters.record_stage("analyze", wall)
-        self._stage_event("analyze", wall)
+        with span("pipeline.measure", threads=request.threads) as measure_span:
+            self.counters.measurements += 1
+            profile = self._profile_for(request)
+            self.counters.path_counts[profile.path] += 1
+            measure_span.set(path=profile.path)
+            response = self._timed_pdn(profile, phases, supply)
+            start = time.perf_counter()
+            measurement = self.analyze.run(profile, response)
+            wall = time.perf_counter() - start
+            self.counters.record_stage("analyze", wall)
+            self._stage_event("analyze", wall)
         return measurement
 
     def measure_batch(self, requests) -> list[Measurement]:
@@ -130,7 +133,9 @@ class MeasurementPipeline:
                     responses[idx] = self._timed_pdn(profile, phases, supply)
                 continue
             start = time.perf_counter()
-            solved = self.pdn_stage.run_batch([prepared[i] for i in indices])
+            with span("pipeline.pdn_solve", path=path, batched=True,
+                      rows=len(indices)):
+                solved = self.pdn_stage.run_batch([prepared[i] for i in indices])
             wall = time.perf_counter() - start
             self.counters.record_stage("pdn", wall)
             self._stage_event(
@@ -228,7 +233,9 @@ class MeasurementPipeline:
     def _timed_pdn(self, profile, phases, supply):
         start = time.perf_counter()
         hits_before = self.pdn_stage.cache.hits
-        response = self.pdn_stage.run(profile, phases=phases, supply=supply)
+        with span("pipeline.pdn_solve", path=profile.path) as solve_span:
+            response = self.pdn_stage.run(profile, phases=phases, supply=supply)
+            solve_span.set(cache_hit=self.pdn_stage.cache.hits > hits_before)
         wall = time.perf_counter() - start
         self.counters.record_stage("pdn", wall)
         self._stage_event(

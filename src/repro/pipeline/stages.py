@@ -69,6 +69,56 @@ class PipelineCounters:
     def record_stage(self, stage: str, wall_s: float) -> None:
         self.stage_wall_s[stage] = self.stage_wall_s.get(stage, 0.0) + wall_s
 
+    def to_metrics(self):
+        """Project the ledger onto a :class:`~repro.obs.metrics.MetricsRegistry`.
+
+        Scalar counters land under ``pipeline.<name>``; the per-path and
+        per-stage dicts fan out to ``pipeline.path.<path>`` and
+        ``pipeline.stage_wall_s.<stage>``.
+        """
+        from repro.obs.metrics import MetricsRegistry
+
+        registry = MetricsRegistry()
+        registry.inc("pipeline.measurements", self.measurements)
+        registry.inc("pipeline.pdn_time_s", self.pdn_time_s)
+        registry.inc("pipeline.profile_cache_hits", self.profile_cache_hits)
+        registry.inc("pipeline.pdn_cache_hits", self.pdn_cache_hits)
+        registry.inc("pipeline.batched_solves", self.batched_solves)
+        registry.inc("pipeline.batched_rows", self.batched_rows)
+        for path, count in self.path_counts.items():
+            registry.inc(f"pipeline.path.{path}", count)
+        for stage, wall in self.stage_wall_s.items():
+            registry.inc(f"pipeline.stage_wall_s.{stage}", wall)
+        return registry
+
+    @classmethod
+    def from_metrics(cls, registry) -> "PipelineCounters":
+        counters = cls()
+        counters.measurements = int(registry.counter("pipeline.measurements", 0))
+        counters.pdn_time_s = float(registry.counter("pipeline.pdn_time_s", 0.0))
+        counters.profile_cache_hits = int(
+            registry.counter("pipeline.profile_cache_hits", 0)
+        )
+        counters.pdn_cache_hits = int(registry.counter("pipeline.pdn_cache_hits", 0))
+        counters.batched_solves = int(registry.counter("pipeline.batched_solves", 0))
+        counters.batched_rows = int(registry.counter("pipeline.batched_rows", 0))
+        for name in registry.names():
+            if name.startswith("pipeline.path."):
+                counters.path_counts[name[len("pipeline.path."):]] = int(
+                    registry.counter(name, 0)
+                )
+            elif name.startswith("pipeline.stage_wall_s."):
+                counters.stage_wall_s[name[len("pipeline.stage_wall_s."):]] = float(
+                    registry.counter(name, 0.0)
+                )
+        return counters
+
+    def merge(self, other: "PipelineCounters") -> "PipelineCounters":
+        """Order-independent merge via the metrics registry (counters sum)."""
+        return PipelineCounters.from_metrics(
+            self.to_metrics().merge(other.to_metrics())
+        )
+
 
 @runtime_checkable
 class Stage(Protocol):

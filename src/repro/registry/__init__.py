@@ -25,6 +25,7 @@ from repro.registry.provenance import (
     hash_platform,
     platform_descriptor,
     provenance_stamp,
+    telemetry_summary,
 )
 from repro.registry.record import (
     RECORD_VERSION,
@@ -58,5 +59,6 @@ __all__ = [
     "record_from_shard",
     "render_campaign_comparison",
     "render_record_comparison",
+    "telemetry_summary",
     "verify_record",
 ]

@@ -129,6 +129,31 @@ def git_describe() -> str:
     return out.stdout.strip()
 
 
+def telemetry_summary(collector) -> dict:
+    """A compact counter + span rollup for a record's provenance stamp.
+
+    Provenance is excluded from the content hash, so the summary may
+    carry run-specific numbers (wall clock, span counts) without
+    breaking registry deduplication.
+    """
+    summary = {
+        "evaluations": collector.evaluations,
+        "cache_hits": collector.cache_hits,
+        "eval_wall_s": round(collector.eval_wall_s, 3),
+        "generations": collector.generations,
+    }
+    span_counts = getattr(collector, "span_counts", None)
+    if span_counts:
+        summary["spans"] = dict(sorted(span_counts.items()))
+        summary["span_wall_s"] = {
+            name: round(wall, 3)
+            for name, wall in sorted(collector.span_wall_s.items())
+        }
+    if getattr(collector, "spans_lost", 0):
+        summary["spans_lost"] = int(collector.spans_lost)
+    return summary
+
+
 def provenance_stamp(*, argv: list | None = None, campaign: str = "",
                      extra: dict | None = None) -> dict:
     """The non-identity context stored alongside a record.

@@ -113,6 +113,10 @@ class SupervisorFault:
     #: either uniformly.
     stats = None
 
+    #: Parallels ``EvalOutcome.spans``: a killed worker's span buffer died
+    #: with it, so there is never trace data to harvest from a fault.
+    spans = ()
+
 
 def kill_pool_processes(pool: ProcessPoolExecutor | None) -> None:
     """Hard-kill a pool's workers and abandon it.

@@ -105,6 +105,7 @@ class ShutdownCoordinator:
 
     def __exit__(self, *exc) -> None:
         self.uninstall()
+        self.flush_observers()
 
     # -- the stop poll -----------------------------------------------------
 
@@ -143,4 +144,15 @@ class ShutdownCoordinator:
                     wall_s=self.elapsed_s(),
                 ),
             )
+            # A drain is the last chance buffered observers get before the
+            # campaign unwinds: a SIGTERM that lands mid-generation must not
+            # lose that generation's telemetry to an in-memory JSONL buffer.
+            self.flush_observers()
         return self._reason
+
+    def flush_observers(self) -> None:
+        """Flush any attached observer that exposes a ``flush()``."""
+        for observer in self.observers:
+            flush = getattr(observer, "flush", None)
+            if callable(flush):
+                flush()

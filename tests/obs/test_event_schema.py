@@ -1,0 +1,208 @@
+"""Golden-schema conformance tests for every telemetry event kind.
+
+The telemetry stream is a wire format: JSONL traces written by one
+version of the code are analyzed (and CI-gated) by another.  These tests
+pin the schema of every event kind — field names, field types, JSON
+round-trip — so a field rename or type change fails loudly here instead
+of silently corrupting trace analysis.  ``EVENT_TYPES`` is the registry
+the trace loader uses; a new event kind cannot ship without a golden
+entry below.
+"""
+
+import dataclasses
+import json
+
+import pytest
+
+from repro.core.telemetry import (
+    EVENT_TYPES,
+    CheckpointEvent,
+    EvaluationEvent,
+    FaultEvent,
+    FleetEvent,
+    GenerationEvent,
+    InvariantEvent,
+    MeasurementStatsEvent,
+    PhaseEvent,
+    QualificationEvent,
+    RegistryEvent,
+    ShardEvent,
+    SpanEvent,
+    StageEvent,
+    SupervisorEvent,
+    TelemetryEvent,
+    event_from_dict,
+    event_to_dict,
+)
+
+#: The golden schema: kind -> ordered {field name: annotated type}.
+#: Changing an event dataclass without updating this table is a
+#: conformance failure by design.
+GOLDEN_SCHEMAS = {
+    "evaluation": {
+        "genome": "str", "fitness": "float", "wall_s": "float",
+        "cached": "bool", "backend": "str",
+    },
+    "generation": {
+        "generation": "int", "best_fitness": "float", "mean_fitness": "float",
+        "evaluations_so_far": "int", "batch_size": "int", "batch_new": "int",
+        "wall_s": "float",
+    },
+    "phase": {"name": "str", "wall_s": "float", "detail": "str"},
+    "fault": {
+        "genome": "str", "error": "str", "attempt": "int", "action": "str",
+        "timeout": "bool",
+    },
+    "checkpoint": {"generation": "int", "path": "str", "wall_s": "float"},
+    "invariant": {
+        "guard": "str", "layer": "str", "error": "str", "genome": "str",
+    },
+    "stage": {
+        "stage": "str", "wall_s": "float", "cache_hit": "bool",
+        "batched": "bool", "path": "str", "detail": "str",
+    },
+    "platform-stats": {"stats": "dict", "source": "str"},
+    "supervisor": {
+        "action": "str", "task": "str", "detail": "str", "respawns": "int",
+        "wall_s": "float",
+    },
+    "shard": {
+        "scenario": "str", "status": "str", "droop_v": "float",
+        "evaluations": "int", "wall_s": "float", "error": "str",
+        "exit_code": "int",
+    },
+    "fleet": {
+        "total": "int", "done": "int", "failed": "int", "running": "int",
+        "wall_s": "float", "detail": "str",
+    },
+    "qualification": {
+        "stressmark": "str", "axis": "str", "samples": "int",
+        "min_droop_v": "float", "max_droop_v": "float", "retention": "float",
+        "verdict": "str", "wall_s": "float",
+    },
+    "registry": {
+        "action": "str", "record_id": "str", "path": "str", "detail": "str",
+        "deduped": "bool", "wall_s": "float",
+    },
+    "span": {
+        "name": "str", "trace_id": "str", "span_id": "str", "parent_id": "str",
+        "t0_s": "float", "wall_s": "float", "status": "str", "attrs": "dict",
+        "pid": "int",
+    },
+}
+
+#: One fully-populated sample per kind (no field left at its default), so
+#: the round-trip tests exercise every field.
+SAMPLES = {
+    "evaluation": EvaluationEvent(
+        genome="g1", fitness=0.042, wall_s=1.5, cached=True, backend="serial"),
+    "generation": GenerationEvent(
+        generation=3, best_fitness=0.05, mean_fitness=0.03,
+        evaluations_so_far=72, batch_size=24, batch_new=20, wall_s=8.2),
+    "phase": PhaseEvent(name="resonance-sweep", wall_s=2.5, detail="21 points"),
+    "fault": FaultEvent(
+        genome="g2", error="boom", attempt=2, action="quarantine", timeout=True),
+    "checkpoint": CheckpointEvent(generation=4, path="c/state.json", wall_s=0.01),
+    "invariant": InvariantEvent(
+        guard="voltage-finite", layer="platform", error="NaN", genome="g3"),
+    "stage": StageEvent(
+        stage="pdn", wall_s=0.2, cache_hit=True, batched=True,
+        path="periodic", detail="fallback"),
+    "platform-stats": MeasurementStatsEvent(
+        stats={"measurements": 7, "sim_time_s": 1.25}, source="workers"),
+    "supervisor": SupervisorEvent(
+        action="hang-kill", task="g4", detail="deadline", respawns=2, wall_s=3.0),
+    "shard": ShardEvent(
+        scenario="bulldozer-4t", status="failed", droop_v=0.081,
+        evaluations=48, wall_s=12.5, error="crash", exit_code=70),
+    "fleet": FleetEvent(
+        total=8, done=5, failed=1, running=2, wall_s=60.0, detail="draining"),
+    "qualification": QualificationEvent(
+        stressmark="a-res", axis="jitter", samples=4, min_droop_v=0.07,
+        max_droop_v=0.08, retention=0.92, verdict="PASS", wall_s=4.5),
+    "registry": RegistryEvent(
+        action="publish", record_id="abc123", path="library/", detail="new",
+        deduped=True, wall_s=0.2),
+    "span": SpanEvent(
+        name="ga.generation", trace_id="t" * 16, span_id="s" * 16,
+        parent_id="p" * 16, t0_s=100.5, wall_s=2.25, status="lost",
+        attrs={"generation": 3, "path": "periodic"}, pid=4242),
+}
+
+
+class TestRegistry:
+    def test_every_kind_has_a_golden_schema(self):
+        assert set(EVENT_TYPES) == set(GOLDEN_SCHEMAS)
+
+    def test_every_kind_has_a_sample(self):
+        assert set(EVENT_TYPES) == set(SAMPLES)
+
+    def test_union_matches_registry(self):
+        # The TelemetryEvent union and EVENT_TYPES must not drift apart:
+        # the union is what observers type against, the registry is what
+        # the trace loader rebuilds from.
+        assert set(TelemetryEvent.__args__) == set(EVENT_TYPES.values())
+
+    def test_kind_tags_are_consistent(self):
+        for kind, cls in EVENT_TYPES.items():
+            assert cls.kind == kind
+
+    def test_all_events_are_frozen(self):
+        for event in SAMPLES.values():
+            with pytest.raises(dataclasses.FrozenInstanceError):
+                event.kind = "tampered"
+
+
+@pytest.mark.parametrize("kind", sorted(EVENT_TYPES))
+class TestGoldenSchema:
+    def test_field_names_and_types(self, kind):
+        fields = dataclasses.fields(EVENT_TYPES[kind])
+        observed = {spec.name: str(spec.type) for spec in fields}
+        assert observed == GOLDEN_SCHEMAS[kind], (
+            f"schema drift on kind={kind!r}: update GOLDEN_SCHEMAS (and the "
+            f"trace analyzer) deliberately, not by accident"
+        )
+
+    def test_sample_populates_every_field(self, kind):
+        event = SAMPLES[kind]
+        for spec in dataclasses.fields(event):
+            value = getattr(event, spec.name)
+            if spec.default is not dataclasses.MISSING:
+                assert value != spec.default, (
+                    f"{kind}.{spec.name} sample left at default; the "
+                    f"round-trip test would not exercise it"
+                )
+
+    def test_dict_round_trip(self, kind):
+        event = SAMPLES[kind]
+        payload = event_to_dict(event)
+        assert payload["kind"] == kind
+        assert event_from_dict(payload) == event
+
+    def test_json_round_trip(self, kind):
+        event = SAMPLES[kind]
+        line = json.dumps(event_to_dict(event))
+        assert event_from_dict(json.loads(line)) == event
+
+    def test_json_payload_is_flat_primitives(self, kind):
+        # Every value must survive JSON without type drift (no tuples,
+        # sets, or custom objects) so the JSONL trace is self-describing.
+        payload = json.loads(json.dumps(event_to_dict(SAMPLES[kind])))
+        assert payload == event_to_dict(SAMPLES[kind])
+
+
+class TestFromDict:
+    def test_unknown_keys_are_dropped(self):
+        payload = event_to_dict(SAMPLES["phase"])
+        payload["added_in_a_future_version"] = 17
+        assert event_from_dict(payload) == SAMPLES["phase"]
+
+    def test_unknown_kind_raises_key_error(self):
+        with pytest.raises(KeyError):
+            event_from_dict({"kind": "no-such-kind"})
+
+    def test_payload_is_not_mutated(self):
+        payload = event_to_dict(SAMPLES["span"])
+        copy = dict(payload)
+        event_from_dict(payload)
+        assert payload == copy

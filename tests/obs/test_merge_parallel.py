@@ -1,0 +1,173 @@
+"""Telemetry merging under ``--workers N``: order-independent, lossless.
+
+A seeded campaign must report the same deterministic counters whether it
+ran serially or fanned out over worker processes — the per-worker deltas
+(engine outcomes, platform stats, qualification axes) merge back into
+totals that do not depend on completion order.  Wall-clock numbers and
+per-worker cache splits legitimately differ; the *sums* may not.
+"""
+
+import dataclasses
+
+import pytest
+
+from repro.core.audit import AuditConfig, AuditRunner, StressmarkMode
+from repro.core.engine import make_executor
+from repro.core.ga import GaConfig
+from repro.core.telemetry import TelemetryCollector
+from repro.experiments.setup import bulldozer_testbed
+
+CONFIG = AuditConfig(
+    threads=2,
+    mode=StressmarkMode.RESONANT,
+    ga=GaConfig(population_size=6, generations=2, seed=3),
+)
+
+
+def _run_campaign(workers: int):
+    collector = TelemetryCollector()
+    platform = bulldozer_testbed()
+    executor = make_executor(workers)
+    runner = AuditRunner(
+        platform,
+        config=CONFIG,
+        executor=executor,
+        observers=[collector],
+        platform_factory=bulldozer_testbed if workers > 1 else None,
+    )
+    try:
+        result = runner.run()
+    finally:
+        executor.close()
+    return result, collector, platform
+
+
+@pytest.mark.slow
+class TestSerialVsParallelCampaign:
+    @pytest.fixture(scope="class")
+    def runs(self):
+        serial = _run_campaign(workers=1)
+        parallel = _run_campaign(workers=2)
+        return serial, parallel
+
+    def test_results_are_identical(self, runs):
+        (serial_result, *_), (parallel_result, *_) = runs
+        assert serial_result.max_droop_v == pytest.approx(
+            parallel_result.max_droop_v)
+        assert (serial_result.ga_result.best_fitness
+                == pytest.approx(parallel_result.ga_result.best_fitness))
+
+    def test_engine_counters_merge_order_independently(self, runs):
+        (_, serial, _), (_, parallel, _) = runs
+        assert serial.evaluations == parallel.evaluations
+        assert serial.cache_hits == parallel.cache_hits
+        assert serial.generations == parallel.generations
+        assert serial.fault_retries == parallel.fault_retries
+        assert serial.quarantines == parallel.quarantines
+
+    def test_platform_stats_sums_are_deterministic(self, runs):
+        (_, _, serial_platform), (_, _, parallel_platform) = runs
+        serial_stats = serial_platform.stats()
+        parallel_stats = parallel_platform.stats()
+        # The same measurements ran, whatever process they landed in.
+        assert serial_stats.measurements == parallel_stats.measurements
+        assert (serial_stats.periodic_measurements
+                == parallel_stats.periodic_measurements)
+        assert (serial_stats.jittered_measurements
+                == parallel_stats.jittered_measurements)
+        assert (serial_stats.transient_measurements
+                == parallel_stats.transient_measurements)
+        # Per-worker module caches are cold where the serial cache was
+        # warm, so runs vs hits individually differ — but every
+        # measurement either ran or hit, so the sum is invariant.
+        assert (serial_stats.module_runs + serial_stats.module_cache_hits
+                == parallel_stats.module_runs
+                + parallel_stats.module_cache_hits)
+
+
+@pytest.mark.slow
+class TestQualifierUnderWorkers:
+    def test_qualify_verdict_is_worker_count_invariant(self, capsys):
+        from repro.cli import main
+
+        QUALIFY = ["qualify", "a-res", "--threads", "2",
+                   "--jitter-repeats", "1", "--supply-points", "1"]
+
+        def summary(args):
+            assert main(args) == 0
+            out = capsys.readouterr().out
+            return next(line for line in out.splitlines()
+                        if line.startswith("verdict:"))
+
+        serial_line = summary(QUALIFY)
+        parallel_line = summary([*QUALIFY, "--workers", "2"])
+        # verdict, robustness, and evaluation counts all match; only
+        # wall time may differ, and it is not on this line's prefix.
+        assert (serial_line.split("cache hits")[0]
+                == parallel_line.split("cache hits")[0])
+
+
+class TestCollectorMerge:
+    def _collector(self, **overrides):
+        collector = TelemetryCollector(
+            evaluations=3, cache_hits=1, eval_wall_s=1.5, generations=2,
+            phases={"ga": 1.0}, quarantines=1,
+            stage_wall_s={"pdn": 0.5}, stage_cache_hits={"pdn": 2},
+            span_counts={"worker.eval": 3}, span_wall_s={"worker.eval": 2.0},
+            spans_lost=1, platform_stats={"measurements": 4},
+        )
+        for key, value in overrides.items():
+            setattr(collector, key, value)
+        return collector
+
+    def test_merge_sums_scalars_and_dicts(self):
+        merged = self._collector().merge(self._collector())
+        assert merged.evaluations == 6
+        assert merged.cache_hits == 2
+        assert merged.eval_wall_s == pytest.approx(3.0)
+        assert merged.phases == {"ga": 2.0}
+        assert merged.stage_cache_hits == {"pdn": 4}
+        assert merged.span_counts == {"worker.eval": 6}
+        assert merged.spans_lost == 2
+        assert merged.platform_stats == {"measurements": 8}
+
+    def test_merge_is_commutative_on_the_counter_snapshot(self):
+        a1 = self._collector(evaluations=10, span_counts={"a": 1})
+        b1 = self._collector(cache_hits=7, span_counts={"b": 2})
+        a2 = self._collector(evaluations=10, span_counts={"a": 1})
+        b2 = self._collector(cache_hits=7, span_counts={"b": 2})
+        ab = a1.merge(b1).counter_snapshot()
+        ba = b2.merge(a2).counter_snapshot()
+        assert ab == ba
+
+    def test_merge_keeps_the_smallest_shutdown_reason(self):
+        a = self._collector(shutdown_reason="signal SIGTERM")
+        b = self._collector(shutdown_reason="")
+        assert a.merge(b).shutdown_reason == "signal SIGTERM"
+        c = self._collector(shutdown_reason="wall-clock budget")
+        d = self._collector(shutdown_reason="signal SIGTERM")
+        assert c.merge(d).shutdown_reason == "signal SIGTERM"
+
+    def test_counter_snapshot_excludes_wall_clock(self):
+        snapshot = self._collector().counter_snapshot()
+        assert "eval_wall_s" not in snapshot
+        assert "stage_wall_s" not in snapshot
+        assert "span_wall_s" not in snapshot
+        assert "phases" not in snapshot
+        assert "platform_stats" not in snapshot
+        assert snapshot["evaluations"] == 3
+        assert snapshot["span_counts"] == {"worker.eval": 3}
+
+    def test_merge_covers_every_field(self):
+        # A field added to the collector without merge coverage would
+        # silently under-report under --workers: every numeric/dict field
+        # must change when merging two non-trivial collectors.
+        base = self._collector()
+        doubled = self._collector().merge(self._collector())
+        for spec in dataclasses.fields(TelemetryCollector):
+            before = getattr(base, spec.name)
+            after = getattr(doubled, spec.name)
+            if isinstance(before, (int, float)) and before:
+                assert after == 2 * before, spec.name
+            elif isinstance(before, dict) and before:
+                assert after != before, spec.name

@@ -46,6 +46,9 @@ def baseline(gate):
             "registry_publish_overhead": 0.002,
             "registry_records": 2,
             "registry_verify_match": True,
+            "obs_overhead": 0.005,
+            "obs_droop_match": True,
+            "obs_spans": 32,
         },
     }
 
@@ -176,6 +179,35 @@ class TestCompare:
         assert len(problems) == 1
         assert "registry_verify_match" in problems[0]
 
+    def test_obs_overhead_above_ceiling_fails(self, gate, baseline):
+        """The 3 % tracing-overhead ceiling is absolute, like the floors."""
+        current = copy.deepcopy(baseline)
+        current["metrics"]["obs_overhead"] = 0.05
+        problems = gate.compare(baseline, current)
+        assert len(problems) == 1
+        assert "obs_overhead above ceiling" in problems[0]
+
+    def test_obs_overhead_wobble_below_ceiling_passes(self, gate, baseline):
+        """Overhead timing is noisy; only the ceiling gates it."""
+        current = copy.deepcopy(baseline)
+        current["metrics"]["obs_overhead"] = 0.025
+        assert gate.compare(baseline, current) == []
+
+    def test_obs_droop_mismatch_fails(self, gate, baseline):
+        """Tracing that perturbs the physics is an exact-metric failure."""
+        current = copy.deepcopy(baseline)
+        current["metrics"]["obs_droop_match"] = False
+        problems = gate.compare(baseline, current)
+        assert len(problems) == 1
+        assert "obs_droop_match" in problems[0]
+
+    def test_obs_span_count_drift_fails(self, gate, baseline):
+        current = copy.deepcopy(baseline)
+        current["metrics"]["obs_spans"] = 31
+        problems = gate.compare(baseline, current)
+        assert len(problems) == 1
+        assert "obs_spans" in problems[0]
+
 
 class TestSummaryMarkdown:
     def test_pass_renders_metric_table(self, gate, baseline):
@@ -213,6 +245,12 @@ class TestCommittedBaseline:
         assert metrics["batched_droop_match"] is True
         assert (metrics["batched_pdn_speedup"]
                 >= gate.FLOOR_METRICS["batched_pdn_speedup"])
+
+    def test_baseline_obs_path_holds_its_ceiling(self, gate):
+        metrics = json.loads(BASELINE.read_text())["metrics"]
+        assert metrics["obs_droop_match"] is True
+        assert (metrics["obs_overhead"]
+                <= gate.CEILING_METRICS["obs_overhead"])
 
     def test_baseline_droop_is_plausible(self):
         metrics = json.loads(BASELINE.read_text())["metrics"]
